@@ -1,0 +1,179 @@
+// Benchmarks that regenerate each table and figure of the paper's
+// evaluation (via internal/exp) plus micro-benchmarks of the pipeline's
+// hot components. Run them all with:
+//
+//	go test -bench=. -benchmem
+//
+// Each experiment benchmark reports the regenerated rows through -v logs
+// of cmd/vkbench; here the interest is wall-clock cost of regeneration at
+// the quick configuration.
+package vehiclekey
+
+import (
+	"testing"
+
+	"repro/internal/channel"
+	"repro/internal/core"
+	"repro/internal/exp"
+	"repro/internal/lora"
+	"repro/internal/nn"
+	"repro/internal/reconcile"
+	"repro/internal/rng"
+	"repro/internal/trace"
+)
+
+func runExp(b *testing.B, id string) {
+	b.Helper()
+	cfg := exp.Quick()
+	for i := 0; i < b.N; i++ {
+		rep, err := exp.Run(id, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rep.Rows) == 0 {
+			b.Fatalf("%s: empty report", id)
+		}
+	}
+}
+
+// One benchmark per paper figure/table (DESIGN.md experiment index).
+
+func BenchmarkFig02aCorrelationVsDataRate(b *testing.B) { runExp(b, "fig2a") }
+func BenchmarkFig02bCorrelationVsSpeed(b *testing.B)    { runExp(b, "fig2b") }
+func BenchmarkFig03PRSSIvsRRSSI(b *testing.B)           { runExp(b, "fig3") }
+func BenchmarkFig04RegisterRSSITrace(b *testing.B)      { runExp(b, "fig4") }
+func BenchmarkFig09ArRSSIWindow(b *testing.B)           { runExp(b, "fig9") }
+func BenchmarkFig10Prediction(b *testing.B)             { runExp(b, "fig10") }
+func BenchmarkFig11Reconciliation(b *testing.B)         { runExp(b, "fig11") }
+func BenchmarkTab1DevicesSpeeds(b *testing.B)           { runExp(b, "tab1") }
+func BenchmarkFig12AgreementComparison(b *testing.B)    { runExp(b, "fig12") }
+func BenchmarkFig13GenerationRate(b *testing.B)         { runExp(b, "fig13") }
+func BenchmarkFig14Transfer(b *testing.B)               { runExp(b, "fig14") }
+func BenchmarkFig15Security(b *testing.B)               { runExp(b, "fig15") }
+func BenchmarkFig16EveTrace(b *testing.B)               { runExp(b, "fig16") }
+func BenchmarkTab2NIST(b *testing.B)                    { runExp(b, "tab2") }
+func BenchmarkTab3Power(b *testing.B)                   { runExp(b, "tab3") }
+func BenchmarkFig17PowerTrace(b *testing.B)             { runExp(b, "fig17") }
+
+// Design-choice ablations called out in DESIGN.md.
+
+func BenchmarkAblationTheta(b *testing.B) { runExp(b, "ablate-theta") }
+func BenchmarkAblationBloom(b *testing.B) { runExp(b, "ablate-bloom") }
+
+// Micro-benchmarks of the pipeline's hot paths.
+
+func BenchmarkPredictorForward(b *testing.B) {
+	src := rng.New(1)
+	// The paper's full-size model: 32 steps, 128 hidden units.
+	p := nn.NewPredictor(nn.PredictorConfig{SeqLen: 32, Hidden: 128, Bits: 64, Theta: 0.9}, src)
+	seq := make([]float64, 32)
+	for i := range seq {
+		seq[i] = src.Normal(0, 1)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Forward(seq)
+	}
+}
+
+func BenchmarkPredictorTrainStep(b *testing.B) {
+	src := rng.New(2)
+	p := nn.NewPredictor(nn.PredictorConfig{SeqLen: 32, Hidden: 32, Bits: 64, Theta: 0.9}, src)
+	seq := make([]float64, 32)
+	bits := make([]byte, 64)
+	for i := range seq {
+		seq[i] = src.Normal(0, 1)
+		bits[2*i] = byte(i % 2)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.TrainStep(seq, seq, bits, nil)
+	}
+}
+
+func BenchmarkAEReconcile(b *testing.B) {
+	ae := reconcile.TrainAE(reconcile.AEConfig{KeyBits: 64, CodeDim: 32, DecoderUnits: 16}, 4, 100, rng.New(3))
+	src := rng.New(4)
+	kb := src.Bits(64)
+	ka := make([]byte, 64)
+	copy(ka, kb)
+	ka[3] ^= 1
+	ka[40] ^= 1
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ae.Reconcile(ka, kb, []byte("bench")); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCSISTA(b *testing.B) {
+	src := rng.New(5)
+	kb := src.Bits(64)
+	ka := make([]byte, 64)
+	copy(ka, kb)
+	ka[10] ^= 1
+	ka[50] ^= 1
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := reconcile.CSISTA(ka, kb, reconcile.DefaultCSConfig()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCascade(b *testing.B) {
+	src := rng.New(6)
+	kb := src.Bits(128)
+	ka := make([]byte, 128)
+	copy(ka, kb)
+	ka[7] ^= 1
+	ka[99] ^= 1
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := reconcile.Cascade(ka, kb, reconcile.DefaultCascadeConfig(), src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkChannelGain(b *testing.B) {
+	m := channel.NewModel(channel.DefaultConfig(channel.Urban, channel.V2V), rng.New(7))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.GainDB(float64(i) * 1e-3)
+	}
+}
+
+func BenchmarkProbeExchange(b *testing.B) {
+	col := trace.NewCollector(trace.NewScenario(channel.Urban, channel.V2I), 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		col.Run(1)
+	}
+}
+
+func BenchmarkLoRaAirtime(b *testing.B) {
+	p := lora.Default()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = p.Airtime()
+	}
+}
+
+func BenchmarkKeyStreamPush(b *testing.B) {
+	sc := trace.NewScenario(channel.Urban, channel.V2I)
+	ds, err := trace.Build(sc, 9, 40, 32, trace.DefaultExtract())
+	if err != nil {
+		b.Fatal(err)
+	}
+	src := rng.New(10)
+	sys := core.New(core.DefaultConfig(), src)
+	ks := sys.NewKeyStream([]byte("bench"))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ks.Push(ds.Samples[i%len(ds.Samples)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

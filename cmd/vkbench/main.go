@@ -1,0 +1,67 @@
+// Command vkbench regenerates the paper's evaluation: every figure and
+// table has a runner (see DESIGN.md's experiment index).
+//
+//	vkbench -list
+//	vkbench -exp fig12
+//	vkbench -exp all -quick
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/exp"
+)
+
+func main() {
+	var (
+		id       = flag.String("exp", "all", "experiment id (see -list) or 'all'")
+		list     = flag.Bool("list", false, "list experiment ids and exit")
+		quick    = flag.Bool("quick", false, "reduced dataset/epochs for a fast pass")
+		seed     = flag.Int64("seed", 1, "deterministic seed")
+		samples  = flag.Int("samples", 0, "override dataset windows per scenario")
+		epochs   = flag.Int("epochs", 0, "override training epochs")
+		markdown = flag.Bool("markdown", false, "emit GitHub-flavored markdown tables")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, id := range exp.IDs() {
+			fmt.Println(id)
+		}
+		return
+	}
+
+	cfg := exp.Default()
+	if *quick {
+		cfg = exp.Quick()
+	}
+	cfg.Seed = *seed
+	if *samples > 0 {
+		cfg.Samples = *samples
+	}
+	if *epochs > 0 {
+		cfg.Epochs = *epochs
+	}
+
+	ids := []string{*id}
+	if *id == "all" {
+		ids = exp.IDs()
+	}
+	for _, id := range ids {
+		start := time.Now()
+		rep, err := exp.Run(id, cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "vkbench: %s: %v\n", id, err)
+			os.Exit(1)
+		}
+		if *markdown {
+			fmt.Println(rep.Markdown())
+		} else {
+			fmt.Println(rep)
+		}
+		fmt.Printf("(%s in %v)\n\n", id, time.Since(start).Round(time.Millisecond))
+	}
+}

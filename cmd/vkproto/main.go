@@ -1,0 +1,97 @@
+// Command vkproto runs one end of the Vehicle-Key establishment protocol
+// over UDP, so the two protocol roles can run as separate processes (or
+// separate machines sharing the simulated channel seed).
+//
+// Terminal 1: vkproto -role bob -listen 127.0.0.1:9100
+// Terminal 2: vkproto -role alice -peer 127.0.0.1:9100
+//
+// Both processes derive the same simulated drive and trained model from
+// -seed, standing in for two radios probing the same physical channel.
+package main
+
+import (
+	"encoding/hex"
+	"flag"
+	"fmt"
+	"os"
+
+	vehiclekey "repro"
+	"repro/internal/protocol"
+	"repro/internal/transport"
+)
+
+func main() {
+	var (
+		role    = flag.String("role", "", "alice or bob")
+		listen  = flag.String("listen", "127.0.0.1:9100", "bob's UDP address")
+		peer    = flag.String("peer", "127.0.0.1:9100", "peer address (alice side)")
+		seed    = flag.Int64("seed", 1, "shared deterministic seed")
+		windows = flag.Int("windows", 16, "probing windows to run")
+		session = flag.String("session", "vkproto", "session identifier")
+	)
+	flag.Parse()
+
+	fmt.Println("building the shared channel simulation and model...")
+	vs, err := vehiclekey.Setup(vehiclekey.Options{
+		Seed:            *seed,
+		TrainingWindows: 240,
+		TrainingEpochs:  18,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	aliceWin, bobWin := vs.Windows(*windows)
+
+	var conn *transport.UDPConn
+	switch *role {
+	case "bob":
+		conn, err = transport.DialUDP(*listen, "127.0.0.1:9") // peer learned from first datagram
+		if err != nil {
+			fatal(err)
+		}
+		// Wait for Alice's hello to learn her address.
+		conn.SetPeer(nil)
+		hello, err := conn.Recv()
+		if err != nil {
+			fatal(fmt.Errorf("waiting for alice: %w", err))
+		}
+		fmt.Printf("alice connected: %s\n", hello)
+	case "alice":
+		conn, err = transport.DialUDP("127.0.0.1:0", *peer)
+		if err != nil {
+			fatal(err)
+		}
+		if err := conn.Send([]byte("hello from alice")); err != nil {
+			fatal(err)
+		}
+	default:
+		fatal(fmt.Errorf("-role must be alice or bob"))
+	}
+	defer conn.Close()
+
+	node := protocol.NewNode(vs.System(), conn, *session)
+	var outcomes []protocol.KeyOutcome
+	if *role == "bob" {
+		outcomes, err = node.RunBob(bobWin)
+	} else {
+		outcomes, err = node.RunAlice(aliceWin)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	confirmed := 0
+	for i, o := range outcomes {
+		if o.Confirmed {
+			confirmed++
+			fmt.Printf("block %d: key %s\n", i, hex.EncodeToString(o.Key))
+		} else {
+			fmt.Printf("block %d: rejected by confirmation\n", i)
+		}
+	}
+	fmt.Printf("%s done: %d/%d blocks confirmed\n", *role, confirmed, len(outcomes))
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "vkproto: %v\n", err)
+	os.Exit(1)
+}

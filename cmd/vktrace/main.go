@@ -1,0 +1,71 @@
+// Command vktrace generates synthetic channel traces — the simulator's
+// stand-in for the paper's 20-hour drive-test dataset — and writes them as
+// CSV for external analysis.
+//
+//	vktrace -env urban -link v2v -exchanges 200 > trace.csv
+package main
+
+import (
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+
+	"repro/internal/channel"
+	"repro/internal/trace"
+)
+
+func main() {
+	var (
+		env       = flag.String("env", "urban", "environment: urban or rural")
+		link      = flag.String("link", "v2i", "link type: v2i or v2v")
+		speed     = flag.Float64("speed", 50, "vehicle speed in km/h")
+		exchanges = flag.Int("exchanges", 100, "probe exchanges to simulate")
+		seed      = flag.Int64("seed", 1, "deterministic seed")
+		kind      = flag.String("kind", "prssi", "output series: prssi or arrssi")
+	)
+	flag.Parse()
+
+	e := channel.Urban
+	if *env == "rural" {
+		e = channel.Rural
+	}
+	l := channel.V2I
+	if *link == "v2v" {
+		l = channel.V2V
+	}
+	sc := trace.NewScenario(e, l)
+	sc.SpeedAKmh = *speed
+	col := trace.NewCollector(sc, *seed)
+	ex := col.Run(*exchanges)
+
+	w := csv.NewWriter(os.Stdout)
+	defer w.Flush()
+	switch *kind {
+	case "prssi":
+		w.Write([]string{"exchange", "alice_prssi_dbm", "bob_prssi_dbm", "eve_prssi_dbm"})
+		alice, bob := trace.PRSSI(ex)
+		eve := trace.EvePRSSI(ex)
+		for i := range alice {
+			w.Write([]string{
+				strconv.Itoa(i),
+				fmt.Sprintf("%.2f", alice[i]), fmt.Sprintf("%.2f", bob[i]), fmt.Sprintf("%.2f", eve[i]),
+			})
+		}
+	case "arrssi":
+		w.Write([]string{"idx", "alice", "bob", "eve_imitate"})
+		a, b := trace.ArRSSI(ex, trace.DefaultExtract())
+		ev := trace.EveArRSSI(ex, trace.DefaultExtract(), true)
+		fa, fb, fe := trace.Flatten(a), trace.Flatten(b), trace.Flatten(ev)
+		for i := range fa {
+			w.Write([]string{
+				strconv.Itoa(i),
+				fmt.Sprintf("%.2f", fa[i]), fmt.Sprintf("%.2f", fb[i]), fmt.Sprintf("%.2f", fe[i]),
+			})
+		}
+	default:
+		fmt.Fprintln(os.Stderr, "vktrace: -kind must be prssi or arrssi")
+		os.Exit(2)
+	}
+}

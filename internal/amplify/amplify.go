@@ -1,0 +1,118 @@
+// Package amplify implements privacy amplification: the reconciled key
+// material is hashed down so that the bits leaked during reconciliation
+// (syndromes, parities) carry no information about the final key. The
+// paper applies "SHA-128"; we realize it as SHA-256 truncated to 128 bits,
+// the standard construction for that output size.
+package amplify
+
+import (
+	"crypto/sha256"
+	"errors"
+	"math"
+)
+
+// KeyBits is the final symmetric key width Vehicle-Key produces (AES-128).
+const KeyBits = 128
+
+// PackBits packs a 0/1-byte bit slice MSB-first into bytes.
+func PackBits(bits []byte) []byte {
+	out := make([]byte, (len(bits)+7)/8)
+	for i, b := range bits {
+		if b == 1 {
+			out[i/8] |= 1 << uint(7-i%8)
+		}
+	}
+	return out
+}
+
+// UnpackBits expands packed bytes into n 0/1 bytes, MSB-first.
+func UnpackBits(data []byte, n int) []byte {
+	out := make([]byte, n)
+	for i := 0; i < n && i/8 < len(data); i++ {
+		out[i] = data[i/8] >> uint(7-i%8) & 1
+	}
+	return out
+}
+
+// Amplify hashes reconciled key bits (0/1 bytes) together with public
+// session context into a 128-bit key. The context binds the key to the
+// session (salt, nonces) so replayed reconciliation transcripts cannot
+// reproduce it.
+func Amplify(bits []byte, context []byte) ([]byte, error) {
+	if len(bits) == 0 {
+		return nil, errors.New("amplify: no key material")
+	}
+	h := sha256.New()
+	h.Write([]byte("vehicle-key/pa/v1"))
+	h.Write(context)
+	h.Write(PackBits(bits))
+	sum := h.Sum(nil)
+	return sum[:KeyBits/8], nil
+}
+
+// ExtractableBits bounds how many secret bits the material still holds
+// after reconciliation leaked leakedBits: the leftover-hash lemma lets us
+// extract about n − leaked − 2·log(1/ε) bits; we use a safety margin of
+// 32.
+func ExtractableBits(materialBits, leakedBits int) int {
+	out := materialBits - leakedBits - 32
+	if out < 0 {
+		return 0
+	}
+	return out
+}
+
+// SufficientMaterial reports whether the material can safely yield a full
+// 128-bit key after accounting for leakage.
+func SufficientMaterial(materialBits, leakedBits int) bool {
+	return ExtractableBits(materialBits, leakedBits) >= KeyBits
+}
+
+// EstimateEntropy returns an empirical Shannon entropy estimate of the
+// bit stream in bits per bit, using order-2 block statistics (the min of
+// the order-1 and conditional order-2 estimates). Useful as a cheap
+// health check on key material before amplification; 1.0 means ideally
+// random.
+func EstimateEntropy(bits []byte) float64 {
+	if len(bits) < 4 {
+		return 0
+	}
+	// Order 1.
+	ones := 0
+	for _, b := range bits {
+		if b == 1 {
+			ones++
+		}
+	}
+	p1 := float64(ones) / float64(len(bits))
+	h1 := binEntropy(p1)
+
+	// Order 2: H(X_{i+1} | X_i) from pair counts.
+	var counts [2][2]float64
+	for i := 0; i+1 < len(bits); i++ {
+		counts[bits[i]&1][bits[i+1]&1]++
+	}
+	var h2 float64
+	total := float64(len(bits) - 1)
+	for prev := 0; prev < 2; prev++ {
+		rowTotal := counts[prev][0] + counts[prev][1]
+		if rowTotal == 0 {
+			continue
+		}
+		pPrev := rowTotal / total
+		h2 += pPrev * binEntropy(counts[prev][1]/rowTotal)
+	}
+	if h2 < h1 {
+		return h2
+	}
+	return h1
+}
+
+func binEntropy(p float64) float64 {
+	if p <= 0 || p >= 1 {
+		return 0
+	}
+	return -p*log2(p) - (1-p)*log2(1-p)
+}
+
+func log2(x float64) float64 { return math.Log2(x) }

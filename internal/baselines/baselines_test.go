@@ -1,0 +1,57 @@
+package baselines
+
+import (
+	"testing"
+
+	"repro/internal/channel"
+	"repro/internal/rng"
+	"repro/internal/trace"
+)
+
+func collect(t *testing.T, env channel.Environment, link channel.LinkType, n int) []trace.Exchange {
+	t.Helper()
+	sc := trace.NewScenario(env, link)
+	col := trace.NewCollector(sc, 77)
+	return col.Run(n)
+}
+
+func TestBaselinesRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("collects a long trace")
+	}
+	ex := collect(t, channel.Urban, channel.V2I, 600)
+	src := rng.New(1)
+
+	lk, err := LoRaKey(ex)
+	if err != nil {
+		t.Fatal(err)
+	}
+	han, err := Han(ex, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gao, err := Gao(ex)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range []Result{lk, han, gao} {
+		t.Logf("%v", r)
+		if r.Blocks == 0 {
+			t.Errorf("%s produced no blocks", r.Name)
+		}
+		if r.PostKAR <= 0.5 || r.PostKAR > 1 {
+			t.Errorf("%s postKAR %.3f out of plausible range", r.Name, r.PostKAR)
+		}
+		// Fig. 13's claim reproduced as: every pRSSI baseline's net
+		// secret rate sits far below Vehicle-Key's ≈ 0.2–0.5 bit/s on
+		// the same channel (asserted end to end in internal/exp tests).
+		if r.NetKGR > 0.12 {
+			t.Errorf("%s net KGR %.4f implausibly high for a pRSSI scheme", r.Name, r.NetKGR)
+		}
+	}
+	// LoRa-Key's published no-index-exchange protocol collapses toward
+	// chance agreement under mobility (the paper's headline gap).
+	if lk.PostKAR > 0.75 {
+		t.Errorf("LoRa-Key postKAR %.3f should collapse under mobility", lk.PostKAR)
+	}
+}

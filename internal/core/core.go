@@ -1,0 +1,387 @@
+// Package core assembles the full Vehicle-Key pipeline (Fig. 5): channel
+// probing (package trace) → arRSSI extraction → the BiLSTM prediction +
+// quantization model on Alice's side and the guard-banded multi-bit
+// quantizer on Bob's → kept-index exchange → autoencoder reconciliation →
+// privacy amplification into 128-bit session keys.
+//
+// Protocol shape per round: Bob quantizes his arRSSI sequence with the
+// Jana et al. multi-bit quantizer, drops guard-band samples, and publicly
+// announces which sample indices he kept (indices reveal nothing about
+// values). Alice runs the prediction+quantization network over her own
+// sequence and selects the predicted bit pairs at Bob's kept indices.
+// Kept bits accumulate in a stream; every KeyBlockBits of aligned material
+// is reconciled with the autoencoder and hashed into a 128-bit key.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"repro/internal/amplify"
+	"repro/internal/nn"
+	"repro/internal/quantize"
+	"repro/internal/reconcile"
+	"repro/internal/rng"
+	"repro/internal/trace"
+)
+
+// Config assembles the pipeline's knobs. The zero value is completed with
+// the paper's defaults by Normalize.
+type Config struct {
+	// SeqLen is the arRSSI sequence length per probing round.
+	SeqLen int
+	// BitsPerSample is Bob's quantizer depth (2 in the paper: 64-bit head
+	// over 32 samples).
+	BitsPerSample int
+	// GuardRatio is the quantizer guard band α: samples this close to a
+	// level boundary (relative to level width) are dropped and excluded
+	// from the key by both sides via the kept-index exchange.
+	GuardRatio float64
+	// PredGuardRatio is Alice's guard band in the predicted domain: she
+	// applies the same guard-band rule to her *predicted* sequence ŷ that
+	// Bob applies to his measurements, and both sides use the
+	// intersection of kept indices. Selecting on distance-to-threshold in
+	// the value domain (rather than on sigmoid confidence) keeps the kept
+	// levels uniformly distributed — a confidence gate skews kept samples
+	// toward extreme levels, which biases the Gray-coded second bit and
+	// both inflates an eavesdropper's agreement and breaks key
+	// randomness. Defaults to GuardRatio.
+	PredGuardRatio float64
+	// KeyBlockBits is the reconciliation unit (64: one AE block).
+	KeyBlockBits int
+	// Hidden is the predictor's BiLSTM width per direction.
+	Hidden int
+	// Theta is the joint-loss weight (paper: 0.9).
+	Theta float64
+	// LearnRate is the predictor's Adam rate.
+	LearnRate float64
+	// WeightDecay regularizes predictor training.
+	WeightDecay float64
+	// AE configures the reconciler (KeyBits is forced to KeyBlockBits).
+	AE reconcile.AEConfig
+	// AEEpochs and AESamples size reconciler training.
+	AEEpochs  int
+	AESamples int
+}
+
+// DefaultConfig mirrors the paper's implementation section: 32-step
+// sequences, 2 bits per sample (a 64-bit quantization head), θ = 0.9,
+// 64-bit reconciliation blocks. The BiLSTM width defaults to 16 (the
+// paper uses 128; width is configurable and 16 already saturates
+// agreement on the simulated channel — see EXPERIMENTS.md).
+func DefaultConfig() Config {
+	cfg := Config{}
+	cfg.Normalize()
+	return cfg
+}
+
+// Normalize fills unset fields with defaults.
+func (c *Config) Normalize() {
+	if c.SeqLen <= 0 {
+		c.SeqLen = 32
+	}
+	if c.BitsPerSample <= 0 {
+		c.BitsPerSample = 2
+	}
+	if c.GuardRatio == 0 {
+		c.GuardRatio = 0.8
+	}
+	if c.PredGuardRatio == 0 {
+		// Slightly wider than Bob's guard: predicted values carry model
+		// uncertainty on top of measurement noise.
+		c.PredGuardRatio = 0.85
+	}
+	if c.KeyBlockBits <= 0 {
+		c.KeyBlockBits = 64
+	}
+	if c.Hidden <= 0 {
+		c.Hidden = 16
+	}
+	if c.Theta <= 0 || c.Theta >= 1 {
+		c.Theta = 0.9
+	}
+	if c.LearnRate <= 0 {
+		c.LearnRate = 5e-3
+	}
+	if c.WeightDecay == 0 {
+		c.WeightDecay = 1e-4
+	}
+	c.AE.KeyBits = c.KeyBlockBits
+	if c.AE.CodeDim == 0 {
+		c.AE.CodeDim = c.KeyBlockBits / 2
+	}
+	if c.AEEpochs <= 0 {
+		c.AEEpochs = 10
+	}
+	if c.AESamples <= 0 {
+		c.AESamples = 300
+	}
+}
+
+// bits returns the quantization head width.
+func (c Config) bits() int { return c.BitsPerSample * c.SeqLen }
+
+func (c Config) quantConfig(guard float64) quantize.MultiBitConfig {
+	return quantize.MultiBitConfig{
+		BitsPerSample: c.BitsPerSample,
+		GuardRatio:    guard,
+		BlockSize:     c.SeqLen,
+		Thresholds:    quantize.GaussianThresholds(c.BitsPerSample),
+		NaturalCoding: true,
+	}
+}
+
+// System is a trained Vehicle-Key instance: the prediction+quantization
+// model (run by Alice, or by the power-rich side) and the trained
+// reconciler shared by both parties.
+type System struct {
+	Cfg       Config
+	Predictor *nn.Predictor
+	AE        *reconcile.AE
+}
+
+// New builds an untrained system.
+func New(cfg Config, src *rng.Source) *System {
+	cfg.Normalize()
+	pcfg := nn.PredictorConfig{SeqLen: cfg.SeqLen, Hidden: cfg.Hidden, Bits: cfg.bits(), Theta: cfg.Theta}
+	return &System{
+		Cfg:       cfg,
+		Predictor: nn.NewPredictor(pcfg, src.Derive("predictor")),
+		AE:        reconcile.NewAE(cfg.AE, src.Derive("ae")),
+	}
+}
+
+// BobQuantize runs Bob's side: the guard-banded multi-bit quantizer over
+// his measured (normalized) arRSSI sequence. It returns his key bits and
+// the kept sample indices he announces publicly.
+func (s *System) BobQuantize(bobSeq []float64) (bits []byte, kept []int, err error) {
+	res, err := quantize.MultiBit(bobSeq, s.Cfg.quantConfig(s.Cfg.GuardRatio))
+	if err != nil {
+		return nil, nil, fmt.Errorf("core: Bob quantization: %w", err)
+	}
+	return res.Bits, res.Kept, nil
+}
+
+// AliceBitsAt runs Alice's prediction network over her sequence and
+// returns her bit pairs at the given sample indices.
+func (s *System) AliceBitsAt(aliceSeq []float64, kept []int) []byte {
+	_, zHat := s.Predictor.Forward(aliceSeq)
+	all := nn.Bits(zHat)
+	b := s.Cfg.BitsPerSample
+	out := make([]byte, 0, len(kept)*b)
+	for _, idx := range kept {
+		out = append(out, all[idx*b:(idx+1)*b]...)
+	}
+	return out
+}
+
+// AliceSelect runs Alice's full round: the prediction network, then the
+// guard-band rule over her predicted sequence, restricted to Bob's
+// announced kept indices. It returns her bits (from the quantization
+// head) and the final index list she announces back to Bob.
+func (s *System) AliceSelect(aliceSeq []float64, bobKept []int) (bits []byte, kept []int) {
+	yHat, zHat := s.Predictor.Forward(aliceSeq)
+	res, err := quantize.MultiBit(yHat, s.Cfg.quantConfig(s.Cfg.PredGuardRatio))
+	if err != nil {
+		return nil, nil
+	}
+	mine := make(map[int]bool, len(res.Kept))
+	for _, idx := range res.Kept {
+		mine[idx] = true
+	}
+	all := nn.Bits(zHat)
+	b := s.Cfg.BitsPerSample
+	for _, idx := range bobKept {
+		if !mine[idx] {
+			continue
+		}
+		kept = append(kept, idx)
+		bits = append(bits, all[idx*b:(idx+1)*b]...)
+	}
+	return bits, kept
+}
+
+// SelectAt picks the bit pairs of a quantizer result at the given final
+// indices (Bob's step after Alice's announcement).
+func SelectAt(bits []byte, kept []int, final []int, bitsPerSample int) []byte {
+	pos := make(map[int]int, len(kept))
+	for i, idx := range kept {
+		pos[idx] = i
+	}
+	out := make([]byte, 0, len(final)*bitsPerSample)
+	for _, idx := range final {
+		if i, ok := pos[idx]; ok {
+			out = append(out, bits[i*bitsPerSample:(i+1)*bitsPerSample]...)
+		}
+	}
+	return out
+}
+
+// TrainSamples converts a dataset into predictor training samples: input
+// Alice's sequence; targets Bob's sequence plus Bob's guard-banded bits,
+// with the BCE loss masked to the kept positions.
+func (s *System) TrainSamples(ds *trace.Dataset) ([]nn.TrainSample, error) {
+	b := s.Cfg.BitsPerSample
+	out := make([]nn.TrainSample, 0, len(ds.Samples))
+	for _, smp := range ds.Samples {
+		res, err := quantize.MultiBit(smp.Bob, s.Cfg.quantConfig(s.Cfg.GuardRatio))
+		if err != nil {
+			return nil, err
+		}
+		bits := make([]byte, s.Cfg.bits())
+		mask := make([]bool, s.Cfg.bits())
+		for i, idx := range res.Kept {
+			copy(bits[idx*b:(idx+1)*b], res.Bits[i*b:(i+1)*b])
+			for k := 0; k < b; k++ {
+				mask[idx*b+k] = true
+			}
+		}
+		out = append(out, nn.TrainSample{Alice: smp.Alice, Bob: smp.Bob, Bits: bits, Mask: mask})
+	}
+	return out, nil
+}
+
+// Train fits the predictor on the dataset for the given epochs and trains
+// the reconciler, returning per-epoch losses.
+func (s *System) Train(ds *trace.Dataset, epochs int, src *rng.Source) ([]float64, error) {
+	samples, err := s.TrainSamples(ds)
+	if err != nil {
+		return nil, err
+	}
+	if len(samples) == 0 {
+		return nil, errors.New("core: empty training set")
+	}
+	tr := nn.NewTrainer(s.Predictor, s.Cfg.LearnRate, src.Derive("fit"))
+	tr.Opt.WeightDecay = s.Cfg.WeightDecay
+	losses := tr.Fit(samples, epochs)
+	s.AE = reconcile.TrainAE(s.Cfg.AE, s.Cfg.AEEpochs, s.Cfg.AESamples, src.Derive("ae-fit"))
+	return losses, nil
+}
+
+// FineTune continues predictor training on new-environment data without
+// reinitializing, the transfer-learning mode of Fig. 14.
+func (s *System) FineTune(ds *trace.Dataset, epochs int, src *rng.Source) ([]float64, error) {
+	samples, err := s.TrainSamples(ds)
+	if err != nil {
+		return nil, err
+	}
+	tr := nn.NewTrainer(s.Predictor, s.Cfg.LearnRate, src.Derive("finetune"))
+	tr.Opt.WeightDecay = s.Cfg.WeightDecay
+	return tr.Fit(samples, epochs), nil
+}
+
+// KeyResult reports one completed key block.
+type KeyResult struct {
+	PreAgreement  float64 // bit agreement before reconciliation
+	PostAgreement float64 // bit agreement after reconciliation
+	Exact         bool    // keys identical after reconciliation
+	AliceKey      []byte  // Alice's 128-bit key after privacy amplification
+	BobKey        []byte  // Bob's 128-bit key
+	BitsGenerated int
+	LeakedBits    int     // public bits revealed during reconciliation
+	Duration      float64 // probing time consumed by this block
+}
+
+// KeyStream accumulates kept key material across probing rounds and emits
+// a KeyResult whenever a full reconciliation block is available.
+type KeyStream struct {
+	sys      *System
+	salt     []byte
+	aliceBuf []byte
+	bobBuf   []byte
+	duration float64
+	emitted  int
+}
+
+// NewKeyStream starts a stream for the session identified by salt.
+func (s *System) NewKeyStream(salt []byte) *KeyStream {
+	return &KeyStream{sys: s, salt: append([]byte{}, salt...)}
+}
+
+// Push feeds one probing round's aligned sample through quantization and
+// selection, appending the kept material. It returns a KeyResult for each
+// completed block (usually zero or one).
+//
+// Protocol messages modeled: Bob announces his guard-band kept indices;
+// Alice replies with the confidence-gated subset; both extract bits at
+// the final indices. Indices reveal nothing about measurement values.
+func (ks *KeyStream) Push(smp trace.Sample) ([]KeyResult, error) {
+	bobBits, bobKept, err := ks.sys.BobQuantize(smp.Bob)
+	if err != nil {
+		return nil, err
+	}
+	aliceBits, finalKept := ks.sys.AliceSelect(smp.Alice, bobKept)
+	bobFinal := SelectAt(bobBits, bobKept, finalKept, ks.sys.Cfg.BitsPerSample)
+	ks.bobBuf = append(ks.bobBuf, bobFinal...)
+	ks.aliceBuf = append(ks.aliceBuf, aliceBits...)
+	ks.duration += smp.Duration
+
+	var out []KeyResult
+	block := ks.sys.Cfg.KeyBlockBits
+	for len(ks.bobBuf) >= block {
+		res, err := ks.emit(ks.aliceBuf[:block], ks.bobBuf[:block])
+		if err != nil {
+			return nil, err
+		}
+		ks.aliceBuf = ks.aliceBuf[block:]
+		ks.bobBuf = ks.bobBuf[block:]
+		out = append(out, res)
+	}
+	return out, nil
+}
+
+func (ks *KeyStream) emit(aliceBits, bobBits []byte) (KeyResult, error) {
+	ks.emitted++
+	salt := append(append([]byte{}, ks.salt...), byte(ks.emitted), byte(ks.emitted>>8))
+	res := KeyResult{
+		BitsGenerated: len(bobBits),
+		Duration:      ks.duration,
+		PreAgreement:  agreement(aliceBits, bobBits),
+	}
+	ks.duration = 0
+
+	out, err := ks.sys.AE.Reconcile(aliceBits, bobBits, salt)
+	if err != nil {
+		return KeyResult{}, fmt.Errorf("core: reconcile: %w", err)
+	}
+	res.PostAgreement = out.Agreement()
+	res.Exact = out.Exact()
+	res.LeakedBits = out.LeakedKeyBits
+	if res.AliceKey, err = amplify.Amplify(out.AliceKey, salt); err != nil {
+		return KeyResult{}, err
+	}
+	if res.BobKey, err = amplify.Amplify(out.BobKey, salt); err != nil {
+		return KeyResult{}, err
+	}
+	return res, nil
+}
+
+func agreement(a, b []byte) float64 {
+	if len(a) == 0 || len(a) != len(b) {
+		return 0
+	}
+	same := 0
+	for i := range a {
+		if a[i] == b[i] {
+			same++
+		}
+	}
+	return float64(same) / float64(len(a))
+}
+
+// Save serializes the trained predictor and reconciler.
+func (s *System) Save(w io.Writer) error {
+	if err := nn.SaveParams(w, s.Predictor.Params()); err != nil {
+		return err
+	}
+	return s.AE.Save(w)
+}
+
+// Load restores a system saved by Save into a same-config System.
+func (s *System) Load(r io.Reader) error {
+	if err := nn.LoadParams(r, s.Predictor.Params()); err != nil {
+		return err
+	}
+	return s.AE.Load(r)
+}

@@ -1,0 +1,149 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/trace"
+)
+
+// Metrics aggregates key-generation quality over an evaluation set, the
+// quantities the paper's evaluation reports throughout Sec. V.
+type Metrics struct {
+	Blocks int // completed reconciliation blocks
+
+	// PreKAR is the mean bit agreement before reconciliation (Fig. 10's
+	// quantity) and PreKARStd its standard deviation across blocks.
+	PreKAR    float64
+	PreKARStd float64
+
+	// PostKAR is the mean bit agreement after reconciliation — the
+	// paper's headline "key agreement rate" (98.87 % average).
+	PostKAR    float64
+	PostKARStd float64
+
+	// ExactRate is the fraction of blocks ending with identical keys.
+	ExactRate float64
+
+	// KGR is the key generation rate in agreed bits per second of probing
+	// time (Fig. 13's quantity); NetKGR additionally subtracts the bits
+	// revealed publicly during reconciliation, the rate at which *secret*
+	// material actually accumulates.
+	KGR    float64
+	NetKGR float64
+}
+
+// String implements fmt.Stringer.
+func (m Metrics) String() string {
+	return fmt.Sprintf("blocks=%d preKAR=%.2f%%±%.2f postKAR=%.2f%%±%.2f exact=%.1f%% KGR=%.2f bit/s net=%.2f bit/s",
+		m.Blocks, 100*m.PreKAR, 100*m.PreKARStd, 100*m.PostKAR, 100*m.PostKARStd, 100*m.ExactRate, m.KGR, m.NetKGR)
+}
+
+// Evaluate streams the dataset's samples through key generation and
+// aggregates block metrics. salt seeds the session value.
+func (s *System) Evaluate(ds *trace.Dataset, salt []byte) (Metrics, error) {
+	ks := s.NewKeyStream(salt)
+	var results []KeyResult
+	for _, smp := range ds.Samples {
+		rs, err := ks.Push(smp)
+		if err != nil {
+			return Metrics{}, err
+		}
+		results = append(results, rs...)
+	}
+	return aggregate(results, ds.TotalDuration()), nil
+}
+
+// EvaluateEve measures an attacker's best key agreement against Bob. Eve
+// runs the same trained model over her own measurements (she knows the
+// full protocol, including Bob's announced kept indices) and, per the
+// paper's Fig. 15 methodology, feeds the intercepted code vector y_Bob to
+// the reconciler with her own key material.
+func (s *System) EvaluateEve(ds *trace.Dataset, imitate bool, salt []byte) (Metrics, error) {
+	var eveBuf, bobBuf []byte
+	var results []KeyResult
+	emitted := 0
+	block := s.Cfg.KeyBlockBits
+	for _, smp := range ds.Samples {
+		bobBits, bobKept, err := s.BobQuantize(smp.Bob)
+		if err != nil {
+			return Metrics{}, err
+		}
+		eveSeq := smp.EveEavesdrop
+		if imitate {
+			eveSeq = smp.EveImitate
+		}
+		// Eve plays Alice's role with her own measurements, including the
+		// confidence gating Alice would apply.
+		eveBits, finalKept := s.AliceSelect(eveSeq, bobKept)
+		eveBuf = append(eveBuf, eveBits...)
+		bobBuf = append(bobBuf, SelectAt(bobBits, bobKept, finalKept, s.Cfg.BitsPerSample)...)
+		for len(bobBuf) >= block {
+			emitted++
+			roundSalt := append(append([]byte{}, salt...), byte(emitted), byte(emitted>>8))
+			res := KeyResult{
+				BitsGenerated: block,
+				PreAgreement:  agreement(eveBuf[:block], bobBuf[:block]),
+			}
+			out, err := s.AE.Reconcile(eveBuf[:block], bobBuf[:block], roundSalt)
+			if err != nil {
+				return Metrics{}, err
+			}
+			res.PostAgreement = out.Agreement()
+			res.Exact = out.Exact()
+			eveBuf = eveBuf[block:]
+			bobBuf = bobBuf[block:]
+			results = append(results, res)
+		}
+	}
+	return aggregate(results, 0), nil
+}
+
+// Aggregate folds a set of key results into Metrics; totalTime (seconds
+// of probing) enables the KGR fields when positive.
+func Aggregate(results []KeyResult, totalTime float64) Metrics {
+	return aggregate(results, totalTime)
+}
+
+func aggregate(results []KeyResult, totalTime float64) Metrics {
+	var m Metrics
+	m.Blocks = len(results)
+	if m.Blocks == 0 {
+		return m
+	}
+	var pre, post []float64
+	var agreedBits, netBits float64
+	for _, r := range results {
+		pre = append(pre, r.PreAgreement)
+		post = append(post, r.PostAgreement)
+		if r.Exact {
+			m.ExactRate++
+		}
+		agreedBits += r.PostAgreement * float64(r.BitsGenerated)
+		if nb := r.PostAgreement*float64(r.BitsGenerated) - float64(r.LeakedBits); nb > 0 {
+			netBits += nb
+		}
+	}
+	m.PreKAR, m.PreKARStd = meanStd(pre)
+	m.PostKAR, m.PostKARStd = meanStd(post)
+	m.ExactRate /= float64(m.Blocks)
+	if totalTime > 0 {
+		m.KGR = agreedBits / totalTime
+		m.NetKGR = netBits / totalTime
+	}
+	return m
+}
+
+func meanStd(xs []float64) (mean, std float64) {
+	if len(xs) == 0 {
+		return 0, 0
+	}
+	for _, x := range xs {
+		mean += x
+	}
+	mean /= float64(len(xs))
+	for _, x := range xs {
+		std += (x - mean) * (x - mean)
+	}
+	return mean, math.Sqrt(std / float64(len(xs)))
+}

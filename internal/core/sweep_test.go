@@ -1,0 +1,44 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/channel"
+	"repro/internal/rng"
+	"repro/internal/trace"
+)
+
+// TestSweepGuards is a tuning harness for the guard/confidence operating
+// point; run with -run TestSweepGuards -v.
+func TestSweepGuards(t *testing.T) {
+	if testing.Short() {
+		t.Skip("tuning harness")
+	}
+	sc := trace.NewScenario(channel.Urban, channel.V2I)
+	ds, err := trace.Build(sc, 42, 250, 32, trace.DefaultExtract())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct{ guard, margin float64 }{
+		{0.4, 0.15},
+		{0.6, 0.15},
+		{0.6, 0.25},
+		{0.8, 0.25},
+		{0.8, 0.35},
+	} {
+		src := rng.New(43)
+		train, _, test := ds.Split(0.75, 0.05, src.Derive("split"))
+		cfg := DefaultConfig()
+		cfg.GuardRatio = tc.guard
+		cfg.PredGuardRatio = tc.margin * 2.4
+		sys := New(cfg, src.Derive("sys"))
+		if _, err := sys.Train(train, 30, src.Derive("train")); err != nil {
+			t.Fatal(err)
+		}
+		m, err := sys.Evaluate(test, []byte("sweep"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("guard=%.1f margin=%.2f: %v", tc.guard, tc.margin, m)
+	}
+}

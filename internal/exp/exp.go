@@ -1,0 +1,118 @@
+// Package exp contains one runner per figure and table of the paper's
+// evaluation. Each runner regenerates the corresponding result — the same
+// rows or series the paper reports — against the simulated substrate, and
+// returns it as a printable Report. The cmd/vkbench binary and the
+// repository-level benchmarks are thin wrappers over this package.
+package exp
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// RunConfig sizes the experiments.
+type RunConfig struct {
+	Seed    int64
+	Samples int // dataset windows per scenario
+	Epochs  int // predictor training epochs
+	Quick   bool
+}
+
+// Default returns the full-size configuration; Quick returns a reduced
+// one for fast regression runs.
+func Default() RunConfig { return RunConfig{Seed: 1, Samples: 500, Epochs: 30} }
+
+// Quick returns a configuration an order of magnitude faster, for smoke
+// runs and benchmarks.
+func Quick() RunConfig { return RunConfig{Seed: 1, Samples: 160, Epochs: 15, Quick: true} }
+
+// Report is one regenerated figure or table.
+type Report struct {
+	ID     string // e.g. "fig12"
+	Title  string
+	Header []string
+	Rows   [][]string
+	Notes  []string
+}
+
+// String renders the report as an aligned text table.
+func (r Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s — %s ==\n", r.ID, r.Title)
+	widths := make([]int, len(r.Header))
+	for i, h := range r.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range r.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i < len(widths) {
+				fmt.Fprintf(&b, "%-*s  ", widths[i], c)
+			} else {
+				b.WriteString(c + "  ")
+			}
+		}
+		b.WriteString("\n")
+	}
+	line(r.Header)
+	for _, row := range r.Rows {
+		line(row)
+	}
+	for _, n := range r.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// Runner regenerates one experiment.
+type Runner func(RunConfig) (Report, error)
+
+// registry maps experiment IDs to runners.
+var registry = map[string]Runner{}
+
+func register(id string, r Runner) { registry[id] = r }
+
+// IDs returns the registered experiment IDs in sorted order.
+func IDs() []string {
+	out := make([]string, 0, len(registry))
+	for id := range registry {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Run executes one experiment by ID.
+func Run(id string, cfg RunConfig) (Report, error) {
+	r, ok := registry[id]
+	if !ok {
+		return Report{}, fmt.Errorf("exp: unknown experiment %q (have %v)", id, IDs())
+	}
+	return r(cfg)
+}
+
+// Markdown renders the report as a GitHub-flavored markdown table.
+func (r Report) Markdown() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "### %s — %s\n\n", r.ID, r.Title)
+	b.WriteString("| " + strings.Join(r.Header, " | ") + " |\n")
+	b.WriteString("|" + strings.Repeat("---|", len(r.Header)) + "\n")
+	for _, row := range r.Rows {
+		b.WriteString("| " + strings.Join(row, " | ") + " |\n")
+	}
+	for _, n := range r.Notes {
+		fmt.Fprintf(&b, "\n*%s*\n", n)
+	}
+	return b.String()
+}
+
+func f(format string, args ...interface{}) string { return fmt.Sprintf(format, args...) }
+
+func pct(x float64) string { return fmt.Sprintf("%.2f%%", 100*x) }

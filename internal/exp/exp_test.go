@@ -1,0 +1,84 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestQuickRunners exercises the fast (non-training) experiments.
+func TestQuickRunners(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs simulations")
+	}
+	cfg := Quick()
+	for _, id := range []string{"fig2a", "fig2b", "fig3", "fig4", "fig9", "fig16", "fig11", "ablate-bloom"} {
+		rep, err := Run(id, cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if len(rep.Rows) == 0 {
+			t.Errorf("%s: empty report", id)
+		}
+		t.Logf("\n%s", rep)
+	}
+}
+
+// TestTrainedRunnersSmoke exercises one training-based experiment at quick
+// scale to keep runtime tolerable; the rest share the same code path.
+func TestTrainedRunnersSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains models")
+	}
+	cfg := Quick()
+	for _, id := range []string{"fig15", "tab3"} {
+		rep, err := Run(id, cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if len(rep.Rows) == 0 {
+			t.Errorf("%s: empty report", id)
+		}
+		t.Logf("\n%s", rep)
+	}
+}
+
+func TestUnknownExperiment(t *testing.T) {
+	if _, err := Run("nope", Quick()); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestReportString(t *testing.T) {
+	r := Report{ID: "x", Title: "t", Header: []string{"a", "b"}, Rows: [][]string{{"1", "2"}}}
+	s := r.String()
+	for _, want := range []string{"x", "t", "a", "1"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("report missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestIDsComplete(t *testing.T) {
+	want := []string{"fig2a", "fig2b", "fig3", "fig4", "fig9", "fig10", "fig11",
+		"tab1", "fig12", "fig13", "fig14", "fig15", "fig16", "tab2", "tab3", "fig17",
+		"ablate-theta", "ablate-bloom"}
+	have := map[string]bool{}
+	for _, id := range IDs() {
+		have[id] = true
+	}
+	for _, id := range want {
+		if !have[id] {
+			t.Errorf("experiment %s not registered", id)
+		}
+	}
+}
+
+func TestReportMarkdown(t *testing.T) {
+	r := Report{ID: "x", Title: "t", Header: []string{"a", "b"}, Rows: [][]string{{"1", "2"}}, Notes: []string{"n"}}
+	md := r.Markdown()
+	for _, want := range []string{"### x", "| a | b |", "| 1 | 2 |", "*n*"} {
+		if !strings.Contains(md, want) {
+			t.Errorf("markdown missing %q:\n%s", want, md)
+		}
+	}
+}

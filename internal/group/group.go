@@ -1,0 +1,120 @@
+// Package group extends Vehicle-Key from pairwise to group keys — the
+// platoon/fleet setting the paper's related work (Liu et al., TMC'14)
+// motivates. A hub (roadside unit or platoon leader) establishes a
+// pairwise Vehicle-Key with every member over their individual radio
+// channels, then distributes a fresh group key to each member through an
+// AES-GCM channel keyed by that member's pairwise key.
+//
+// Security inherits from the pairwise scheme: each member's channel is
+// spatially decorrelated from every other's, so a compromised or
+// departing member learns nothing about future group keys (the hub
+// simply re-keys).
+package group
+
+import (
+	"crypto/sha256"
+	"errors"
+	"fmt"
+
+	"repro/internal/secure"
+)
+
+// Member is one group participant as seen by the hub: an established
+// pairwise key and the secure channel derived from it.
+type Member struct {
+	ID      string
+	channel *secure.Channel
+}
+
+// Hub distributes and rotates group keys over established pairwise keys.
+type Hub struct {
+	members map[string]*Member
+	epoch   uint32
+	current []byte
+}
+
+// NewHub returns an empty hub.
+func NewHub() *Hub {
+	return &Hub{members: make(map[string]*Member)}
+}
+
+// Join registers a member with its established 16-byte pairwise key
+// (the output of the Vehicle-Key protocol with that member).
+func (h *Hub) Join(id string, pairwiseKey []byte) error {
+	if _, exists := h.members[id]; exists {
+		return fmt.Errorf("group: member %q already joined", id)
+	}
+	ch, err := secure.NewChannel(pairwiseKey)
+	if err != nil {
+		return fmt.Errorf("group: member %q: %w", id, err)
+	}
+	h.members[id] = &Member{ID: id, channel: ch}
+	return nil
+}
+
+// Leave removes a member. Callers should Rekey afterwards so the
+// departed member cannot follow future traffic.
+func (h *Hub) Leave(id string) error {
+	if _, ok := h.members[id]; !ok {
+		return fmt.Errorf("group: member %q not joined", id)
+	}
+	delete(h.members, id)
+	return nil
+}
+
+// Size returns the current member count.
+func (h *Hub) Size() int { return len(h.members) }
+
+// GroupKey returns the current group key (nil before the first Rekey).
+func (h *Hub) GroupKey() []byte { return h.current }
+
+// Envelope is one member's sealed copy of the group key.
+type Envelope struct {
+	MemberID string
+	Epoch    uint32
+	Sealed   []byte
+}
+
+// Rekey derives a fresh group key bound to the epoch and member set, and
+// returns one sealed envelope per member.
+func (h *Hub) Rekey(entropy []byte) ([]Envelope, error) {
+	if len(h.members) == 0 {
+		return nil, errors.New("group: no members")
+	}
+	h.epoch++
+	hash := sha256.New()
+	hash.Write([]byte("vehicle-key/group/v1"))
+	hash.Write(entropy)
+	hash.Write([]byte{byte(h.epoch >> 24), byte(h.epoch >> 16), byte(h.epoch >> 8), byte(h.epoch)})
+	for id := range h.members {
+		hash.Write([]byte(id))
+	}
+	sum := hash.Sum(nil)
+	h.current = sum[:16]
+
+	out := make([]Envelope, 0, len(h.members))
+	for id, m := range h.members {
+		payload := make([]byte, 4+16)
+		payload[0], payload[1], payload[2], payload[3] =
+			byte(h.epoch>>24), byte(h.epoch>>16), byte(h.epoch>>8), byte(h.epoch)
+		copy(payload[4:], h.current)
+		out = append(out, Envelope{MemberID: id, Epoch: h.epoch, Sealed: m.channel.Seal(payload)})
+	}
+	return out, nil
+}
+
+// OpenEnvelope is the member side: it unseals a group-key envelope with
+// the member's pairwise channel and returns (epoch, groupKey).
+func OpenEnvelope(pairwise *secure.Channel, env Envelope) (uint32, []byte, error) {
+	payload, err := pairwise.Open(env.Sealed)
+	if err != nil {
+		return 0, nil, fmt.Errorf("group: %w", err)
+	}
+	if len(payload) != 20 {
+		return 0, nil, errors.New("group: malformed envelope")
+	}
+	epoch := uint32(payload[0])<<24 | uint32(payload[1])<<16 | uint32(payload[2])<<8 | uint32(payload[3])
+	key := make([]byte, 16)
+	copy(key, payload[4:])
+	return epoch, key, nil
+}

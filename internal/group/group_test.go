@@ -1,0 +1,119 @@
+package group
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/secure"
+)
+
+func pairwise(t *testing.T, seed byte) ([]byte, *secure.Channel) {
+	t.Helper()
+	key := make([]byte, 16)
+	for i := range key {
+		key[i] = seed + byte(i)
+	}
+	ch, err := secure.NewChannel(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return key, ch
+}
+
+func TestGroupRekeyDistributesSameKey(t *testing.T) {
+	hub := NewHub()
+	memberChans := map[string]*secure.Channel{}
+	for _, id := range []string{"car-1", "car-2", "car-3"} {
+		key, ch := pairwise(t, id[len(id)-1])
+		if err := hub.Join(id, key); err != nil {
+			t.Fatal(err)
+		}
+		memberChans[id] = ch
+	}
+	envs, err := hub.Rekey([]byte("entropy-1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(envs) != 3 {
+		t.Fatalf("want 3 envelopes, got %d", len(envs))
+	}
+	for _, env := range envs {
+		epoch, key, err := OpenEnvelope(memberChans[env.MemberID], env)
+		if err != nil {
+			t.Fatalf("%s: %v", env.MemberID, err)
+		}
+		if epoch != 1 {
+			t.Errorf("epoch = %d", epoch)
+		}
+		if !bytes.Equal(key, hub.GroupKey()) {
+			t.Errorf("%s received a different group key", env.MemberID)
+		}
+	}
+}
+
+func TestGroupRekeyAfterLeaveChangesKey(t *testing.T) {
+	hub := NewHub()
+	k1, _ := pairwise(t, 1)
+	k2, _ := pairwise(t, 2)
+	if err := hub.Join("a", k1); err != nil {
+		t.Fatal(err)
+	}
+	if err := hub.Join("b", k2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := hub.Rekey([]byte("e")); err != nil {
+		t.Fatal(err)
+	}
+	old := append([]byte{}, hub.GroupKey()...)
+	if err := hub.Leave("b"); err != nil {
+		t.Fatal(err)
+	}
+	envs, err := hub.Rekey([]byte("e"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(old, hub.GroupKey()) {
+		t.Fatal("rekey after leave must change the group key")
+	}
+	for _, env := range envs {
+		if env.MemberID == "b" {
+			t.Fatal("departed member must not receive an envelope")
+		}
+	}
+}
+
+func TestGroupJoinErrors(t *testing.T) {
+	hub := NewHub()
+	k, _ := pairwise(t, 9)
+	if err := hub.Join("x", k); err != nil {
+		t.Fatal(err)
+	}
+	if err := hub.Join("x", k); err == nil {
+		t.Fatal("duplicate join accepted")
+	}
+	if err := hub.Join("short", []byte{1, 2}); err == nil {
+		t.Fatal("short key accepted")
+	}
+	if err := hub.Leave("ghost"); err == nil {
+		t.Fatal("leaving a non-member accepted")
+	}
+	if _, err := NewHub().Rekey(nil); err == nil {
+		t.Fatal("rekey of empty group accepted")
+	}
+}
+
+func TestEnvelopeWrongChannelRejected(t *testing.T) {
+	hub := NewHub()
+	k1, _ := pairwise(t, 1)
+	_, wrongCh := pairwise(t, 7)
+	if err := hub.Join("a", k1); err != nil {
+		t.Fatal(err)
+	}
+	envs, err := hub.Rekey([]byte("e"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := OpenEnvelope(wrongCh, envs[0]); err == nil {
+		t.Fatal("wrong pairwise channel must not open the envelope")
+	}
+}

@@ -1,0 +1,64 @@
+package lora
+
+import "fmt"
+
+// DeviceType identifies one of the three LoRa transceiver boards used in
+// the paper's evaluation (Table I).
+type DeviceType int
+
+// The paper's three evaluation devices.
+const (
+	// DraginoLoRaShield is the Arduino Uno + Dragino LoRa Shield
+	// (ATmega328P host, Semtech SX1278 radio).
+	DraginoLoRaShield DeviceType = iota + 1
+	// MultiTechXDot is the MultiTech xDot (Cortex-M3 host, SX1272).
+	MultiTechXDot
+	// MultiTechMDot is the MultiTech mDot (Cortex-M3 host, SX1272).
+	MultiTechMDot
+)
+
+// String implements fmt.Stringer.
+func (d DeviceType) String() string {
+	switch d {
+	case DraginoLoRaShield:
+		return "Dragino LoRa Shield"
+	case MultiTechXDot:
+		return "MultiTech xDot"
+	case MultiTechMDot:
+		return "MultiTech mDot"
+	}
+	return fmt.Sprintf("DeviceType(%d)", int(d))
+}
+
+// AllDevices lists the three evaluation device types in Table I order.
+func AllDevices() []DeviceType {
+	return []DeviceType{DraginoLoRaShield, MultiTechXDot, MultiTechMDot}
+}
+
+// profile captures the hardware-dependent measurement behaviour the paper
+// attributes to "hardware imperfection": a per-board constant gain bias
+// spread, slightly different RSSI measurement noise, and the host MCU's
+// turnaround (operation) delay between receiving a probe and answering it.
+type profile struct {
+	gainBiasStdDB  float64 // spread of the per-unit constant RSSI bias
+	noiseStdDB     float64 // per-register-read measurement noise
+	opDelayMeanS   float64 // RX→TX turnaround mean
+	opDelayJitterS float64 // turnaround jitter (uniform ±)
+	rssiStepDB     float64 // register quantization step
+}
+
+func (d DeviceType) profile() profile {
+	switch d {
+	// Per-read noise reflects the SX127x's documented RSSI accuracy of a
+	// few dB (thermal noise, interference asymmetry, AGC steps).
+	case DraginoLoRaShield:
+		// SX1278 on an 8-bit AVR: slowest turnaround, coarsest front end.
+		return profile{gainBiasStdDB: 1.2, noiseStdDB: 2.6, opDelayMeanS: 14e-3, opDelayJitterS: 4e-3, rssiStepDB: 1}
+	case MultiTechXDot:
+		return profile{gainBiasStdDB: 0.8, noiseStdDB: 2.4, opDelayMeanS: 8e-3, opDelayJitterS: 2e-3, rssiStepDB: 1}
+	case MultiTechMDot:
+		return profile{gainBiasStdDB: 0.8, noiseStdDB: 2.4, opDelayMeanS: 9e-3, opDelayJitterS: 2e-3, rssiStepDB: 1}
+	default:
+		return profile{gainBiasStdDB: 1.0, noiseStdDB: 2.5, opDelayMeanS: 10e-3, opDelayJitterS: 3e-3, rssiStepDB: 1}
+	}
+}

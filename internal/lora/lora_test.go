@@ -1,0 +1,133 @@
+package lora
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func TestBitRateMatchesPaper(t *testing.T) {
+	// The paper: SF12, BW 125 kHz, CR 4/8 → 183 bit/s.
+	p := Default()
+	if rb := p.BitRate(); math.Abs(rb-183.1) > 0.2 {
+		t.Errorf("bit rate = %v, want ~183", rb)
+	}
+}
+
+func TestDataRateSweepMatchesFig2a(t *testing.T) {
+	want := []float64{23, 46, 92, 183, 293, 586, 1172}
+	pts := DataRateSweep()
+	if len(pts) != len(want) {
+		t.Fatalf("sweep has %d points, want %d", len(pts), len(want))
+	}
+	for i, pt := range pts {
+		if math.Abs(pt.BitsPS-want[i])/want[i] > 0.02 {
+			t.Errorf("point %d: %v bps, want ~%v", i, pt.BitsPS, want[i])
+		}
+		if err := pt.Params.Validate(); err != nil {
+			t.Errorf("point %d invalid: %v", i, err)
+		}
+	}
+}
+
+func TestSymbolTime(t *testing.T) {
+	p := Default()
+	if ts := p.SymbolTime(); math.Abs(ts-32.768e-3) > 1e-6 {
+		t.Errorf("SF12/125k symbol time = %v, want 32.768 ms", ts)
+	}
+}
+
+func TestAirtimeKnownValue(t *testing.T) {
+	// Cross-checked against the Semtech airtime calculator:
+	// SF12, BW125, CR4/8, 16-byte payload, explicit header, CRC, DE on,
+	// preamble 8 → 12.25 preamble symbols + 8+7*8 = 64 payload symbols?
+	// The calculator yields ≈ 1712 ms.
+	p := Default()
+	if at := p.Airtime(); math.Abs(at-1.712) > 0.01 {
+		t.Errorf("airtime = %v s, want ~1.712 s", at)
+	}
+}
+
+func TestAirtimeMonotoneInPayload(t *testing.T) {
+	p := Default()
+	prev := 0.0
+	for bytes := 1; bytes <= 64; bytes *= 2 {
+		p.PayloadBytes = bytes
+		at := p.Airtime()
+		if at < prev {
+			t.Fatalf("airtime must grow with payload: %v < %v at %d bytes", at, prev, bytes)
+		}
+		prev = at
+	}
+}
+
+func TestValidate(t *testing.T) {
+	p := Default()
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	p.SpreadingFactor = 13
+	if err := p.Validate(); err == nil {
+		t.Error("SF13 must be rejected")
+	}
+	p = Default()
+	p.BandwidthHz = 100e3
+	if err := p.Validate(); err == nil {
+		t.Error("non-SX127x bandwidth must be rejected")
+	}
+	p = Default()
+	p.PayloadBytes = 0
+	if err := p.Validate(); err == nil {
+		t.Error("zero payload must be rejected")
+	}
+}
+
+func TestTransceiverReceive(t *testing.T) {
+	tr := NewTransceiver(DraginoLoRaShield, rng.New(1))
+	rssiAt := func(tt float64) float64 { return -80 + tt } // ramp
+	rec := tr.Receive(rssiAt, 0, 1.7)
+	if len(rec.RRSSI) < 100 {
+		t.Fatalf("expected ≥100 register reads for 1.7 s airtime, got %d", len(rec.RRSSI))
+	}
+	if rec.PRSSI < -85 || rec.PRSSI > -75 {
+		t.Errorf("pRSSI %v implausible for ramp around -80", rec.PRSSI)
+	}
+	// Register quantization: all values on the 1 dB grid.
+	for _, v := range rec.RRSSI {
+		if v != math.Round(v) {
+			t.Fatalf("rRSSI %v not quantized to 1 dB", v)
+		}
+	}
+}
+
+func TestTransceiverBiasIsStable(t *testing.T) {
+	tr := NewTransceiver(MultiTechXDot, rng.New(2))
+	b1 := tr.GainBiasDB()
+	tr.Receive(func(float64) float64 { return -70 }, 0, 0.3)
+	if tr.GainBiasDB() != b1 {
+		t.Error("hardware bias must be constant per unit")
+	}
+	tr2 := NewTransceiver(MultiTechXDot, rng.New(3))
+	if tr2.GainBiasDB() == b1 {
+		t.Error("different units should draw different biases")
+	}
+}
+
+func TestOpDelayWithinProfile(t *testing.T) {
+	tr := NewTransceiver(DraginoLoRaShield, rng.New(4))
+	for i := 0; i < 100; i++ {
+		d := tr.OpDelay()
+		if d < 5e-3 || d > 25e-3 {
+			t.Fatalf("op delay %v s outside the Dragino profile", d)
+		}
+	}
+}
+
+func TestDeviceStrings(t *testing.T) {
+	for _, d := range AllDevices() {
+		if d.String() == "" {
+			t.Error("device must have a name")
+		}
+	}
+}

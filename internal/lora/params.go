@@ -1,0 +1,174 @@
+// Package lora models the LoRa physical layer as seen by Vehicle-Key: the
+// SX127x timing equations that make LoRa packets hundreds of milliseconds
+// long (the root cause of the paper's reciprocity problem), and a
+// transceiver that measures the channel either as packet-averaged RSSI
+// (pRSSI) or as a stream of instantaneous register reads (rRSSI), with
+// per-device hardware imperfections, receiver noise, and the 1 dB register
+// quantization of real SX127x silicon.
+package lora
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// CodeRate is the LoRa forward-error-correction rate 4/(4+CR).
+type CodeRate int
+
+// Supported code rates.
+const (
+	CR45 CodeRate = 1 // 4/5
+	CR46 CodeRate = 2 // 4/6
+	CR47 CodeRate = 3 // 4/7
+	CR48 CodeRate = 4 // 4/8
+)
+
+// Fraction returns the information fraction 4/(4+CR).
+func (c CodeRate) Fraction() float64 { return 4 / (4 + float64(c)) }
+
+// String implements fmt.Stringer.
+func (c CodeRate) String() string { return fmt.Sprintf("4/%d", 4+int(c)) }
+
+// Params is one LoRa radio configuration.
+type Params struct {
+	SpreadingFactor int      // 6..12
+	BandwidthHz     float64  // 7.8e3 .. 500e3
+	CodingRate      CodeRate // CR45..CR48
+	PreambleSymbols int      // default 8
+	ExplicitHeader  bool     // default true
+	CRC             bool     // default true
+	PayloadBytes    int      // default 16 (the paper's probe size)
+	CarrierHz       float64  // default 434 MHz
+}
+
+// Default returns the paper's experimental configuration:
+// SF12, BW 125 kHz, CR 4/8, 16-byte payload at 434 MHz (≈ 183 bit/s).
+func Default() Params {
+	return Params{
+		SpreadingFactor: 12,
+		BandwidthHz:     125e3,
+		CodingRate:      CR48,
+		PreambleSymbols: 8,
+		ExplicitHeader:  true,
+		CRC:             true,
+		PayloadBytes:    16,
+		CarrierHz:       434e6,
+	}
+}
+
+// Validate reports whether the parameter combination is one a real SX127x
+// accepts.
+func (p Params) Validate() error {
+	if p.SpreadingFactor < 6 || p.SpreadingFactor > 12 {
+		return fmt.Errorf("lora: spreading factor %d out of range [6,12]", p.SpreadingFactor)
+	}
+	switch p.BandwidthHz {
+	case 7.8e3, 10.4e3, 15.6e3, 20.8e3, 31.25e3, 41.7e3, 62.5e3, 125e3, 250e3, 500e3:
+	default:
+		return fmt.Errorf("lora: bandwidth %.0f Hz is not an SX127x option", p.BandwidthHz)
+	}
+	if p.CodingRate < CR45 || p.CodingRate > CR48 {
+		return fmt.Errorf("lora: coding rate %d out of range", p.CodingRate)
+	}
+	if p.PayloadBytes <= 0 || p.PayloadBytes > 255 {
+		return errors.New("lora: payload must be 1..255 bytes")
+	}
+	if p.PreambleSymbols < 6 {
+		return errors.New("lora: preamble must be at least 6 symbols")
+	}
+	return nil
+}
+
+// SymbolTime returns the duration of one LoRa symbol: 2^SF / BW seconds.
+func (p Params) SymbolTime() float64 {
+	return math.Exp2(float64(p.SpreadingFactor)) / p.BandwidthHz
+}
+
+// BitRate returns the paper's R_b = SF · BW/2^SF · CR in bits/second
+// (≈ 183 bit/s for the default configuration).
+func (p Params) BitRate() float64 {
+	return float64(p.SpreadingFactor) * p.BandwidthHz /
+		math.Exp2(float64(p.SpreadingFactor)) * p.CodingRate.Fraction()
+}
+
+// lowDataRateOptimize reports whether the SX127x mandates the DE bit
+// (symbol time above 16 ms).
+func (p Params) lowDataRateOptimize() bool { return p.SymbolTime() > 16e-3 }
+
+// PayloadSymbols returns the number of payload symbols per the Semtech
+// AN1200.13 airtime formula.
+func (p Params) PayloadSymbols() int {
+	de := 0.0
+	if p.lowDataRateOptimize() {
+		de = 1
+	}
+	ih := 1.0
+	if p.ExplicitHeader {
+		ih = 0
+	}
+	crc := 0.0
+	if p.CRC {
+		crc = 1
+	}
+	sf := float64(p.SpreadingFactor)
+	num := 8*float64(p.PayloadBytes) - 4*sf + 28 + 16*crc - 20*ih
+	den := 4 * (sf - 2*de)
+	n := math.Ceil(num/den) * float64(int(p.CodingRate)+4)
+	if n < 0 {
+		n = 0
+	}
+	return 8 + int(n)
+}
+
+// Airtime returns the full packet time-on-air in seconds: preamble
+// (N + 4.25 symbols) plus payload symbols.
+func (p Params) Airtime() float64 {
+	ts := p.SymbolTime()
+	preamble := (float64(p.PreambleSymbols) + 4.25) * ts
+	return preamble + float64(p.PayloadSymbols())*ts
+}
+
+// String implements fmt.Stringer.
+func (p Params) String() string {
+	return fmt.Sprintf("SF%d/BW%.3gkHz/CR%s/%dB (%.0f bit/s, %.0f ms airtime)",
+		p.SpreadingFactor, p.BandwidthHz/1e3, p.CodingRate, p.PayloadBytes,
+		p.BitRate(), p.Airtime()*1e3)
+}
+
+// DataRatePoint couples a named bit rate with the Params that realize it.
+type DataRatePoint struct {
+	Label  string
+	BitsPS float64
+	Params Params
+}
+
+// DataRateSweep returns the seven configurations whose bit rates match the
+// x-axis of the paper's Fig. 2(a): 23, 46, 92, 183, 293, 586 and
+// 1172 bit/s (SF12 with bandwidth and coding-rate steps).
+func DataRateSweep() []DataRatePoint {
+	mk := func(bw float64, cr CodeRate) Params {
+		p := Default()
+		p.BandwidthHz = bw
+		p.CodingRate = cr
+		return p
+	}
+	cfgs := []Params{
+		mk(15.6e3, CR48),
+		mk(31.25e3, CR48),
+		mk(62.5e3, CR48),
+		mk(125e3, CR48),
+		mk(125e3, CR45),
+		mk(250e3, CR45),
+		mk(500e3, CR45),
+	}
+	out := make([]DataRatePoint, len(cfgs))
+	for i, c := range cfgs {
+		out[i] = DataRatePoint{
+			Label:  fmt.Sprintf("%.0f bps", c.BitRate()),
+			BitsPS: c.BitRate(),
+			Params: c,
+		}
+	}
+	return out
+}

@@ -1,0 +1,91 @@
+package mathx
+
+import (
+	"errors"
+	"math"
+	"math/cmplx"
+)
+
+// FFT computes the in-order discrete Fourier transform of x using an
+// iterative radix-2 Cooley–Tukey algorithm. The input length must be a
+// power of two. The input slice is not modified.
+func FFT(x []complex128) ([]complex128, error) {
+	n := len(x)
+	if n == 0 || n&(n-1) != 0 {
+		return nil, errors.New("mathx: FFT length must be a nonzero power of two")
+	}
+	out := make([]complex128, n)
+	copy(out, x)
+	fftInPlace(out, false)
+	return out, nil
+}
+
+// IFFT computes the inverse DFT (including the 1/n scaling).
+func IFFT(x []complex128) ([]complex128, error) {
+	n := len(x)
+	if n == 0 || n&(n-1) != 0 {
+		return nil, errors.New("mathx: IFFT length must be a nonzero power of two")
+	}
+	out := make([]complex128, n)
+	copy(out, x)
+	fftInPlace(out, true)
+	inv := complex(1/float64(n), 0)
+	for i := range out {
+		out[i] *= inv
+	}
+	return out, nil
+}
+
+// FFTReal transforms a real series, zero-padding to the next power of two,
+// and returns the complex spectrum. Convenient for the NIST DFT test.
+func FFTReal(x []float64) ([]complex128, error) {
+	n := NextPow2(len(x))
+	buf := make([]complex128, n)
+	for i, v := range x {
+		buf[i] = complex(v, 0)
+	}
+	fftInPlace(buf, false)
+	return buf, nil
+}
+
+// NextPow2 returns the smallest power of two >= n (and 1 for n <= 1).
+func NextPow2(n int) int {
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}
+
+func fftInPlace(a []complex128, inverse bool) {
+	n := len(a)
+	// Bit-reversal permutation.
+	for i, j := 1, 0; i < n; i++ {
+		bit := n >> 1
+		for ; j&bit != 0; bit >>= 1 {
+			j ^= bit
+		}
+		j ^= bit
+		if i < j {
+			a[i], a[j] = a[j], a[i]
+		}
+	}
+	for length := 2; length <= n; length <<= 1 {
+		ang := 2 * math.Pi / float64(length)
+		if !inverse {
+			ang = -ang
+		}
+		wl := cmplx.Exp(complex(0, ang))
+		for i := 0; i < n; i += length {
+			w := complex(1, 0)
+			half := length / 2
+			for j := 0; j < half; j++ {
+				u := a[i+j]
+				v := a[i+j+half] * w
+				a[i+j] = u + v
+				a[i+j+half] = u - v
+				w *= wl
+			}
+		}
+	}
+}

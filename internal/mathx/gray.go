@@ -1,0 +1,26 @@
+package mathx
+
+// GrayEncode converts a binary index to its reflected Gray code. Multi-bit
+// quantizers emit Gray-coded symbols so that a one-level quantization error
+// flips exactly one key bit (Jana et al., MobiCom'09).
+func GrayEncode(n uint64) uint64 { return n ^ (n >> 1) }
+
+// GrayDecode inverts GrayEncode.
+func GrayDecode(g uint64) uint64 {
+	n := g
+	for shift := uint(1); shift < 64; shift <<= 1 {
+		n ^= n >> shift
+	}
+	return n
+}
+
+// GrayBits returns the width least-significant bits of the Gray code of n,
+// most-significant bit first, as 0/1 bytes.
+func GrayBits(n uint64, width int) []byte {
+	g := GrayEncode(n)
+	out := make([]byte, width)
+	for i := 0; i < width; i++ {
+		out[i] = byte(g >> uint(width-1-i) & 1)
+	}
+	return out
+}

@@ -1,0 +1,47 @@
+package nist
+
+import "testing"
+
+// FuzzBattery checks the battery never panics or returns out-of-range
+// p-values on arbitrary bit streams. Run with `go test -fuzz=FuzzBattery`;
+// the seeds below also execute in a plain `go test`.
+func FuzzBattery(f *testing.F) {
+	f.Add(make([]byte, 256))
+	f.Add([]byte{1, 0, 1, 1, 0, 0, 1, 0})
+	seed := make([]byte, 512)
+	for i := range seed {
+		seed[i] = byte(i*37) & 1
+	}
+	f.Add(seed)
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		bits := make([]byte, len(raw))
+		for i, b := range raw {
+			bits[i] = b & 1
+		}
+		results, err := BatteryExtended(bits)
+		if err != nil {
+			return // short inputs are allowed to error
+		}
+		for _, r := range results {
+			if r.P < 0 || r.P > 1 || r.P != r.P {
+				t.Fatalf("%s: p-value %v out of range", r.Name, r.P)
+			}
+		}
+	})
+}
+
+// FuzzBerlekampMassey checks the LFSR-complexity routine stays within
+// bounds on arbitrary inputs.
+func FuzzBerlekampMassey(f *testing.F) {
+	f.Add([]byte{1, 0, 0, 1, 0, 1, 1})
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		bits := make([]byte, len(raw))
+		for i, b := range raw {
+			bits[i] = b & 1
+		}
+		l := berlekampMassey(bits)
+		if l < 0 || l > len(bits) {
+			t.Fatalf("complexity %d out of [0,%d]", l, len(bits))
+		}
+	})
+}

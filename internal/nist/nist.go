@@ -1,0 +1,465 @@
+// Package nist implements the subset of the NIST SP 800-22 statistical
+// test suite the paper reports in Table II: Frequency, Block Frequency,
+// Cumulative Sums, Longest Run of Ones, DFT (Spectral), Approximate
+// Entropy, Non-overlapping Template Matching, and Linear Complexity.
+//
+// Each test consumes a 0/1 bit slice and returns a p-value; the
+// randomness hypothesis is rejected below 0.01, the conventional
+// threshold the paper uses.
+package nist
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/mathx"
+)
+
+// MinBits is the smallest input the full battery accepts. SP 800-22
+// recommends much longer streams for some tests; the implementations
+// below degrade gracefully but refuse fewer than this.
+const MinBits = 128
+
+// Result couples a test name with its p-value.
+type Result struct {
+	Name   string
+	P      float64
+	Passed bool // P >= 0.01
+}
+
+// Battery runs the paper's Table II tests over the bit stream and returns
+// their results in the table's order.
+func Battery(bits []byte) ([]Result, error) {
+	if len(bits) < MinBits {
+		return nil, fmt.Errorf("nist: need at least %d bits, got %d", MinBits, len(bits))
+	}
+	type tf struct {
+		name string
+		fn   func([]byte) (float64, error)
+	}
+	tests := []tf{
+		{"Frequency", Frequency},
+		{"DFT Test", DFT},
+		{"Longest Run", LongestRun},
+		{"Linear Complexity", LinearComplexity},
+		{"Block Frequency", func(b []byte) (float64, error) { return BlockFrequency(b, 32) }},
+		{"Cumulative Sums", CumulativeSums},
+		{"Approximate Entropy", func(b []byte) (float64, error) { return ApproximateEntropy(b, 2) }},
+		{"Non Overlapping Template", func(b []byte) (float64, error) { return NonOverlappingTemplate(b, []byte{0, 0, 1}) }},
+	}
+	out := make([]Result, 0, len(tests))
+	for _, t := range tests {
+		p, err := t.fn(bits)
+		if err != nil {
+			return nil, fmt.Errorf("nist: %s: %w", t.name, err)
+		}
+		out = append(out, Result{Name: t.name, P: p, Passed: p >= 0.01})
+	}
+	return out, nil
+}
+
+// BatteryExtended runs Table II's tests plus the Runs and Serial tests
+// from the full SP 800-22 suite.
+func BatteryExtended(bits []byte) ([]Result, error) {
+	out, err := Battery(bits)
+	if err != nil {
+		return nil, err
+	}
+	for _, t := range []struct {
+		name string
+		fn   func([]byte) (float64, error)
+	}{
+		{"Runs", Runs},
+		{"Serial", func(b []byte) (float64, error) { return Serial(b, 3) }},
+	} {
+		p, err := t.fn(bits)
+		if err != nil {
+			return nil, fmt.Errorf("nist: %s: %w", t.name, err)
+		}
+		out = append(out, Result{Name: t.name, P: p, Passed: p >= 0.01})
+	}
+	return out, nil
+}
+
+// Runs tests the total number of runs (maximal same-bit substrings)
+// against the expectation for the observed ones proportion.
+func Runs(bits []byte) (float64, error) {
+	n := len(bits)
+	if n < 2 {
+		return 0, errors.New("input too short")
+	}
+	ones := 0
+	for _, b := range bits {
+		if b == 1 {
+			ones++
+		}
+	}
+	pi := float64(ones) / float64(n)
+	// Precondition of the runs test: the frequency test must be
+	// passable; SP 800-22 short-circuits to p = 0 otherwise.
+	if tau := 2 / math.Sqrt(float64(n)); math.Abs(pi-0.5) >= tau {
+		return 0, nil
+	}
+	runs := 1
+	for i := 1; i < n; i++ {
+		if bits[i] != bits[i-1] {
+			runs++
+		}
+	}
+	num := math.Abs(float64(runs) - 2*float64(n)*pi*(1-pi))
+	den := 2 * math.Sqrt(2*float64(n)) * pi * (1 - pi)
+	return math.Erfc(num / den), nil
+}
+
+// Serial tests the uniformity of overlapping m-bit patterns via the
+// ∇ψ²_m statistic.
+func Serial(bits []byte, m int) (float64, error) {
+	n := len(bits)
+	if n < 16 || m < 2 {
+		return 0, errors.New("input too short or m too small")
+	}
+	psi := func(m int) float64 {
+		if m <= 0 {
+			return 0
+		}
+		counts := make([]int, 1<<uint(m))
+		for i := 0; i < n; i++ {
+			v := 0
+			for j := 0; j < m; j++ {
+				v = v<<1 | int(bits[(i+j)%n])
+			}
+			counts[v]++
+		}
+		var s float64
+		for _, c := range counts {
+			s += float64(c) * float64(c)
+		}
+		return s*math.Exp2(float64(m))/float64(n) - float64(n)
+	}
+	d1 := psi(m) - psi(m-1)
+	d2 := psi(m) - 2*psi(m-1) + psi(m-2)
+	p1 := mathx.Igamc(math.Exp2(float64(m-2)), d1/2)
+	p2 := mathx.Igamc(math.Exp2(float64(m-3)), d2/2)
+	if p2 < p1 {
+		return p2, nil
+	}
+	return p1, nil
+}
+
+// Frequency is the monobit test: the proportion of ones should be ~1/2.
+func Frequency(bits []byte) (float64, error) {
+	n := len(bits)
+	if n == 0 {
+		return 0, errors.New("empty input")
+	}
+	var s float64
+	for _, b := range bits {
+		if b == 1 {
+			s++
+		} else {
+			s--
+		}
+	}
+	sObs := math.Abs(s) / math.Sqrt(float64(n))
+	return math.Erfc(sObs / math.Sqrt2), nil
+}
+
+// BlockFrequency tests the proportion of ones within m-bit blocks.
+func BlockFrequency(bits []byte, m int) (float64, error) {
+	if m <= 0 {
+		return 0, errors.New("block size must be positive")
+	}
+	nBlocks := len(bits) / m
+	if nBlocks == 0 {
+		return 0, errors.New("input shorter than one block")
+	}
+	var chi2 float64
+	for i := 0; i < nBlocks; i++ {
+		ones := 0
+		for _, b := range bits[i*m : (i+1)*m] {
+			if b == 1 {
+				ones++
+			}
+		}
+		pi := float64(ones) / float64(m)
+		chi2 += (pi - 0.5) * (pi - 0.5)
+	}
+	chi2 *= 4 * float64(m)
+	return mathx.Igamc(float64(nBlocks)/2, chi2/2), nil
+}
+
+// CumulativeSums tests the maximal excursion of the ±1 random walk
+// (forward mode).
+func CumulativeSums(bits []byte) (float64, error) {
+	n := len(bits)
+	if n == 0 {
+		return 0, errors.New("empty input")
+	}
+	var s, z float64
+	for _, b := range bits {
+		if b == 1 {
+			s++
+		} else {
+			s--
+		}
+		if a := math.Abs(s); a > z {
+			z = a
+		}
+	}
+	if z == 0 {
+		return 0, nil
+	}
+	nf := math.Sqrt(float64(n))
+	var sum1, sum2 float64
+	kLo := int(math.Floor((-float64(n)/z + 1) / 4))
+	kHi := int(math.Floor((float64(n)/z - 1) / 4))
+	for k := kLo; k <= kHi; k++ {
+		sum1 += mathx.NormalCDF((4*float64(k)+1)*z/nf) - mathx.NormalCDF((4*float64(k)-1)*z/nf)
+	}
+	kLo = int(math.Floor((-float64(n)/z - 3) / 4))
+	for k := kLo; k <= kHi; k++ {
+		sum2 += mathx.NormalCDF((4*float64(k)+3)*z/nf) - mathx.NormalCDF((4*float64(k)+1)*z/nf)
+	}
+	p := 1 - sum1 + sum2
+	return mathx.Clamp(p, 0, 1), nil
+}
+
+// LongestRun tests the distribution of the longest run of ones within
+// blocks, using the SP 800-22 parameterization for the input size.
+func LongestRun(bits []byte) (float64, error) {
+	n := len(bits)
+	var m int
+	var vCats []int
+	var pi []float64
+	switch {
+	case n < 128:
+		return 0, errors.New("need at least 128 bits")
+	case n < 6272:
+		m = 8
+		vCats = []int{1, 2, 3, 4}
+		pi = []float64{0.2148, 0.3672, 0.2305, 0.1875}
+	case n < 750000:
+		m = 128
+		vCats = []int{4, 5, 6, 7, 8, 9}
+		pi = []float64{0.1174, 0.2430, 0.2493, 0.1752, 0.1027, 0.1124}
+	default:
+		m = 10000
+		vCats = []int{10, 11, 12, 13, 14, 15, 16}
+		pi = []float64{0.0882, 0.2092, 0.2483, 0.1933, 0.1208, 0.0675, 0.0727}
+	}
+	nBlocks := n / m
+	counts := make([]float64, len(vCats))
+	for i := 0; i < nBlocks; i++ {
+		longest, run := 0, 0
+		for _, b := range bits[i*m : (i+1)*m] {
+			if b == 1 {
+				run++
+				if run > longest {
+					longest = run
+				}
+			} else {
+				run = 0
+			}
+		}
+		idx := 0
+		for idx < len(vCats)-1 && longest > vCats[idx] {
+			idx++
+		}
+		if longest < vCats[0] {
+			idx = 0
+		}
+		counts[idx]++
+	}
+	var chi2 float64
+	for i := range counts {
+		exp := float64(nBlocks) * pi[i]
+		chi2 += (counts[i] - exp) * (counts[i] - exp) / exp
+	}
+	return mathx.Igamc(float64(len(vCats)-1)/2, chi2/2), nil
+}
+
+// DFT is the spectral test: peaks of the discrete Fourier transform of
+// the ±1 sequence should not be too concentrated.
+func DFT(bits []byte) (float64, error) {
+	n := len(bits)
+	if n < 2 {
+		return 0, errors.New("input too short")
+	}
+	x := make([]float64, n)
+	for i, b := range bits {
+		if b == 1 {
+			x[i] = 1
+		} else {
+			x[i] = -1
+		}
+	}
+	spec, err := mathx.FFTReal(x)
+	if err != nil {
+		return 0, err
+	}
+	half := n / 2
+	threshold := math.Sqrt(math.Log(1/0.05) * float64(n))
+	below := 0
+	for i := 0; i < half; i++ {
+		re := real(spec[i])
+		im := imag(spec[i])
+		if math.Hypot(re, im) < threshold {
+			below++
+		}
+	}
+	n0 := 0.95 * float64(half)
+	d := (float64(below) - n0) / math.Sqrt(float64(n)*0.95*0.05/4)
+	return math.Erfc(math.Abs(d) / math.Sqrt2), nil
+}
+
+// ApproximateEntropy compares the frequencies of overlapping m- and
+// (m+1)-bit patterns.
+func ApproximateEntropy(bits []byte, m int) (float64, error) {
+	n := len(bits)
+	if n < 8 {
+		return 0, errors.New("input too short")
+	}
+	phi := func(m int) float64 {
+		if m == 0 {
+			return 0
+		}
+		counts := make([]int, 1<<uint(m))
+		for i := 0; i < n; i++ {
+			v := 0
+			for j := 0; j < m; j++ {
+				v = v<<1 | int(bits[(i+j)%n])
+			}
+			counts[v]++
+		}
+		var sum float64
+		for _, c := range counts {
+			if c > 0 {
+				p := float64(c) / float64(n)
+				sum += p * math.Log(p)
+			}
+		}
+		return sum
+	}
+	apEn := phi(m) - phi(m+1)
+	chi2 := 2 * float64(n) * (math.Ln2 - apEn)
+	if chi2 < 0 {
+		chi2 = 0
+	}
+	return mathx.Igamc(math.Exp2(float64(m-1)), chi2/2), nil
+}
+
+// NonOverlappingTemplate counts non-overlapping occurrences of the
+// template within blocks and compares against the expected distribution.
+func NonOverlappingTemplate(bits []byte, tmpl []byte) (float64, error) {
+	m := len(tmpl)
+	if m == 0 {
+		return 0, errors.New("empty template")
+	}
+	// Use 8 blocks per SP 800-22 practice.
+	const nBlocks = 8
+	blockLen := len(bits) / nBlocks
+	if blockLen < 2*m {
+		return 0, errors.New("input too short for template test")
+	}
+	mu := float64(blockLen-m+1) / math.Exp2(float64(m))
+	sigma2 := float64(blockLen) * (1/math.Exp2(float64(m)) -
+		float64(2*m-1)/math.Exp2(float64(2*m)))
+	var chi2 float64
+	for b := 0; b < nBlocks; b++ {
+		block := bits[b*blockLen : (b+1)*blockLen]
+		count := 0
+		for i := 0; i+m <= len(block); {
+			match := true
+			for j := 0; j < m; j++ {
+				if block[i+j] != tmpl[j] {
+					match = false
+					break
+				}
+			}
+			if match {
+				count++
+				i += m
+			} else {
+				i++
+			}
+		}
+		chi2 += (float64(count) - mu) * (float64(count) - mu) / sigma2
+	}
+	return mathx.Igamc(nBlocks/2.0, chi2/2), nil
+}
+
+// LinearComplexity measures the Berlekamp–Massey LFSR complexity of
+// blocks against the expectation for random data.
+func LinearComplexity(bits []byte) (float64, error) {
+	// Block size scaled to input (SP 800-22 recommends M in [500, 5000]
+	// with large inputs; smaller blocks keep the test usable on key-sized
+	// material).
+	m := 128
+	if len(bits) < m {
+		m = len(bits)
+	}
+	nBlocks := len(bits) / m
+	if nBlocks == 0 {
+		return 0, errors.New("input too short")
+	}
+	pi := []float64{0.010417, 0.03125, 0.125, 0.5, 0.25, 0.0625, 0.020833}
+	counts := make([]float64, 7)
+	mean := float64(m)/2 + (9+math.Pow(-1, float64(m+1)))/36 -
+		(float64(m)/3+2.0/9)/math.Exp2(float64(m))
+	for b := 0; b < nBlocks; b++ {
+		l := berlekampMassey(bits[b*m : (b+1)*m])
+		t := math.Pow(-1, float64(m))*(float64(l)-mean) + 2.0/9
+		switch {
+		case t <= -2.5:
+			counts[0]++
+		case t <= -1.5:
+			counts[1]++
+		case t <= -0.5:
+			counts[2]++
+		case t <= 0.5:
+			counts[3]++
+		case t <= 1.5:
+			counts[4]++
+		case t <= 2.5:
+			counts[5]++
+		default:
+			counts[6]++
+		}
+	}
+	var chi2 float64
+	for i := range counts {
+		exp := float64(nBlocks) * pi[i]
+		chi2 += (counts[i] - exp) * (counts[i] - exp) / exp
+	}
+	return mathx.Igamc(3, chi2/2), nil
+}
+
+// berlekampMassey returns the length of the shortest LFSR generating the
+// bit sequence.
+func berlekampMassey(s []byte) int {
+	n := len(s)
+	c := make([]byte, n)
+	b := make([]byte, n)
+	c[0], b[0] = 1, 1
+	l, m := 0, -1
+	for i := 0; i < n; i++ {
+		d := s[i]
+		for j := 1; j <= l; j++ {
+			d ^= c[j] & s[i-j]
+		}
+		if d == 1 {
+			t := make([]byte, n)
+			copy(t, c)
+			for j := 0; j+i-m < n; j++ {
+				c[j+i-m] ^= b[j]
+			}
+			if l <= i/2 {
+				l = i + 1 - l
+				m = i
+				copy(b, t)
+			}
+		}
+	}
+	return l
+}

@@ -1,0 +1,148 @@
+package nist
+
+import (
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func TestBatteryPassesOnRandomBits(t *testing.T) {
+	src := rng.New(1)
+	bits := src.Bits(20000)
+	results, err := Battery(bits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range results {
+		t.Logf("%-26s p=%.6f", r.Name, r.P)
+		if !r.Passed {
+			t.Errorf("%s rejected random input: p=%.6f", r.Name, r.P)
+		}
+	}
+}
+
+func TestBatteryRejectsConstantBits(t *testing.T) {
+	bits := make([]byte, 4096)
+	results, err := Battery(bits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rejected := 0
+	for _, r := range results {
+		if !r.Passed {
+			rejected++
+		}
+	}
+	if rejected < 4 {
+		t.Errorf("constant stream should fail most tests, only %d rejected", rejected)
+	}
+}
+
+func TestBatteryRejectsAlternatingBits(t *testing.T) {
+	bits := make([]byte, 4096)
+	for i := range bits {
+		bits[i] = byte(i % 2)
+	}
+	results, err := Battery(bits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rejected := 0
+	for _, r := range results {
+		if !r.Passed {
+			rejected++
+		}
+	}
+	if rejected < 2 {
+		t.Errorf("alternating stream should fail several tests, only %d rejected", rejected)
+	}
+}
+
+func TestBatteryRejectsBiasedBits(t *testing.T) {
+	src := rng.New(2)
+	bits := make([]byte, 8192)
+	for i := range bits {
+		if src.Bernoulli(0.7) {
+			bits[i] = 1
+		}
+	}
+	results, err := Battery(bits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range results {
+		if r.Name == "Frequency" && r.Passed {
+			t.Error("Frequency test should reject 70 % bias")
+		}
+	}
+}
+
+func TestBerlekampMassey(t *testing.T) {
+	// An m-sequence from a known LFSR has complexity = register length.
+	// x^4 + x + 1 over GF(2), seed 0001 → period-15 sequence.
+	reg := []byte{0, 0, 0, 1}
+	var seq []byte
+	for i := 0; i < 30; i++ {
+		out := reg[3]
+		seq = append(seq, out)
+		fb := reg[3] ^ reg[0]
+		copy(reg[1:], reg[:3])
+		reg[0] = fb
+	}
+	if l := berlekampMassey(seq); l != 4 {
+		t.Errorf("LFSR complexity = %d, want 4", l)
+	}
+}
+
+func TestBatteryTooShort(t *testing.T) {
+	if _, err := Battery(make([]byte, 16)); err == nil {
+		t.Fatal("expected error for short input")
+	}
+}
+
+func TestBatteryExtended(t *testing.T) {
+	src := rng.New(9)
+	bits := src.Bits(20000)
+	results, err := BatteryExtended(bits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 10 {
+		t.Fatalf("extended battery has %d tests, want 10", len(results))
+	}
+	for _, r := range results {
+		if !r.Passed {
+			t.Errorf("%s rejected random input: p=%.6f", r.Name, r.P)
+		}
+	}
+}
+
+func TestRunsRejectsAlternating(t *testing.T) {
+	bits := make([]byte, 2048)
+	for i := range bits {
+		bits[i] = byte(i % 2)
+	}
+	p, err := Runs(bits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p >= 0.01 {
+		t.Errorf("alternating stream passed runs test: p=%v", p)
+	}
+}
+
+func TestSerialRejectsPeriodicPattern(t *testing.T) {
+	bits := make([]byte, 4096)
+	for i := range bits {
+		if i%4 == 0 {
+			bits[i] = 1
+		}
+	}
+	p, err := Serial(bits, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p >= 0.01 {
+		t.Errorf("period-4 stream passed serial test: p=%v", p)
+	}
+}

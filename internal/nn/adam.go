@@ -1,0 +1,42 @@
+package nn
+
+import "math"
+
+// Adam is the Adam optimizer (Kingma & Ba 2015) with the standard
+// bias-corrected moment estimates.
+type Adam struct {
+	LR      float64
+	Beta1   float64
+	Beta2   float64
+	Epsilon float64
+	// WeightDecay applies decoupled L2 regularization (AdamW): weights
+	// shrink by LR·WeightDecay per step. The prediction model trains on
+	// comparatively few probe sequences, so regularization carries real
+	// generalization weight here.
+	WeightDecay float64
+	step        int
+}
+
+// NewAdam returns an Adam optimizer with the usual defaults
+// (β1 = 0.9, β2 = 0.999, ε = 1e-8).
+func NewAdam(lr float64) *Adam {
+	return &Adam{LR: lr, Beta1: 0.9, Beta2: 0.999, Epsilon: 1e-8}
+}
+
+// Step applies one update to every parameter from its accumulated gradient
+// and then clears the gradients.
+func (a *Adam) Step(ps Params) {
+	a.step++
+	c1 := 1 - math.Pow(a.Beta1, float64(a.step))
+	c2 := 1 - math.Pow(a.Beta2, float64(a.step))
+	for _, p := range ps {
+		for i, g := range p.G {
+			p.m[i] = a.Beta1*p.m[i] + (1-a.Beta1)*g
+			p.v[i] = a.Beta2*p.v[i] + (1-a.Beta2)*g*g
+			mHat := p.m[i] / c1
+			vHat := p.v[i] / c2
+			p.W[i] -= a.LR * (mHat/(math.Sqrt(vHat)+a.Epsilon) + a.WeightDecay*p.W[i])
+		}
+	}
+	ps.ZeroGrad()
+}

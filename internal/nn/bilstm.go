@@ -1,0 +1,71 @@
+package nn
+
+import "repro/internal/rng"
+
+// BiLSTM runs one forward and one backward LSTM over the same sequence and
+// concatenates their per-step hidden states, the layer the paper chooses
+// because channel sequences carry information in both temporal directions.
+type BiLSTM struct {
+	InDim  int
+	Hidden int // per direction; output width is 2·Hidden
+
+	fwd *LSTM
+	bwd *LSTM
+}
+
+// NewBiLSTM creates a bidirectional LSTM with hidden units per direction.
+func NewBiLSTM(name string, inDim, hidden int, src *rng.Source) *BiLSTM {
+	return &BiLSTM{
+		InDim:  inDim,
+		Hidden: hidden,
+		fwd:    NewLSTM(name+".fwd", inDim, hidden, src),
+		bwd:    NewLSTM(name+".bwd", inDim, hidden, src),
+	}
+}
+
+// Params returns the learnable tensors of both directions.
+func (b *BiLSTM) Params() Params {
+	return append(b.fwd.Params(), b.bwd.Params()...)
+}
+
+// Forward returns the concatenated hidden states (T × 2·Hidden).
+func (b *BiLSTM) Forward(xs [][]float64) [][]float64 {
+	T := len(xs)
+	hf := b.fwd.Forward(xs)
+	rev := make([][]float64, T)
+	for t := 0; t < T; t++ {
+		rev[t] = xs[T-1-t]
+	}
+	hbRev := b.bwd.Forward(rev)
+	out := make([][]float64, T)
+	for t := 0; t < T; t++ {
+		o := make([]float64, 2*b.Hidden)
+		copy(o[:b.Hidden], hf[t])
+		copy(o[b.Hidden:], hbRev[T-1-t])
+		out[t] = o
+	}
+	return out
+}
+
+// Backward consumes dL/dout per step (T × 2·Hidden) and returns dL/dx per
+// step.
+func (b *BiLSTM) Backward(douts [][]float64) [][]float64 {
+	T := len(douts)
+	dhf := make([][]float64, T)
+	dhbRev := make([][]float64, T)
+	for t := 0; t < T; t++ {
+		dhf[t] = douts[t][:b.Hidden]
+		dhbRev[T-1-t] = douts[t][b.Hidden:]
+	}
+	dxf := b.fwd.Backward(dhf)
+	dxbRev := b.bwd.Backward(dhbRev)
+	dxs := make([][]float64, T)
+	for t := 0; t < T; t++ {
+		dx := make([]float64, b.InDim)
+		for i := range dx {
+			dx[i] = dxf[t][i] + dxbRev[T-1-t][i]
+		}
+		dxs[t] = dx
+	}
+	return dxs
+}

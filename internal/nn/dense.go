@@ -1,0 +1,86 @@
+package nn
+
+import (
+	"fmt"
+
+	"repro/internal/rng"
+)
+
+// Dense is a fully connected layer y = act(W·x + b). It caches the last
+// forward pass so Backward can be called immediately afterwards; one layer
+// instance therefore serves one sample at a time (the training loops here
+// are sequential, matching the small per-step batch the paper trains
+// with).
+type Dense struct {
+	In, Out int
+	Act     Activation
+
+	w *Param // Out×In, row-major
+	b *Param // Out
+
+	lastX []float64
+	lastY []float64
+}
+
+// NewDense creates a dense layer with Xavier-initialized weights.
+func NewDense(name string, in, out int, act Activation, src *rng.Source) *Dense {
+	d := &Dense{
+		In:  in,
+		Out: out,
+		Act: act,
+		w:   NewParam(name+".W", in*out),
+		b:   NewParam(name+".b", out),
+	}
+	d.w.InitXavier(in, out, src)
+	return d
+}
+
+// Params returns the layer's learnable tensors.
+func (d *Dense) Params() Params { return Params{d.w, d.b} }
+
+// ShareWeights returns a new layer backed by the same parameter tensors
+// but with its own forward cache, so two tied branches (e.g. the
+// reconciler's twin encoders) can each hold a pending backward pass.
+// Gradients from both branches accumulate into the shared tensors.
+func (d *Dense) ShareWeights() *Dense {
+	return &Dense{In: d.In, Out: d.Out, Act: d.Act, w: d.w, b: d.b}
+}
+
+// Forward computes the layer output for input x (length In).
+func (d *Dense) Forward(x []float64) []float64 {
+	if len(x) != d.In {
+		panic(fmt.Sprintf("nn: Dense %d-in got %d values", d.In, len(x)))
+	}
+	y := make([]float64, d.Out)
+	for o := 0; o < d.Out; o++ {
+		sum := d.b.W[o]
+		row := d.w.W[o*d.In : (o+1)*d.In]
+		for i, xi := range x {
+			sum += row[i] * xi
+		}
+		y[o] = d.Act.Apply(sum)
+	}
+	d.lastX = append(d.lastX[:0], x...)
+	d.lastY = append(d.lastY[:0], y...)
+	return y
+}
+
+// Backward consumes dL/dy for the last Forward call, accumulates weight
+// gradients, and returns dL/dx.
+func (d *Dense) Backward(dy []float64) []float64 {
+	if len(dy) != d.Out {
+		panic(fmt.Sprintf("nn: Dense %d-out got %d grads", d.Out, len(dy)))
+	}
+	dx := make([]float64, d.In)
+	for o := 0; o < d.Out; o++ {
+		dz := dy[o] * d.Act.DerivFromOutput(d.lastY[o])
+		d.b.G[o] += dz
+		row := d.w.W[o*d.In : (o+1)*d.In]
+		grow := d.w.G[o*d.In : (o+1)*d.In]
+		for i := 0; i < d.In; i++ {
+			grow[i] += dz * d.lastX[i]
+			dx[i] += dz * row[i]
+		}
+	}
+	return dx
+}

@@ -1,0 +1,47 @@
+package nn
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+)
+
+// paramSnapshot is the gob wire format for a saved parameter set.
+type paramSnapshot struct {
+	Names   []string
+	Weights [][]float64
+}
+
+// SaveParams serializes the weights (not optimizer state) of ps to w.
+func SaveParams(w io.Writer, ps Params) error {
+	snap := paramSnapshot{}
+	for _, p := range ps {
+		snap.Names = append(snap.Names, p.Name)
+		cp := make([]float64, len(p.W))
+		copy(cp, p.W)
+		snap.Weights = append(snap.Weights, cp)
+	}
+	return gob.NewEncoder(w).Encode(snap)
+}
+
+// LoadParams restores weights saved by SaveParams into ps. Parameter
+// names, order, and shapes must match the saved model exactly.
+func LoadParams(r io.Reader, ps Params) error {
+	var snap paramSnapshot
+	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
+		return fmt.Errorf("nn: decode params: %w", err)
+	}
+	if len(snap.Names) != len(ps) {
+		return fmt.Errorf("nn: saved model has %d tensors, want %d", len(snap.Names), len(ps))
+	}
+	for i, p := range ps {
+		if snap.Names[i] != p.Name {
+			return fmt.Errorf("nn: tensor %d is %q, want %q", i, snap.Names[i], p.Name)
+		}
+		if len(snap.Weights[i]) != len(p.W) {
+			return fmt.Errorf("nn: tensor %q has %d values, want %d", p.Name, len(snap.Weights[i]), len(p.W))
+		}
+		copy(p.W, snap.Weights[i])
+	}
+	return nil
+}

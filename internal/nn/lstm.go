@@ -1,0 +1,180 @@
+package nn
+
+import (
+	"fmt"
+
+	"repro/internal/rng"
+)
+
+// LSTM is a single-layer LSTM processing a whole sequence with full
+// backpropagation through time. Gate layout follows the standard
+// formulation:
+//
+//	i = σ(Wi·x + Ui·h + bi)   input gate
+//	f = σ(Wf·x + Uf·h + bf)   forget gate
+//	o = σ(Wo·x + Uo·h + bo)   output gate
+//	g = tanh(Wg·x + Ug·h + bg) cell candidate
+//	c = f∘c' + i∘g,  h = o∘tanh(c)
+type LSTM struct {
+	InDim  int
+	Hidden int
+
+	// One Param per gate weight matrix/vector: W* are Hidden×InDim,
+	// U* are Hidden×Hidden, b* are Hidden.
+	wi, wf, wo, wg *Param
+	ui, uf, uo, ug *Param
+	bi, bf, bo, bg *Param
+
+	cache lstmCache
+}
+
+type lstmCache struct {
+	xs         [][]float64
+	i, f, o, g [][]float64
+	c, h, tc   [][]float64 // cell, hidden, tanh(cell)
+}
+
+// NewLSTM creates an LSTM with Xavier-initialized weights and the
+// customary forget-gate bias of 1 (helps gradient flow early in training).
+func NewLSTM(name string, inDim, hidden int, src *rng.Source) *LSTM {
+	l := &LSTM{InDim: inDim, Hidden: hidden}
+	mk := func(suffix string, rows, cols int) *Param {
+		p := NewParam(name+"."+suffix, rows*cols)
+		p.InitXavier(cols, rows, src)
+		return p
+	}
+	l.wi, l.wf, l.wo, l.wg = mk("Wi", hidden, inDim), mk("Wf", hidden, inDim), mk("Wo", hidden, inDim), mk("Wg", hidden, inDim)
+	l.ui, l.uf, l.uo, l.ug = mk("Ui", hidden, hidden), mk("Uf", hidden, hidden), mk("Uo", hidden, hidden), mk("Ug", hidden, hidden)
+	l.bi, l.bf, l.bo, l.bg = NewParam(name+".bi", hidden), NewParam(name+".bf", hidden), NewParam(name+".bo", hidden), NewParam(name+".bg", hidden)
+	for i := range l.bf.W {
+		l.bf.W[i] = 1
+	}
+	return l
+}
+
+// Params returns the learnable tensors.
+func (l *LSTM) Params() Params {
+	return Params{l.wi, l.wf, l.wo, l.wg, l.ui, l.uf, l.uo, l.ug, l.bi, l.bf, l.bo, l.bg}
+}
+
+func (l *LSTM) gate(w, u, b *Param, x, h []float64, out []float64, act Activation) {
+	hd := l.Hidden
+	for r := 0; r < hd; r++ {
+		sum := b.W[r]
+		wr := w.W[r*l.InDim : (r+1)*l.InDim]
+		for c, xv := range x {
+			sum += wr[c] * xv
+		}
+		ur := u.W[r*hd : (r+1)*hd]
+		for c, hv := range h {
+			sum += ur[c] * hv
+		}
+		out[r] = act.Apply(sum)
+	}
+}
+
+// Forward runs the sequence xs (T × InDim) and returns the hidden state at
+// every step (T × Hidden).
+func (l *LSTM) Forward(xs [][]float64) [][]float64 {
+	T := len(xs)
+	hd := l.Hidden
+	cc := &l.cache
+	cc.xs = xs
+	alloc := func(dst *[][]float64) {
+		*dst = make([][]float64, T)
+		for t := range *dst {
+			(*dst)[t] = make([]float64, hd)
+		}
+	}
+	alloc(&cc.i)
+	alloc(&cc.f)
+	alloc(&cc.o)
+	alloc(&cc.g)
+	alloc(&cc.c)
+	alloc(&cc.h)
+	alloc(&cc.tc)
+
+	hPrev := make([]float64, hd)
+	cPrev := make([]float64, hd)
+	for t := 0; t < T; t++ {
+		if len(xs[t]) != l.InDim {
+			panic(fmt.Sprintf("nn: LSTM %d-in got %d values at step %d", l.InDim, len(xs[t]), t))
+		}
+		l.gate(l.wi, l.ui, l.bi, xs[t], hPrev, cc.i[t], Sigmoid)
+		l.gate(l.wf, l.uf, l.bf, xs[t], hPrev, cc.f[t], Sigmoid)
+		l.gate(l.wo, l.uo, l.bo, xs[t], hPrev, cc.o[t], Sigmoid)
+		l.gate(l.wg, l.ug, l.bg, xs[t], hPrev, cc.g[t], Tanh)
+		for r := 0; r < hd; r++ {
+			cc.c[t][r] = cc.f[t][r]*cPrev[r] + cc.i[t][r]*cc.g[t][r]
+			cc.tc[t][r] = Tanh.Apply(cc.c[t][r])
+			cc.h[t][r] = cc.o[t][r] * cc.tc[t][r]
+		}
+		hPrev = cc.h[t]
+		cPrev = cc.c[t]
+	}
+	return cc.h
+}
+
+// Backward consumes dL/dh for every timestep of the last Forward call,
+// accumulates parameter gradients, and returns dL/dx per timestep.
+func (l *LSTM) Backward(dhs [][]float64) [][]float64 {
+	cc := &l.cache
+	T := len(cc.xs)
+	hd := l.Hidden
+	dxs := make([][]float64, T)
+	dhNext := make([]float64, hd)
+	dcNext := make([]float64, hd)
+	di := make([]float64, hd)
+	df := make([]float64, hd)
+	do := make([]float64, hd)
+	dg := make([]float64, hd)
+
+	for t := T - 1; t >= 0; t-- {
+		var hPrev, cPrev []float64
+		if t > 0 {
+			hPrev, cPrev = cc.h[t-1], cc.c[t-1]
+		} else {
+			hPrev, cPrev = make([]float64, hd), make([]float64, hd)
+		}
+		for r := 0; r < hd; r++ {
+			dh := dhs[t][r] + dhNext[r]
+			do[r] = dh * cc.tc[t][r] * Sigmoid.DerivFromOutput(cc.o[t][r])
+			dct := dh*cc.o[t][r]*Tanh.DerivFromOutput(cc.tc[t][r]) + dcNext[r]
+			df[r] = dct * cPrev[r] * Sigmoid.DerivFromOutput(cc.f[t][r])
+			di[r] = dct * cc.g[t][r] * Sigmoid.DerivFromOutput(cc.i[t][r])
+			dg[r] = dct * cc.i[t][r] * Tanh.DerivFromOutput(cc.g[t][r])
+			dcNext[r] = dct * cc.f[t][r]
+		}
+		dx := make([]float64, l.InDim)
+		for r := 0; r < hd; r++ {
+			dhNext[r] = 0
+		}
+		accum := func(dgate []float64, w, u, b *Param) {
+			for r := 0; r < hd; r++ {
+				d := dgate[r]
+				if d == 0 {
+					continue
+				}
+				b.G[r] += d
+				wr := w.W[r*l.InDim : (r+1)*l.InDim]
+				gw := w.G[r*l.InDim : (r+1)*l.InDim]
+				for c := 0; c < l.InDim; c++ {
+					gw[c] += d * cc.xs[t][c]
+					dx[c] += d * wr[c]
+				}
+				ur := u.W[r*hd : (r+1)*hd]
+				gu := u.G[r*hd : (r+1)*hd]
+				for c := 0; c < hd; c++ {
+					gu[c] += d * hPrev[c]
+					dhNext[c] += d * ur[c]
+				}
+			}
+		}
+		accum(di, l.wi, l.ui, l.bi)
+		accum(df, l.wf, l.uf, l.bf)
+		accum(do, l.wo, l.uo, l.bo)
+		accum(dg, l.wg, l.ug, l.bg)
+		dxs[t] = dx
+	}
+	return dxs
+}

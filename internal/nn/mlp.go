@@ -1,0 +1,68 @@
+package nn
+
+import "repro/internal/rng"
+
+// MLP is a stack of dense layers, used for the autoencoder reconciler's
+// encoders and decoder.
+type MLP struct {
+	layers []*Dense
+}
+
+// MLPSpec describes one MLP layer.
+type MLPSpec struct {
+	Out int
+	Act Activation
+}
+
+// NewMLP builds an MLP taking in inputs through the given layer specs.
+func NewMLP(name string, in int, specs []MLPSpec, src *rng.Source) *MLP {
+	m := &MLP{}
+	prev := in
+	for i, s := range specs {
+		m.layers = append(m.layers, NewDense(denseName(name, i), prev, s.Out, s.Act, src))
+		prev = s.Out
+	}
+	return m
+}
+
+func denseName(name string, i int) string {
+	return name + "." + string(rune('0'+i))
+}
+
+// ShareWeights returns an MLP view over the same parameters with
+// independent forward caches (see Dense.ShareWeights).
+func (m *MLP) ShareWeights() *MLP {
+	out := &MLP{layers: make([]*Dense, len(m.layers))}
+	for i, l := range m.layers {
+		out.layers[i] = l.ShareWeights()
+	}
+	return out
+}
+
+// Params returns all learnable tensors.
+func (m *MLP) Params() Params {
+	var ps Params
+	for _, l := range m.layers {
+		ps = append(ps, l.Params()...)
+	}
+	return ps
+}
+
+// OutDim returns the width of the final layer.
+func (m *MLP) OutDim() int { return m.layers[len(m.layers)-1].Out }
+
+// Forward runs the stack.
+func (m *MLP) Forward(x []float64) []float64 {
+	for _, l := range m.layers {
+		x = l.Forward(x)
+	}
+	return x
+}
+
+// Backward backpropagates dL/dy through the stack and returns dL/dx.
+func (m *MLP) Backward(dy []float64) []float64 {
+	for i := len(m.layers) - 1; i >= 0; i-- {
+		dy = m.layers[i].Backward(dy)
+	}
+	return dy
+}

@@ -1,0 +1,268 @@
+// Package protocol runs the Vehicle-Key key-establishment message flow
+// between two real endpoints over a transport.Conn:
+//
+//	Bob  → Alice  KEPT      Bob's guard-band kept sample indices
+//	Alice → Bob   FINAL     the confidence-intersected final indices
+//	Bob  → Alice  SYNDROME  the autoencoder code vector y_Bob + MAC
+//	Alice → Bob   CONFIRM   HMAC key confirmation
+//	Bob  → Alice  RESULT    confirm/deny
+//
+// Both sides accumulate kept bits across rounds and emit a 128-bit
+// session key whenever a reconciliation block completes and confirms.
+// Syndromes are authenticated with a MAC keyed by the sender's
+// Bloom-domain key (Sec. IV-C's MITM defence), and every message carries
+// a session ID and strictly increasing sequence number (replay defence).
+package protocol
+
+import (
+	"bytes"
+	"encoding/gob"
+	"errors"
+	"fmt"
+
+	"repro/internal/amplify"
+	"repro/internal/core"
+	"repro/internal/reconcile"
+	"repro/internal/secure"
+	"repro/internal/transport"
+)
+
+// MsgType enumerates protocol messages.
+type MsgType int
+
+// Protocol message types.
+const (
+	MsgKept MsgType = iota + 1
+	MsgFinal
+	MsgSyndrome
+	MsgConfirm
+	MsgResult
+)
+
+// Envelope is the wire format.
+type Envelope struct {
+	Type    MsgType
+	Session string
+	Seq     uint64
+
+	Indices  []int     // MsgKept, MsgFinal
+	Code     []float64 // MsgSyndrome
+	MAC      []byte    // MsgSyndrome, MsgConfirm
+	Round    int       // block counter for MsgSyndrome/Confirm/Result
+	Accepted bool      // MsgResult
+}
+
+func encode(e Envelope) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(e); err != nil {
+		return nil, fmt.Errorf("protocol: encode: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+func decode(data []byte) (Envelope, error) {
+	var e Envelope
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&e); err != nil {
+		return Envelope{}, fmt.Errorf("protocol: decode: %w", err)
+	}
+	return e, nil
+}
+
+// Node is one protocol endpoint.
+type Node struct {
+	Sys     *core.System
+	Conn    transport.Conn
+	Session string
+
+	guard *secure.ReplayGuard
+	seq   uint64
+}
+
+// NewNode wraps a trained system and a connection into an endpoint.
+func NewNode(sys *core.System, conn transport.Conn, session string) *Node {
+	return &Node{Sys: sys, Conn: conn, Session: session, guard: secure.NewReplayGuard()}
+}
+
+func (n *Node) send(e Envelope) error {
+	n.seq++
+	e.Session = n.Session
+	e.Seq = n.seq
+	data, err := encode(e)
+	if err != nil {
+		return err
+	}
+	return n.Conn.Send(data)
+}
+
+func (n *Node) recv(want MsgType) (Envelope, error) {
+	data, err := n.Conn.Recv()
+	if err != nil {
+		return Envelope{}, err
+	}
+	e, err := decode(data)
+	if err != nil {
+		return Envelope{}, err
+	}
+	if e.Session != n.Session {
+		return Envelope{}, fmt.Errorf("protocol: session mismatch %q", e.Session)
+	}
+	if err := n.guard.Check("peer:"+e.Session, e.Seq); err != nil {
+		return Envelope{}, err
+	}
+	if e.Type != want {
+		return Envelope{}, fmt.Errorf("protocol: got message type %d, want %d", e.Type, want)
+	}
+	return e, nil
+}
+
+// KeyOutcome is one established (or failed) key block.
+type KeyOutcome struct {
+	Key       []byte // 128-bit session key (nil when !Confirmed)
+	Confirmed bool
+	Round     int
+}
+
+// sessionSalt derives the round's public salt.
+func sessionSalt(session string, round int) []byte {
+	return []byte(fmt.Sprintf("vk/%s/%d", session, round))
+}
+
+// RunBob drives Bob's side over the measurement windows (his normalized
+// arRSSI sequences, one per probing round) and returns the confirmed
+// keys.
+func (n *Node) RunBob(windows [][]float64) ([]KeyOutcome, error) {
+	var buf []byte
+	var out []KeyOutcome
+	round := 0
+	block := n.Sys.Cfg.KeyBlockBits
+	for _, seq := range windows {
+		bits, kept, err := n.Sys.BobQuantize(seq)
+		if err != nil {
+			return nil, err
+		}
+		if err := n.send(Envelope{Type: MsgKept, Indices: kept}); err != nil {
+			return nil, err
+		}
+		fin, err := n.recv(MsgFinal)
+		if err != nil {
+			return nil, err
+		}
+		buf = append(buf, core.SelectAt(bits, kept, fin.Indices, n.Sys.Cfg.BitsPerSample)...)
+
+		for len(buf) >= block {
+			res, err := n.bobBlock(buf[:block], round)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, res)
+			buf = buf[block:]
+			round++
+		}
+	}
+	return out, nil
+}
+
+func (n *Node) bobBlock(bits []byte, round int) (KeyOutcome, error) {
+	salt := sessionSalt(n.Session, round)
+	bf := reconcile.NewBloomFilter(n.Sys.Cfg.KeyBlockBits, salt)
+	bloomKey := bf.Transform(bits)
+	code := n.Sys.AE.EncodeBob(bloomKey)
+	mac := secure.MAC(bloomKey, floatsToBytes(code))
+	if err := n.send(Envelope{Type: MsgSyndrome, Code: code, MAC: mac, Round: round}); err != nil {
+		return KeyOutcome{}, err
+	}
+	conf, err := n.recv(MsgConfirm)
+	if err != nil {
+		return KeyOutcome{}, err
+	}
+	expect := secure.MAC(bits, salt)
+	accepted := bytes.Equal(conf.MAC, expect)
+	if err := n.send(Envelope{Type: MsgResult, Round: round, Accepted: accepted}); err != nil {
+		return KeyOutcome{}, err
+	}
+	if !accepted {
+		return KeyOutcome{Round: round}, nil
+	}
+	key, err := amplify.Amplify(bits, salt)
+	if err != nil {
+		return KeyOutcome{}, err
+	}
+	return KeyOutcome{Key: key, Confirmed: true, Round: round}, nil
+}
+
+// RunAlice drives Alice's side over her measurement windows (aligned with
+// Bob's) and returns the confirmed keys.
+func (n *Node) RunAlice(windows [][]float64) ([]KeyOutcome, error) {
+	var buf []byte
+	var out []KeyOutcome
+	round := 0
+	block := n.Sys.Cfg.KeyBlockBits
+	for _, seq := range windows {
+		kept, err := n.recv(MsgKept)
+		if err != nil {
+			return nil, err
+		}
+		bits, final := n.Sys.AliceSelect(seq, kept.Indices)
+		if err := n.send(Envelope{Type: MsgFinal, Indices: final}); err != nil {
+			return nil, err
+		}
+		buf = append(buf, bits...)
+
+		for len(buf) >= block {
+			res, err := n.aliceBlock(buf[:block], round)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, res)
+			buf = buf[block:]
+			round++
+		}
+	}
+	return out, nil
+}
+
+func (n *Node) aliceBlock(bits []byte, round int) (KeyOutcome, error) {
+	salt := sessionSalt(n.Session, round)
+	syn, err := n.recv(MsgSyndrome)
+	if err != nil {
+		return KeyOutcome{}, err
+	}
+	bf := reconcile.NewBloomFilter(n.Sys.Cfg.KeyBlockBits, salt)
+	bloomKey := bf.Transform(bits)
+	corrected := n.Sys.AE.Correct(bloomKey, syn.Code)
+
+	// MAC check: if our corrected key equals Bob's, his MAC verifies
+	// under it. A failed MAC means either residual mismatch or tampering;
+	// both end in rejection (Sec. IV-C).
+	macOK := secure.VerifyMAC(corrected, floatsToBytes(syn.Code), syn.MAC)
+
+	final := bf.Inverse(corrected)
+	if err := n.send(Envelope{Type: MsgConfirm, MAC: secure.MAC(final, salt), Round: round}); err != nil {
+		return KeyOutcome{}, err
+	}
+	res, err := n.recv(MsgResult)
+	if err != nil {
+		return KeyOutcome{}, err
+	}
+	if !res.Accepted || !macOK {
+		return KeyOutcome{Round: round}, nil
+	}
+	key, err := amplify.Amplify(final, salt)
+	if err != nil {
+		return KeyOutcome{}, err
+	}
+	return KeyOutcome{Key: key, Confirmed: true, Round: round}, nil
+}
+
+func floatsToBytes(xs []float64) []byte {
+	out := make([]byte, 0, len(xs)*8)
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(xs); err != nil {
+		return nil
+	}
+	out = append(out, buf.Bytes()...)
+	return out
+}
+
+// ErrNoKeys reports a run that produced no confirmed keys.
+var ErrNoKeys = errors.New("protocol: no confirmed keys")

@@ -1,0 +1,161 @@
+package protocol
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+
+	"repro/internal/channel"
+	"repro/internal/core"
+	"repro/internal/rng"
+	"repro/internal/trace"
+	"repro/internal/transport"
+)
+
+// trainSystem builds a small trained system plus aligned test windows.
+func trainSystem(t *testing.T) (*core.System, [][]float64, [][]float64) {
+	t.Helper()
+	sc := trace.NewScenario(channel.Urban, channel.V2I)
+	ds, err := trace.Build(sc, 21, 300, 32, trace.DefaultExtract())
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := rng.New(22)
+	train, _, test := ds.Split(0.8, 0.05, src.Derive("split"))
+	sys := core.New(core.DefaultConfig(), src.Derive("sys"))
+	if _, err := sys.Train(train, 25, src.Derive("train")); err != nil {
+		t.Fatal(err)
+	}
+	var alice, bob [][]float64
+	for _, smp := range test.Samples {
+		alice = append(alice, smp.Alice)
+		bob = append(bob, smp.Bob)
+	}
+	return sys, alice, bob
+}
+
+func runProtocol(t *testing.T, sys *core.System, aliceWin, bobWin [][]float64, a, b transport.Conn) ([]KeyOutcome, []KeyOutcome) {
+	t.Helper()
+	alice := NewNode(sys, a, "sess-1")
+	bob := NewNode(sys, b, "sess-1")
+	var aliceOut, bobOut []KeyOutcome
+	var aliceErr, bobErr error
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		bobOut, bobErr = bob.RunBob(bobWin)
+	}()
+	go func() {
+		defer wg.Done()
+		aliceOut, aliceErr = alice.RunAlice(aliceWin)
+	}()
+	wg.Wait()
+	if aliceErr != nil {
+		t.Fatalf("alice: %v", aliceErr)
+	}
+	if bobErr != nil {
+		t.Fatalf("bob: %v", bobErr)
+	}
+	return aliceOut, bobOut
+}
+
+func checkOutcomes(t *testing.T, aliceOut, bobOut []KeyOutcome) {
+	t.Helper()
+	if len(aliceOut) != len(bobOut) {
+		t.Fatalf("outcome count mismatch: %d vs %d", len(aliceOut), len(bobOut))
+	}
+	confirmed := 0
+	for i := range aliceOut {
+		if aliceOut[i].Confirmed != bobOut[i].Confirmed {
+			t.Fatalf("round %d: confirmation mismatch", i)
+		}
+		if !aliceOut[i].Confirmed {
+			continue
+		}
+		confirmed++
+		if !bytes.Equal(aliceOut[i].Key, bobOut[i].Key) {
+			t.Fatalf("round %d: confirmed keys differ", i)
+		}
+		if len(aliceOut[i].Key) != 16 {
+			t.Fatalf("round %d: key length %d", i, len(aliceOut[i].Key))
+		}
+	}
+	t.Logf("blocks=%d confirmed=%d", len(aliceOut), confirmed)
+	if confirmed == 0 {
+		t.Fatal("no confirmed keys")
+	}
+}
+
+func TestProtocolInMemory(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains a model")
+	}
+	sys, aliceWin, bobWin := trainSystem(t)
+	a, b := transport.Pair()
+	defer a.Close()
+	defer b.Close()
+	aliceOut, bobOut := runProtocol(t, sys, aliceWin, bobWin, a, b)
+	checkOutcomes(t, aliceOut, bobOut)
+}
+
+func TestProtocolOverUDP(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains a model")
+	}
+	sys, aliceWin, bobWin := trainSystem(t)
+	bobSide, err := transport.DialUDP("127.0.0.1:0", "127.0.0.1:9") // placeholder peer
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer bobSide.Close()
+	aliceSide, err := transport.DialUDP("127.0.0.1:0", bobSide.LocalAddr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer aliceSide.Close()
+	ap, err := transport.ResolvePeer(aliceSide.LocalAddr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	bobSide.SetPeer(ap)
+	aliceOut, bobOut := runProtocol(t, sys, aliceWin, bobWin, aliceSide, bobSide)
+	checkOutcomes(t, aliceOut, bobOut)
+}
+
+func TestReplayRejected(t *testing.T) {
+	sys := core.New(core.DefaultConfig(), rng.New(3))
+	a, b := transport.Pair()
+	defer a.Close()
+	defer b.Close()
+	alice := NewNode(sys, a, "s")
+	// Craft a valid message, deliver it twice.
+	go func() {
+		env := Envelope{Type: MsgKept, Session: "s", Seq: 1, Indices: []int{1, 2}}
+		data, _ := encode(env)
+		b.Send(data)
+		b.Send(data)
+	}()
+	if _, err := alice.recv(MsgKept); err != nil {
+		t.Fatalf("first delivery should pass: %v", err)
+	}
+	if _, err := alice.recv(MsgKept); err == nil {
+		t.Fatal("replayed message must be rejected")
+	}
+}
+
+func TestSessionMismatchRejected(t *testing.T) {
+	sys := core.New(core.DefaultConfig(), rng.New(4))
+	a, b := transport.Pair()
+	defer a.Close()
+	defer b.Close()
+	alice := NewNode(sys, a, "expected")
+	go func() {
+		env := Envelope{Type: MsgKept, Session: "other", Seq: 1}
+		data, _ := encode(env)
+		b.Send(data)
+	}()
+	if _, err := alice.recv(MsgKept); err == nil {
+		t.Fatal("session mismatch must be rejected")
+	}
+}

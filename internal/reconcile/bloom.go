@@ -1,0 +1,99 @@
+// Package reconcile corrects the residual bit mismatches between Alice's
+// and Bob's quantized keys. It implements the paper's autoencoder-based
+// reconciler (Sec. IV-C) and the two baselines it is compared against:
+// Cascade (Brassard–Salvail, used by Han et al.) and compressed-sensing
+// reconciliation (used by LoRa-Key and Gao et al.).
+package reconcile
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+)
+
+// BloomFilter is the paper's "adapted Bloom filter" (after InaudibleKey):
+// a keyed, position-preserving transform applied to both keys before they
+// enter the autoencoder, so that an attacker who knows the trained decoder
+// cannot reverse-engineer key material from an intercepted code vector.
+//
+// The transform is a salt-keyed bit permutation followed by a salt-keyed
+// XOR pad. Both operations are bijective and applied identically on both
+// sides, so the number AND positions of mismatched bits are preserved
+// exactly — the property the reconciler depends on ("its output can
+// retain the same number of mismatched bits as the input key").
+type BloomFilter struct {
+	n    int
+	perm []int  // output position of each input bit
+	inv  []int  // inverse permutation
+	pad  []byte // keyed 0/1 pad
+}
+
+// NewBloomFilter builds the transform for n-bit keys from a public salt.
+// The salt is not secret: it is negotiated per session so that observed
+// syndromes cannot be replayed across sessions.
+func NewBloomFilter(n int, salt []byte) *BloomFilter {
+	bf := &BloomFilter{
+		n:    n,
+		perm: make([]int, n),
+		inv:  make([]int, n),
+		pad:  make([]byte, n),
+	}
+	// Fisher–Yates keyed by a SHA-256 stream over the salt.
+	stream := newHashStream(salt)
+	for i := range bf.perm {
+		bf.perm[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := int(stream.next() % uint64(i+1))
+		bf.perm[i], bf.perm[j] = bf.perm[j], bf.perm[i]
+	}
+	for i, p := range bf.perm {
+		bf.inv[p] = i
+	}
+	for i := range bf.pad {
+		bf.pad[i] = byte(stream.next() & 1)
+	}
+	return bf
+}
+
+// Transform maps a key into the Bloom-filtered domain.
+func (bf *BloomFilter) Transform(bits []byte) []byte {
+	out := make([]byte, bf.n)
+	for i := 0; i < bf.n && i < len(bits); i++ {
+		out[bf.perm[i]] = bits[i] ^ bf.pad[bf.perm[i]]
+	}
+	return out
+}
+
+// Inverse maps a Bloom-filtered key back to the original domain.
+func (bf *BloomFilter) Inverse(bits []byte) []byte {
+	out := make([]byte, bf.n)
+	for i := 0; i < bf.n && i < len(bits); i++ {
+		out[i] = bits[bf.perm[i]] ^ bf.pad[bf.perm[i]]
+	}
+	return out
+}
+
+// hashStream yields a deterministic stream of uint64s from a salt via
+// chained SHA-256, enough entropy for the keyed permutation and pad.
+type hashStream struct {
+	state [32]byte
+	buf   [32]byte
+	off   int
+}
+
+func newHashStream(salt []byte) *hashStream {
+	s := &hashStream{state: sha256.Sum256(salt)}
+	s.buf = sha256.Sum256(s.state[:])
+	return s
+}
+
+func (s *hashStream) next() uint64 {
+	if s.off+8 > len(s.buf) {
+		s.state = sha256.Sum256(s.state[:])
+		s.buf = sha256.Sum256(s.state[:])
+		s.off = 0
+	}
+	v := binary.BigEndian.Uint64(s.buf[s.off:])
+	s.off += 8
+	return v
+}

@@ -1,0 +1,327 @@
+package reconcile
+
+import (
+	"errors"
+	"math"
+
+	"repro/internal/rng"
+)
+
+// CSConfig parameterizes the compressed-sensing reconciler used by the
+// LoRa-Key and Gao et al. baselines (the paper fixes the random matrix at
+// 20×64 for both).
+type CSConfig struct {
+	// Rows is M, the syndrome dimension.
+	Rows int
+	// MaxSparsity bounds the number of mismatches the decoder will try to
+	// recover; 0 derives it from Rows/2 (a standard CS operating point).
+	MaxSparsity int
+	// MatrixSeed seeds the shared sensing matrix; both parties derive the
+	// same Φ from it publicly.
+	MatrixSeed int64
+	// ISTAIterations is the iteration budget of the ℓ1 decoder (CSISTA);
+	// 0 means 200, a typical basis-pursuit operating point.
+	ISTAIterations int
+}
+
+// DefaultCSConfig matches the paper's comparison setup for 64-bit keys.
+func DefaultCSConfig() CSConfig { return CSConfig{Rows: 20, MatrixSeed: 99} }
+
+// CS reconciles Alice's key against Bob's with syndrome-based compressed
+// sensing: Bob transmits y = Φ·k_B, Alice computes Φ·k_A − y = Φ·e for the
+// sparse mismatch vector e and recovers e with orthogonal matching
+// pursuit. OMP's iterative least-squares decode is what makes this method
+// roughly an order of magnitude more expensive than the autoencoder's
+// single forward pass (Fig. 11).
+func CS(keyAlice, keyBob []byte, cfg CSConfig) (Outcome, error) {
+	if len(keyAlice) != len(keyBob) {
+		return Outcome{}, errors.New("reconcile: key length mismatch")
+	}
+	n := len(keyAlice)
+	if cfg.Rows <= 0 {
+		cfg.Rows = 20
+	}
+	if cfg.MaxSparsity <= 0 {
+		cfg.MaxSparsity = cfg.Rows / 2
+	}
+	m := cfg.Rows
+	phi := sensingMatrix(m, n, cfg.MatrixSeed)
+	ops := newOpCounter()
+
+	// Bob's syndrome and Alice's local projection.
+	yB := matVecBits(phi, keyBob, m, n)
+	yA := matVecBits(phi, keyAlice, m, n)
+	ops.add(2 * m * n)
+	resid := make([]float64, m)
+	for i := range resid {
+		resid[i] = yA[i] - yB[i] // Φ·e, e ∈ {−1,0,+1}
+	}
+
+	support, coef := omp(phi, resid, m, n, cfg.MaxSparsity, ops)
+
+	alice := make([]byte, n)
+	copy(alice, keyAlice)
+	for k, j := range support {
+		// e_j ≈ ±1 means Alice's bit j differs from Bob's.
+		if math.Abs(coef[k]) > 0.5 {
+			alice[j] ^= 1
+		}
+	}
+	return Outcome{
+		AliceKey:      alice,
+		BobKey:        keyBob,
+		Messages:      1,
+		SyndromeBits:  m * 64,
+		ComputeOps:    ops.total,
+		LeakedKeyBits: m,
+		Method:        "cs-omp",
+	}, nil
+}
+
+// CSISTA reconciles like CS but decodes the sparse mismatch vector with
+// iterative soft-thresholding (ISTA), the ℓ1-minimization decode that
+// LoRa-Key's CS reconciliation performs. Its hundreds of full
+// matrix-vector iterations are the computation cost the paper's Fig. 11
+// reports the autoencoder cutting by roughly an order of magnitude.
+func CSISTA(keyAlice, keyBob []byte, cfg CSConfig) (Outcome, error) {
+	if len(keyAlice) != len(keyBob) {
+		return Outcome{}, errors.New("reconcile: key length mismatch")
+	}
+	n := len(keyAlice)
+	if cfg.Rows <= 0 {
+		cfg.Rows = 20
+	}
+	iters := cfg.ISTAIterations
+	if iters <= 0 {
+		iters = 200
+	}
+	m := cfg.Rows
+	phi := sensingMatrix(m, n, cfg.MatrixSeed)
+	ops := newOpCounter()
+
+	yB := matVecBits(phi, keyBob, m, n)
+	yA := matVecBits(phi, keyAlice, m, n)
+	ops.add(2 * m * n)
+	b := make([]float64, m)
+	for i := range b {
+		b[i] = yA[i] - yB[i]
+	}
+
+	// ISTA: x ← shrink(x + (1/L)·Φᵀ(b − Φx), λ/L). The Lipschitz constant
+	// of ΦᵀΦ for a ±1/√M Bernoulli matrix is ≈ N/M; step 1/L.
+	x := make([]float64, n)
+	l := float64(n) / float64(m)
+	step := 1 / l
+	lambda := 0.2
+	resid := make([]float64, m)
+	grad := make([]float64, n)
+	for it := 0; it < iters; it++ {
+		for r := 0; r < m; r++ {
+			s := b[r]
+			row := phi[r*n : (r+1)*n]
+			for c := 0; c < n; c++ {
+				s -= row[c] * x[c]
+			}
+			resid[r] = s
+		}
+		for c := 0; c < n; c++ {
+			var s float64
+			for r := 0; r < m; r++ {
+				s += phi[r*n+c] * resid[r]
+			}
+			grad[c] = s
+		}
+		ops.add(2 * m * n)
+		for c := 0; c < n; c++ {
+			v := x[c] + step*grad[c]
+			// Soft threshold.
+			switch {
+			case v > lambda*step:
+				v -= lambda * step
+			case v < -lambda*step:
+				v += lambda * step
+			default:
+				v = 0
+			}
+			x[c] = v
+		}
+		ops.add(n)
+	}
+
+	alice := make([]byte, n)
+	copy(alice, keyAlice)
+	for c := 0; c < n; c++ {
+		if math.Abs(x[c]) > 0.5 {
+			alice[c] ^= 1
+		}
+	}
+	return Outcome{
+		AliceKey:      alice,
+		BobKey:        keyBob,
+		Messages:      1,
+		SyndromeBits:  m * 64,
+		ComputeOps:    ops.total,
+		LeakedKeyBits: m,
+		Method:        "cs-ista",
+	}, nil
+}
+
+// sensingMatrix derives the shared ±1/√M Bernoulli matrix from the seed.
+func sensingMatrix(m, n int, seed int64) []float64 {
+	src := rng.New(seed)
+	phi := make([]float64, m*n)
+	scale := 1 / math.Sqrt(float64(m))
+	for i := range phi {
+		if src.Bernoulli(0.5) {
+			phi[i] = scale
+		} else {
+			phi[i] = -scale
+		}
+	}
+	return phi
+}
+
+func matVecBits(phi []float64, bits []byte, m, n int) []float64 {
+	out := make([]float64, m)
+	for r := 0; r < m; r++ {
+		row := phi[r*n : (r+1)*n]
+		var s float64
+		for c, b := range bits {
+			if b == 1 {
+				s += row[c]
+			}
+		}
+		out[r] = s
+	}
+	return out
+}
+
+// omp runs orthogonal matching pursuit on residual b over the columns of
+// phi, returning the chosen support and least-squares coefficients.
+func omp(phi, b []float64, m, n, maxS int, ops *opCounter) (support []int, coef []float64) {
+	resid := make([]float64, m)
+	copy(resid, b)
+	chosen := make(map[int]bool, maxS)
+
+	norm := func(v []float64) float64 {
+		var s float64
+		for _, x := range v {
+			s += x * x
+		}
+		return math.Sqrt(s)
+	}
+	if norm(resid) < 1e-9 {
+		return nil, nil
+	}
+
+	for iter := 0; iter < maxS; iter++ {
+		// Column most correlated with the residual.
+		best, bestAbs := -1, 0.0
+		for j := 0; j < n; j++ {
+			if chosen[j] {
+				continue
+			}
+			var dot float64
+			for r := 0; r < m; r++ {
+				dot += phi[r*n+j] * resid[r]
+			}
+			ops.add(m)
+			if a := math.Abs(dot); a > bestAbs {
+				bestAbs, best = a, j
+			}
+		}
+		if best < 0 || bestAbs < 1e-9 {
+			break
+		}
+		chosen[best] = true
+		support = append(support, best)
+
+		// Least squares on the support: solve (AᵀA)x = Aᵀb.
+		k := len(support)
+		ata := make([]float64, k*k)
+		atb := make([]float64, k)
+		for a := 0; a < k; a++ {
+			for bcol := 0; bcol < k; bcol++ {
+				var s float64
+				for r := 0; r < m; r++ {
+					s += phi[r*n+support[a]] * phi[r*n+support[bcol]]
+				}
+				ata[a*k+bcol] = s
+			}
+			var s float64
+			for r := 0; r < m; r++ {
+				s += phi[r*n+support[a]] * b[r]
+			}
+			atb[a] = s
+		}
+		ops.add(k*k*m + k*m)
+		coef = solve(ata, atb, k)
+		ops.add(k * k * k)
+
+		// Update residual r = b − A·x.
+		for r := 0; r < m; r++ {
+			s := b[r]
+			for a := 0; a < k; a++ {
+				s -= phi[r*n+support[a]] * coef[a]
+			}
+			resid[r] = s
+		}
+		ops.add(k * m)
+		if norm(resid) < 1e-6 {
+			break
+		}
+	}
+	return support, coef
+}
+
+// solve performs Gaussian elimination with partial pivoting on the k×k
+// system a·x = b. Singular systems return the best-effort solution with
+// zeroed free variables.
+func solve(a, b []float64, k int) []float64 {
+	// Work on copies.
+	m := make([]float64, len(a))
+	copy(m, a)
+	x := make([]float64, k)
+	copy(x, b)
+	for col := 0; col < k; col++ {
+		// Pivot.
+		p := col
+		for r := col + 1; r < k; r++ {
+			if math.Abs(m[r*k+col]) > math.Abs(m[p*k+col]) {
+				p = r
+			}
+		}
+		if math.Abs(m[p*k+col]) < 1e-12 {
+			continue
+		}
+		if p != col {
+			for c := 0; c < k; c++ {
+				m[p*k+c], m[col*k+c] = m[col*k+c], m[p*k+c]
+			}
+			x[p], x[col] = x[col], x[p]
+		}
+		for r := col + 1; r < k; r++ {
+			f := m[r*k+col] / m[col*k+col]
+			if f == 0 {
+				continue
+			}
+			for c := col; c < k; c++ {
+				m[r*k+c] -= f * m[col*k+c]
+			}
+			x[r] -= f * x[col]
+		}
+	}
+	out := make([]float64, k)
+	for r := k - 1; r >= 0; r-- {
+		if math.Abs(m[r*k+r]) < 1e-12 {
+			out[r] = 0
+			continue
+		}
+		s := x[r]
+		for c := r + 1; c < k; c++ {
+			s -= m[r*k+c] * out[c]
+		}
+		out[r] = s / m[r*k+r]
+	}
+	return out
+}

@@ -1,0 +1,54 @@
+package reconcile
+
+import "testing"
+
+// FuzzBloomFilter checks round-trip and mismatch preservation on
+// arbitrary keys and salts.
+func FuzzBloomFilter(f *testing.F) {
+	f.Add([]byte{1, 0, 1, 1}, []byte("salt"))
+	f.Fuzz(func(t *testing.T, rawKey, salt []byte) {
+		if len(rawKey) == 0 || len(rawKey) > 512 {
+			return
+		}
+		key := make([]byte, len(rawKey))
+		for i, b := range rawKey {
+			key[i] = b & 1
+		}
+		bf := NewBloomFilter(len(key), salt)
+		tr := bf.Transform(key)
+		back := bf.Inverse(tr)
+		for i := range key {
+			if back[i] != key[i] {
+				t.Fatalf("round trip failed at %d", i)
+			}
+		}
+	})
+}
+
+// FuzzCS checks the OMP reconciler never panics and always returns a
+// key of the right length.
+func FuzzCS(f *testing.F) {
+	f.Add([]byte{1, 0, 1, 0, 1, 1, 0, 0}, []byte{1, 0, 1, 1, 1, 1, 0, 0})
+	f.Fuzz(func(t *testing.T, rawA, rawB []byte) {
+		n := len(rawA)
+		if len(rawB) < n {
+			n = len(rawB)
+		}
+		if n < 8 || n > 128 {
+			return
+		}
+		ka := make([]byte, n)
+		kb := make([]byte, n)
+		for i := 0; i < n; i++ {
+			ka[i] = rawA[i] & 1
+			kb[i] = rawB[i] & 1
+		}
+		out, err := CS(ka, kb, DefaultCSConfig())
+		if err != nil {
+			t.Fatalf("unexpected error: %v", err)
+		}
+		if len(out.AliceKey) != n {
+			t.Fatalf("key length %d, want %d", len(out.AliceKey), n)
+		}
+	})
+}

@@ -1,0 +1,37 @@
+package reconcile
+
+// Outcome reports one reconciliation run, including the cost accounting
+// used to reproduce the paper's Fig. 11 computation-cost comparison.
+type Outcome struct {
+	AliceKey []byte // Alice's key after correction
+	BobKey   []byte // Bob's (reference) key
+
+	Messages      int    // protocol messages exchanged
+	SyndromeBits  int    // public bits transmitted
+	ComputeOps    int    // abstract multiply-accumulate count
+	LeakedKeyBits int    // upper bound on key bits revealed publicly
+	Method        string // which reconciler produced this outcome
+}
+
+// Agreement returns the post-reconciliation bit agreement rate.
+func (o Outcome) Agreement() float64 {
+	if len(o.AliceKey) == 0 || len(o.AliceKey) != len(o.BobKey) {
+		return 0
+	}
+	same := 0
+	for i := range o.AliceKey {
+		if o.AliceKey[i] == o.BobKey[i] {
+			same++
+		}
+	}
+	return float64(same) / float64(len(o.AliceKey))
+}
+
+// Exact reports whether the two keys agree on every bit.
+func (o Outcome) Exact() bool { return o.Agreement() == 1 }
+
+// opCounter tallies abstract compute operations.
+type opCounter struct{ total int }
+
+func newOpCounter() *opCounter { return &opCounter{} }
+func (c *opCounter) add(n int) { c.total += n }

@@ -1,0 +1,34 @@
+package reconcile
+
+import (
+	"testing"
+
+	"repro/internal/rng"
+)
+
+// TestAETuning is a manual knob-exploration harness; run with -run
+// TestAETuning -v to inspect accuracy at different training budgets.
+func TestAETuning(t *testing.T) {
+	if testing.Short() {
+		t.Skip("tuning harness")
+	}
+	cfg := AEConfig{KeyBits: 64, CodeDim: 32, DecoderUnits: 16, MaxMismatch: 0.15}
+	for _, epochs := range []int{10, 30} {
+		ae := TrainAE(cfg, epochs, 200, rng.New(5))
+		src := rng.New(6)
+		for _, flips := range []int{2, 5, 8} {
+			var agree float64
+			const trials = 40
+			for i := 0; i < trials; i++ {
+				kb := src.Bits(64)
+				ka := flipBits(kb, flips, src)
+				out, err := ae.Reconcile(ka, kb, []byte("s"))
+				if err != nil {
+					t.Fatal(err)
+				}
+				agree += out.Agreement()
+			}
+			t.Logf("epochs=%d flips=%d: agreement %.4f", epochs, flips, agree/trials)
+		}
+	}
+}

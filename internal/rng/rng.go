@@ -1,0 +1,114 @@
+// Package rng provides the deterministic random sources used throughout
+// the Vehicle-Key simulator. Every stochastic component (fading, noise,
+// hardware offsets, NN initialization, dataset shuffling) draws from an
+// explicit *Source so that experiments are exactly reproducible from a
+// seed, and independent subsystems can be given independent streams.
+package rng
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Source is a seeded pseudo-random stream. It wraps math/rand with the
+// derived-stream and distribution helpers the channel and NN code need.
+// A Source is not safe for concurrent use; derive one per goroutine.
+type Source struct {
+	r *rand.Rand
+}
+
+// New returns a Source seeded with seed.
+func New(seed int64) *Source {
+	return &Source{r: rand.New(rand.NewSource(seed))}
+}
+
+// Derive returns a new independent Source whose seed is a deterministic
+// function of this source's seed stream and the given label. Use it to
+// give subsystems (Alice's radio, Bob's radio, the channel process, ...)
+// decoupled streams so adding draws in one does not perturb another.
+func (s *Source) Derive(label string) *Source {
+	h := int64(1469598103934665603) // FNV offset basis
+	for _, c := range label {
+		h ^= int64(c)
+		h *= 1099511628211
+	}
+	return New(h ^ s.r.Int63())
+}
+
+// Float64 returns a uniform value in [0, 1).
+func (s *Source) Float64() float64 { return s.r.Float64() }
+
+// Intn returns a uniform int in [0, n).
+func (s *Source) Intn(n int) int { return s.r.Intn(n) }
+
+// Int63 returns a uniform non-negative int64.
+func (s *Source) Int63() int64 { return s.r.Int63() }
+
+// Perm returns a random permutation of [0, n).
+func (s *Source) Perm(n int) []int { return s.r.Perm(n) }
+
+// Shuffle pseudo-randomizes the order of n elements via swap.
+func (s *Source) Shuffle(n int, swap func(i, j int)) { s.r.Shuffle(n, swap) }
+
+// Normal returns a sample from N(mean, std²).
+func (s *Source) Normal(mean, std float64) float64 {
+	return mean + std*s.r.NormFloat64()
+}
+
+// Uniform returns a sample from U[lo, hi).
+func (s *Source) Uniform(lo, hi float64) float64 {
+	return lo + (hi-lo)*s.r.Float64()
+}
+
+// Rayleigh returns a sample from the Rayleigh distribution with scale
+// sigma — the envelope of a zero-mean complex Gaussian with per-component
+// std sigma. This is the paper's fast-fading amplitude model (Eq. 1).
+func (s *Source) Rayleigh(sigma float64) float64 {
+	// Inverse-CDF sampling: F(x) = 1 - exp(-x²/2σ²).
+	u := s.r.Float64()
+	if u >= 1 {
+		u = math.Nextafter(1, 0)
+	}
+	return sigma * math.Sqrt(-2*math.Log(1-u))
+}
+
+// LogNormal returns a sample whose natural log is N(mu, sigma²). This is
+// the paper's slow-fading (shadowing) amplitude model (Eq. 2).
+func (s *Source) LogNormal(mu, sigma float64) float64 {
+	return math.Exp(s.Normal(mu, sigma))
+}
+
+// Rician returns a sample from the Rician envelope distribution with
+// K-factor k (ratio of LOS power to scattered power) and total power
+// omega. Rural LOS links are Rician; urban NLOS degenerates to Rayleigh
+// at k = 0.
+func (s *Source) Rician(k, omega float64) float64 {
+	nu := math.Sqrt(k * omega / (k + 1))      // LOS amplitude
+	sigma := math.Sqrt(omega / (2 * (k + 1))) // scatter per-component std
+	x := s.Normal(nu, sigma)
+	y := s.Normal(0, sigma)
+	return math.Hypot(x, y)
+}
+
+// Exponential returns a sample from Exp(rate).
+func (s *Source) Exponential(rate float64) float64 {
+	u := s.r.Float64()
+	if u >= 1 {
+		u = math.Nextafter(1, 0)
+	}
+	return -math.Log(1-u) / rate
+}
+
+// Bernoulli returns true with probability p.
+func (s *Source) Bernoulli(p float64) bool { return s.r.Float64() < p }
+
+// Bits returns n independent uniform bits as 0/1 bytes.
+func (s *Source) Bits(n int) []byte {
+	out := make([]byte, n)
+	for i := range out {
+		if s.r.Int63()&1 == 1 {
+			out[i] = 1
+		}
+	}
+	return out
+}

@@ -1,0 +1,139 @@
+package rng
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 100; i++ {
+		if a.Float64() != b.Float64() {
+			t.Fatal("same seed must yield the same stream")
+		}
+	}
+}
+
+func TestDeriveIndependence(t *testing.T) {
+	// Deriving a stream must not depend on how many draws the sibling
+	// made before it existed — but the same label from the same parent
+	// state must be stable.
+	p1 := New(7)
+	d1 := p1.Derive("alice")
+	p2 := New(7)
+	d2 := p2.Derive("alice")
+	for i := 0; i < 20; i++ {
+		if d1.Float64() != d2.Float64() {
+			t.Fatal("derive must be deterministic")
+		}
+	}
+	p3 := New(7)
+	other := p3.Derive("bob")
+	same := 0
+	d3 := New(7).Derive("alice")
+	for i := 0; i < 50; i++ {
+		if d3.Float64() == other.Float64() {
+			same++
+		}
+	}
+	if same > 5 {
+		t.Error("different labels should give different streams")
+	}
+}
+
+func moments(n int, draw func() float64) (mean, variance float64) {
+	var s, s2 float64
+	for i := 0; i < n; i++ {
+		x := draw()
+		s += x
+		s2 += x * x
+	}
+	mean = s / float64(n)
+	return mean, s2/float64(n) - mean*mean
+}
+
+func TestNormalMoments(t *testing.T) {
+	src := New(1)
+	mean, variance := moments(50000, func() float64 { return src.Normal(3, 2) })
+	if math.Abs(mean-3) > 0.05 {
+		t.Errorf("mean = %v, want ~3", mean)
+	}
+	if math.Abs(variance-4) > 0.15 {
+		t.Errorf("variance = %v, want ~4", variance)
+	}
+}
+
+func TestRayleighMoments(t *testing.T) {
+	src := New(2)
+	sigma := 1.5
+	mean, _ := moments(50000, func() float64 { return src.Rayleigh(sigma) })
+	want := sigma * math.Sqrt(math.Pi/2)
+	if math.Abs(mean-want) > 0.03 {
+		t.Errorf("Rayleigh mean = %v, want ~%v", mean, want)
+	}
+}
+
+func TestRicianReducesToRayleigh(t *testing.T) {
+	src := New(3)
+	// K = 0: Rician(0, omega) has the Rayleigh mean sqrt(pi*omega/4)… up
+	// to the omega normalization: E[R] = sqrt(pi*omega)/2.
+	omega := 2.0
+	mean, _ := moments(50000, func() float64 { return src.Rician(0, omega) })
+	want := math.Sqrt(math.Pi*omega) / 2
+	if math.Abs(mean-want) > 0.03 {
+		t.Errorf("Rician(0) mean = %v, want ~%v", mean, want)
+	}
+}
+
+func TestRicianPower(t *testing.T) {
+	src := New(4)
+	// E[R^2] = omega for any K.
+	for _, k := range []float64{0, 1, 6} {
+		_, _ = k, src
+		var s float64
+		const n = 40000
+		for i := 0; i < n; i++ {
+			r := src.Rician(k, 3)
+			s += r * r
+		}
+		if got := s / n; math.Abs(got-3) > 0.1 {
+			t.Errorf("K=%v: E[R^2] = %v, want ~3", k, got)
+		}
+	}
+}
+
+func TestLogNormal(t *testing.T) {
+	src := New(5)
+	mean, _ := moments(50000, func() float64 { return math.Log(src.LogNormal(0.5, 0.25)) })
+	if math.Abs(mean-0.5) > 0.01 {
+		t.Errorf("log of LogNormal mean = %v, want ~0.5", mean)
+	}
+}
+
+func TestBernoulliRate(t *testing.T) {
+	src := New(6)
+	hits := 0
+	const n = 20000
+	for i := 0; i < n; i++ {
+		if src.Bernoulli(0.3) {
+			hits++
+		}
+	}
+	if rate := float64(hits) / n; math.Abs(rate-0.3) > 0.02 {
+		t.Errorf("rate = %v, want ~0.3", rate)
+	}
+}
+
+func TestBitsBalanced(t *testing.T) {
+	src := New(7)
+	bits := src.Bits(20000)
+	ones := 0
+	for _, b := range bits {
+		if b == 1 {
+			ones++
+		}
+	}
+	if r := float64(ones) / float64(len(bits)); math.Abs(r-0.5) > 0.02 {
+		t.Errorf("ones rate = %v, want ~0.5", r)
+	}
+}

@@ -1,0 +1,103 @@
+package secure
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestMACRoundTrip(t *testing.T) {
+	key := []byte{1, 0, 1, 1, 0, 0, 1, 0}
+	msg := []byte("probe 42")
+	tag := MAC(key, msg)
+	if len(tag) != MACSize {
+		t.Fatalf("tag length %d, want %d", len(tag), MACSize)
+	}
+	if !VerifyMAC(key, msg, tag) {
+		t.Fatal("valid MAC rejected")
+	}
+	if VerifyMAC(key, []byte("probe 43"), tag) {
+		t.Fatal("modified message accepted")
+	}
+	key[0] ^= 1
+	if VerifyMAC(key, msg, tag) {
+		t.Fatal("wrong key accepted")
+	}
+}
+
+func TestReplayGuard(t *testing.T) {
+	g := NewReplayGuard()
+	if err := g.Check("s", 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Check("s", 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Check("s", 2); err == nil {
+		t.Fatal("replay accepted")
+	}
+	if err := g.Check("s", 1); err == nil {
+		t.Fatal("stale nonce accepted")
+	}
+	if err := g.Check("other", 1); err != nil {
+		t.Fatal("independent session rejected")
+	}
+}
+
+func TestChannelSealOpen(t *testing.T) {
+	key := make([]byte, 16)
+	for i := range key {
+		key[i] = byte(i)
+	}
+	a, err := NewChannel(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewChannel(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(msg []byte) bool {
+		ct := a.Seal(msg)
+		pt, err := b.Open(ct)
+		return err == nil && bytes.Equal(pt, msg)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestChannelRejectsReplayAndTamper(t *testing.T) {
+	key := make([]byte, 16)
+	a, _ := NewChannel(key)
+	b, _ := NewChannel(key)
+	ct := a.Seal([]byte("hello"))
+	if _, err := b.Open(ct); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Open(ct); err == nil {
+		t.Fatal("replay accepted")
+	}
+	ct2 := a.Seal([]byte("world"))
+	ct2[len(ct2)-1] ^= 1
+	if _, err := b.Open(ct2); err == nil {
+		t.Fatal("tampered ciphertext accepted")
+	}
+}
+
+func TestChannelWrongKey(t *testing.T) {
+	k1 := make([]byte, 16)
+	k2 := make([]byte, 16)
+	k2[0] = 1
+	a, _ := NewChannel(k1)
+	b, _ := NewChannel(k2)
+	if _, err := b.Open(a.Seal([]byte("x"))); err == nil {
+		t.Fatal("wrong key accepted")
+	}
+}
+
+func TestChannelKeyLength(t *testing.T) {
+	if _, err := NewChannel(make([]byte, 15)); err == nil {
+		t.Fatal("15-byte key accepted")
+	}
+}

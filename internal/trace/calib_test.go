@@ -1,0 +1,149 @@
+package trace
+
+import (
+	"testing"
+
+	"repro/internal/channel"
+	"repro/internal/lora"
+	"repro/internal/mathx"
+)
+
+// diff returns the first differences of xs.
+func diff(xs []float64) []float64 {
+	if len(xs) < 2 {
+		return nil
+	}
+	out := make([]float64, len(xs)-1)
+	for i := 1; i < len(xs); i++ {
+		out[i-1] = xs[i] - xs[i-1]
+	}
+	return out
+}
+
+// avgPRSSICorr averages the Alice/Bob pRSSI correlation over several
+// independent channel realizations to smooth single-drive variance.
+func avgPRSSICorr(t *testing.T, sc Scenario, seeds, exchanges int) float64 {
+	t.Helper()
+	var sum float64
+	for s := 0; s < seeds; s++ {
+		col := NewCollector(sc, int64(100+s))
+		ex := col.Run(exchanges)
+		pa, pb := PRSSI(ex)
+		c, err := mathx.Pearson(pa, pb)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum += c
+	}
+	return sum / float64(seeds)
+}
+
+// TestCalibrationShapes is the load-bearing physics check: the simulated
+// substrate must reproduce the qualitative findings of the paper's
+// preliminary study (Sec. II-B/C) or every downstream experiment is
+// meaningless.
+func TestCalibrationShapes(t *testing.T) {
+	t.Run("rRSSI beats pRSSI", func(t *testing.T) {
+		for _, sc := range Scenarios() {
+			col := NewCollector(sc, 42)
+			ex := col.Run(60)
+			pa, pb := PRSSI(ex)
+			pCorr, err := mathx.Pearson(pa, pb)
+			if err != nil {
+				t.Fatal(err)
+			}
+			aa, ab := ArRSSI(ex, DefaultExtract())
+			aCorr, err := Correlation(aa, ab)
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Logf("%s: pRSSI corr=%.3f arRSSI corr=%.3f", sc.Name, pCorr, aCorr)
+			if aCorr <= pCorr {
+				t.Errorf("%s: arRSSI corr %.3f should beat pRSSI corr %.3f", sc.Name, aCorr, pCorr)
+			}
+			if aCorr < 0.7 {
+				t.Errorf("%s: arRSSI corr %.3f too low for key generation", sc.Name, aCorr)
+			}
+		}
+	})
+
+	t.Run("correlation falls with lower data rate (Fig 2a)", func(t *testing.T) {
+		sweep := lora.DataRateSweep()
+		corrs := make([]float64, len(sweep))
+		for i, pt := range sweep {
+			sc := NewScenario(channel.Urban, channel.V2I)
+			sc.Radio = pt.Params
+			corrs[i] = avgPRSSICorr(t, sc, 4, 80)
+			t.Logf("%s (airtime %.0f ms): pRSSI corr=%.3f", pt.Label, pt.Params.Airtime()*1e3, corrs[i])
+		}
+		if corrs[0] >= corrs[len(corrs)-1] {
+			t.Errorf("correlation should rise with data rate: %v", corrs)
+		}
+	})
+
+	t.Run("correlation falls with speed (Fig 2b)", func(t *testing.T) {
+		speeds := []float64{10, 30, 50, 80}
+		corrs := make([]float64, len(speeds))
+		for i, v := range speeds {
+			sc := NewScenario(channel.Urban, channel.V2I)
+			sc.SpeedAKmh = v
+			corrs[i] = avgPRSSICorr(t, sc, 4, 80)
+			t.Logf("%.0f km/h: pRSSI corr=%.3f", v, corrs[i])
+		}
+		if corrs[0] <= corrs[len(corrs)-1] {
+			t.Errorf("correlation should fall with speed: %v", corrs)
+		}
+	})
+
+	// Eve's *overall pattern* is allowed to track the legitimate series
+	// (Fig. 16: path loss and shadow trends are observable by following
+	// the route) — what she must not share is the fine-grained variation
+	// the quantizer keys on. First differences isolate that structure.
+	t.Run("Eve fine structure decorrelated from Bob", func(t *testing.T) {
+		sc := NewScenario(channel.Urban, channel.V2V)
+		col := NewCollector(sc, 5)
+		ex := col.Run(80)
+		alice, bob := ArRSSI(ex, DefaultExtract())
+		eve := EveArRSSI(ex, DefaultExtract(), true)
+		legit, err := mathx.Pearson(diff(Flatten(alice)), diff(Flatten(bob)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		attack, err := mathx.Pearson(diff(Flatten(eve)), diff(Flatten(bob)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("legit diff-corr=%.3f, imitating-Eve diff-corr=%.3f", legit, attack)
+		if attack >= legit-0.15 {
+			t.Errorf("Eve diff-corr %.3f should be well below legit %.3f", attack, legit)
+		}
+	})
+
+	t.Run("arRSSI window optimum is interior (Fig 9)", func(t *testing.T) {
+		sc := NewScenario(channel.Urban, channel.V2I)
+		col := NewCollector(sc, 13)
+		ex := col.Run(100)
+		fractions := []float64{0.02, 0.05, 0.10, 0.20, 0.35, 0.5, 0.8}
+		corrs := make([]float64, len(fractions))
+		for i, f := range fractions {
+			cfg := ExtractConfig{WindowFraction: f, Blocks: 4}
+			a, b := ArRSSI(ex, cfg)
+			c, err := Correlation(a, b)
+			if err != nil {
+				t.Fatal(err)
+			}
+			corrs[i] = c
+			t.Logf("window %.0f%%: corr=%.3f", f*100, c)
+		}
+		// The best window should not be the widest one.
+		best := 0
+		for i, c := range corrs {
+			if c > corrs[best] {
+				best = i
+			}
+		}
+		if best == len(corrs)-1 {
+			t.Errorf("window optimum should be interior, got widest: %v", corrs)
+		}
+	})
+}

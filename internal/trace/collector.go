@@ -1,0 +1,110 @@
+package trace
+
+import (
+	"repro/internal/channel"
+	"repro/internal/lora"
+	"repro/internal/rng"
+)
+
+// Exchange is one probe/response round:
+//
+//	t0                t0+Ta        t0+Ta+Td         t0+2Ta+Td
+//	|-- Alice probes --|   (Bob's   |-- Bob answers --|
+//	|   Bob receives   |  turnaround|  Alice receives |
+//
+// Bob's rRSSI window therefore *ends* right where Alice's *begins* — the
+// adjacency the arRSSI feature exploits.
+type Exchange struct {
+	Index int
+	BobRx lora.Reception // Bob receiving Alice's probe (earlier window)
+	AlcRx lora.Reception // Alice receiving Bob's response (later window)
+
+	// Eve's passive observations over her own, spatially distinct
+	// channels, time-aligned with the legitimate windows.
+	EveEavesdropRx lora.Reception // Eve (parked near Bob) hearing Alice's probe
+	EveImitateRx   lora.Reception // Eve (tailing Alice) hearing Bob's response
+
+	// Duration is the wall-clock span of the whole round including the
+	// turnaround delays, used for key-generation-rate accounting.
+	Duration float64
+}
+
+// Collector runs probe exchanges for one scenario against one seeded
+// channel realization.
+type Collector struct {
+	Scenario Scenario
+	Model    *channel.Model
+
+	alice *lora.Transceiver
+	bob   *lora.Transceiver
+	eve   *lora.Transceiver
+
+	radio   lora.Params
+	airtime float64
+	now     float64
+	next    int
+}
+
+// NewCollector builds a collector for the scenario; all randomness derives
+// from seed.
+func NewCollector(sc Scenario, seed int64) *Collector {
+	src := rng.New(seed)
+	model := channel.NewModel(sc.ChannelConfig(), src.Derive("channel"))
+	return &Collector{
+		Scenario: sc,
+		Model:    model,
+		alice:    lora.NewTransceiver(sc.Device, src.Derive("alice")),
+		bob:      lora.NewTransceiver(sc.Device, src.Derive("bob")),
+		eve:      lora.NewTransceiver(sc.Device, src.Derive("eve")),
+		radio:    sc.Radio,
+		airtime:  sc.Radio.Airtime(),
+	}
+}
+
+// Airtime returns the per-packet time on air for the scenario's radio.
+func (c *Collector) Airtime() float64 { return c.airtime }
+
+// Alice returns Alice's transceiver (for sample-interval tweaks in tests).
+func (c *Collector) Alice() *lora.Transceiver { return c.alice }
+
+// Bob returns Bob's transceiver.
+func (c *Collector) Bob() *lora.Transceiver { return c.bob }
+
+// Run advances the timeline by n probe/response rounds and returns them.
+func (c *Collector) Run(n int) []Exchange {
+	out := make([]Exchange, 0, n)
+	tx := c.Model.Config().TxPowerDBm
+	legit := func(t float64) float64 { return tx + c.Model.GainDB(t) }
+	eveEaves := func(t float64) float64 { return tx + c.Model.EveEavesdropGainDB(t) }
+	eveImit := func(t float64) float64 { return tx + c.Model.EveImitateGainDB(t) }
+
+	for i := 0; i < n; i++ {
+		start := c.now
+		// Alice's probe is on the air; Bob and the eavesdropping Eve hear it.
+		bobRx := c.bob.Receive(legit, c.now, c.airtime)
+		eveERx := c.eve.Receive(eveEaves, c.now, c.airtime)
+		c.now += c.airtime
+
+		// Bob turns around.
+		c.now += c.bob.OpDelay()
+
+		// Bob's response is on the air; Alice and the imitating Eve hear it.
+		alcRx := c.alice.Receive(legit, c.now, c.airtime)
+		eveIRx := c.eve.Receive(eveImit, c.now, c.airtime)
+		c.now += c.airtime
+
+		// Alice's turnaround before the next probe.
+		c.now += c.alice.OpDelay()
+
+		out = append(out, Exchange{
+			Index:          c.next,
+			BobRx:          bobRx,
+			AlcRx:          alcRx,
+			EveEavesdropRx: eveERx,
+			EveImitateRx:   eveIRx,
+			Duration:       c.now - start,
+		})
+		c.next++
+	}
+	return out
+}

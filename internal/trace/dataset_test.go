@@ -1,0 +1,137 @@
+package trace
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/channel"
+	"repro/internal/mathx"
+	"repro/internal/rng"
+)
+
+func TestBuildShapes(t *testing.T) {
+	sc := NewScenario(channel.Urban, channel.V2I)
+	ds, err := Build(sc, 1, 20, 32, DefaultExtract())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds.Samples) != 20 {
+		t.Fatalf("samples = %d, want 20", len(ds.Samples))
+	}
+	for _, s := range ds.Samples {
+		for _, seq := range [][]float64{s.Alice, s.Bob, s.EveEavesdrop, s.EveImitate} {
+			if len(seq) != 32 {
+				t.Fatalf("sequence length %d, want 32", len(seq))
+			}
+		}
+		if s.Duration <= 0 {
+			t.Fatal("sample duration must be positive")
+		}
+	}
+}
+
+func TestBuildValidation(t *testing.T) {
+	sc := NewScenario(channel.Urban, channel.V2I)
+	if _, err := Build(sc, 1, 0, 32, DefaultExtract()); err == nil {
+		t.Error("n=0 must be rejected")
+	}
+	if _, err := Build(sc, 1, 4, 30, DefaultExtract()); err == nil {
+		t.Error("seqLen not a multiple of Blocks must be rejected")
+	}
+}
+
+func TestNormalizationPerWindow(t *testing.T) {
+	sc := NewScenario(channel.Urban, channel.V2I)
+	ds, err := Build(sc, 2, 10, 32, DefaultExtract())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range ds.Samples {
+		if m := mathx.Mean(s.Alice); math.Abs(m) > 1e-9 {
+			t.Fatalf("sample %d: Alice mean %v, want 0", i, m)
+		}
+		if sd := mathx.Std(s.Bob); math.Abs(sd-1) > 1e-9 {
+			t.Fatalf("sample %d: Bob std %v, want 1", i, sd)
+		}
+	}
+}
+
+func TestSplitPartitions(t *testing.T) {
+	sc := NewScenario(channel.Rural, channel.V2I)
+	ds, err := Build(sc, 3, 40, 32, DefaultExtract())
+	if err != nil {
+		t.Fatal(err)
+	}
+	train, val, test := ds.Split(0.5, 0.25, rng.New(4))
+	if len(train.Samples) != 20 || len(val.Samples) != 10 || len(test.Samples) != 10 {
+		t.Fatalf("split sizes %d/%d/%d", len(train.Samples), len(val.Samples), len(test.Samples))
+	}
+	if train.Mean != ds.Mean || test.Std != ds.Std {
+		t.Error("splits must share normalization constants")
+	}
+}
+
+func TestSubset(t *testing.T) {
+	sc := NewScenario(channel.Rural, channel.V2V)
+	ds, err := Build(sc, 5, 20, 32, DefaultExtract())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub := ds.Subset(0.25)
+	if len(sub.Samples) != 5 {
+		t.Fatalf("subset size %d, want 5", len(sub.Samples))
+	}
+	if ds.Subset(0).Samples == nil {
+		t.Error("subset floor is one sample")
+	}
+	if n := len(ds.Subset(5).Samples); n != 20 {
+		t.Errorf("subset cap is the full set, got %d", n)
+	}
+}
+
+func TestDetrendRemovesLinearTrend(t *testing.T) {
+	// A pure linear ramp across exchanges should be almost entirely
+	// removed, leaving near-zero residuals except edge effects.
+	xs := make([]float64, 32)
+	for i := range xs {
+		xs[i] = float64(i / 4) // exchange index as the trend
+	}
+	detrendExchanges(xs, 4)
+	for i := 8; i < 24; i++ { // interior exchanges
+		if math.Abs(xs[i]) > 1e-9 {
+			t.Fatalf("interior residual xs[%d] = %v after detrending a ramp", i, xs[i])
+		}
+	}
+}
+
+func TestDetrendPreservesDeviation(t *testing.T) {
+	// A single deviant exchange must survive detrending (its own level
+	// never enters its trend estimate).
+	xs := make([]float64, 32)
+	for i := 12; i < 16; i++ {
+		xs[i] = 10
+	}
+	detrendExchanges(xs, 4)
+	if xs[13] < 8 {
+		t.Fatalf("deviation attenuated too much: %v", xs[13])
+	}
+}
+
+func TestBuildDeterministic(t *testing.T) {
+	sc := NewScenario(channel.Urban, channel.V2V)
+	a, err := Build(sc, 7, 6, 32, DefaultExtract())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Build(sc, 7, 6, 32, DefaultExtract())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Samples {
+		for j := range a.Samples[i].Alice {
+			if a.Samples[i].Alice[j] != b.Samples[i].Alice[j] {
+				t.Fatal("same seed must reproduce the dataset")
+			}
+		}
+	}
+}

@@ -1,0 +1,71 @@
+// Package trace drives simulated probe exchanges between Alice and Bob
+// over the channel and LoRa PHY models and extracts the channel features
+// Vehicle-Key consumes: packet RSSI (pRSSI), register RSSI (rRSSI) and the
+// paper's adjacent-register-RSSI feature (arRSSI — the temporally adjacent
+// edges of the two reception windows, block-averaged).
+//
+// It stands in for the paper's 20+ hours of drive-test data collection:
+// the same four scenarios (V2V/V2I × urban/rural), the same radio
+// configuration, and the same three device types.
+package trace
+
+import (
+	"fmt"
+
+	"repro/internal/channel"
+	"repro/internal/lora"
+)
+
+// Scenario names one of the paper's four evaluation environments plus the
+// radio and device configuration used in it.
+type Scenario struct {
+	Name      string
+	Env       channel.Environment
+	Link      channel.LinkType
+	SpeedAKmh float64
+	SpeedBKmh float64
+	Device    lora.DeviceType
+	Radio     lora.Params
+}
+
+// NewScenario builds a scenario with the paper's defaults for the given
+// environment and link type: SF12/125 kHz/CR4/8 radio, Dragino shield,
+// 50 km/h vehicle(s).
+func NewScenario(env channel.Environment, link channel.LinkType) Scenario {
+	s := Scenario{
+		Name:      fmt.Sprintf("%s-%s", link, env),
+		Env:       env,
+		Link:      link,
+		SpeedAKmh: 50,
+		Device:    lora.DraginoLoRaShield,
+		Radio:     lora.Default(),
+	}
+	if link == channel.V2V {
+		s.SpeedBKmh = 30
+	}
+	return s
+}
+
+// Scenarios returns the paper's four evaluation scenarios in the order
+// used throughout its figures: V2I-Urban, V2I-Rural, V2V-Urban, V2V-Rural.
+func Scenarios() []Scenario {
+	return []Scenario{
+		NewScenario(channel.Urban, channel.V2I),
+		NewScenario(channel.Rural, channel.V2I),
+		NewScenario(channel.Urban, channel.V2V),
+		NewScenario(channel.Rural, channel.V2V),
+	}
+}
+
+// ChannelConfig translates the scenario into a channel.Config.
+func (s Scenario) ChannelConfig() channel.Config {
+	cfg := channel.Config{
+		Env:       s.Env,
+		Link:      s.Link,
+		SpeedAKmh: s.SpeedAKmh,
+		SpeedBKmh: s.SpeedBKmh,
+		CarrierHz: s.Radio.CarrierHz,
+	}
+	cfg.Normalize()
+	return cfg
+}

@@ -1,0 +1,149 @@
+// Package transport provides the message channels the key-establishment
+// protocol runs over: an in-memory pair for simulation and tests, and a
+// UDP pair for running the two protocol ends as real processes.
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"time"
+)
+
+// Conn is a reliable, message-oriented, bidirectional channel.
+type Conn interface {
+	Send(msg []byte) error
+	Recv() ([]byte, error)
+	Close() error
+}
+
+// ErrClosed reports use of a closed connection.
+var ErrClosed = errors.New("transport: connection closed")
+
+// Pair returns two in-memory connection ends wired to each other.
+func Pair() (Conn, Conn) {
+	ab := make(chan []byte, 64)
+	ba := make(chan []byte, 64)
+	done := make(chan struct{})
+	a := &memConn{out: ab, in: ba, done: done}
+	b := &memConn{out: ba, in: ab, done: done}
+	return a, b
+}
+
+type memConn struct {
+	out  chan []byte
+	in   chan []byte
+	done chan struct{}
+}
+
+func (c *memConn) Send(msg []byte) error {
+	cp := make([]byte, len(msg))
+	copy(cp, msg)
+	select {
+	case c.out <- cp:
+		return nil
+	case <-c.done:
+		return ErrClosed
+	}
+}
+
+func (c *memConn) Recv() ([]byte, error) {
+	select {
+	case msg, ok := <-c.in:
+		if !ok {
+			return nil, ErrClosed
+		}
+		return msg, nil
+	case <-c.done:
+		// Closing must not drop messages already queued: drain before
+		// reporting closure, so a peer that sent its final message and
+		// immediately closed still gets it delivered.
+		select {
+		case msg, ok := <-c.in:
+			if ok {
+				return msg, nil
+			}
+		default:
+		}
+		return nil, ErrClosed
+	}
+}
+
+func (c *memConn) Close() error {
+	select {
+	case <-c.done:
+	default:
+		close(c.done)
+	}
+	return nil
+}
+
+// UDPConn is a datagram transport to one fixed peer. LoRa control traffic
+// is tiny and loss-tolerant at the protocol layer (rounds simply retry),
+// so plain UDP matches the deployment model.
+type UDPConn struct {
+	conn    *net.UDPConn
+	peer    *net.UDPAddr
+	timeout time.Duration
+}
+
+// DialUDP binds local and targets peer, e.g. DialUDP(":0", "127.0.0.1:9000").
+func DialUDP(local, peer string) (*UDPConn, error) {
+	laddr, err := net.ResolveUDPAddr("udp", local)
+	if err != nil {
+		return nil, fmt.Errorf("transport: %w", err)
+	}
+	paddr, err := net.ResolveUDPAddr("udp", peer)
+	if err != nil {
+		return nil, fmt.Errorf("transport: %w", err)
+	}
+	conn, err := net.ListenUDP("udp", laddr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: %w", err)
+	}
+	return &UDPConn{conn: conn, peer: paddr, timeout: 5 * time.Second}, nil
+}
+
+// LocalAddr exposes the bound address (useful with ":0").
+func (c *UDPConn) LocalAddr() net.Addr { return c.conn.LocalAddr() }
+
+// SetPeer retargets the connection (a listener learns its peer from the
+// first datagram).
+func (c *UDPConn) SetPeer(addr *net.UDPAddr) { c.peer = addr }
+
+// ResolvePeer resolves a host:port string into a UDP address for SetPeer.
+func ResolvePeer(addr string) (*net.UDPAddr, error) {
+	out, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: %w", err)
+	}
+	return out, nil
+}
+
+// SetTimeout adjusts the receive deadline.
+func (c *UDPConn) SetTimeout(d time.Duration) { c.timeout = d }
+
+// Send implements Conn.
+func (c *UDPConn) Send(msg []byte) error {
+	_, err := c.conn.WriteToUDP(msg, c.peer)
+	return err
+}
+
+// Recv implements Conn. The first sender becomes the peer if none is set.
+func (c *UDPConn) Recv() ([]byte, error) {
+	if err := c.conn.SetReadDeadline(time.Now().Add(c.timeout)); err != nil {
+		return nil, err
+	}
+	buf := make([]byte, 64*1024)
+	n, addr, err := c.conn.ReadFromUDP(buf)
+	if err != nil {
+		return nil, err
+	}
+	if c.peer == nil {
+		c.peer = addr
+	}
+	return buf[:n], nil
+}
+
+// Close implements Conn.
+func (c *UDPConn) Close() error { return c.conn.Close() }

@@ -1,0 +1,109 @@
+package transport
+
+import (
+	"bytes"
+	"testing"
+	"time"
+)
+
+func TestPairRoundTrip(t *testing.T) {
+	a, b := Pair()
+	defer a.Close()
+	defer b.Close()
+	msg := []byte("hello")
+	if err := a.Send(msg); err != nil {
+		t.Fatal(err)
+	}
+	got, err := b.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, msg) {
+		t.Fatalf("got %q", got)
+	}
+	// The other direction too.
+	if err := b.Send([]byte("back")); err != nil {
+		t.Fatal(err)
+	}
+	if got, err := a.Recv(); err != nil || string(got) != "back" {
+		t.Fatalf("got %q err %v", got, err)
+	}
+}
+
+func TestPairCopiesPayload(t *testing.T) {
+	a, b := Pair()
+	defer a.Close()
+	defer b.Close()
+	msg := []byte("mutate-me")
+	if err := a.Send(msg); err != nil {
+		t.Fatal(err)
+	}
+	msg[0] = 'X'
+	got, err := b.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "mutate-me" {
+		t.Fatalf("payload aliased sender buffer: %q", got)
+	}
+}
+
+func TestPairClose(t *testing.T) {
+	a, b := Pair()
+	a.Close()
+	if err := b.Send([]byte("x")); err == nil {
+		// Buffered channel may accept; Recv after close must fail fast.
+		if _, err := b.Recv(); err == nil {
+			t.Fatal("recv on closed pair should fail")
+		}
+	}
+}
+
+func TestUDPRoundTrip(t *testing.T) {
+	server, err := DialUDP("127.0.0.1:0", "127.0.0.1:9")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer server.Close()
+	client, err := DialUDP("127.0.0.1:0", server.LocalAddr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	peer, err := ResolvePeer(client.LocalAddr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	server.SetPeer(peer)
+	server.SetTimeout(2 * time.Second)
+	client.SetTimeout(2 * time.Second)
+
+	if err := client.Send([]byte("ping")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := server.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "ping" {
+		t.Fatalf("got %q", got)
+	}
+	if err := server.Send([]byte("pong")); err != nil {
+		t.Fatal(err)
+	}
+	if got, err := client.Recv(); err != nil || string(got) != "pong" {
+		t.Fatalf("got %q err %v", got, err)
+	}
+}
+
+func TestUDPTimeout(t *testing.T) {
+	c, err := DialUDP("127.0.0.1:0", "127.0.0.1:9")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	c.SetTimeout(50 * time.Millisecond)
+	if _, err := c.Recv(); err == nil {
+		t.Fatal("expected timeout")
+	}
+}
