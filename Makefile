@@ -1,0 +1,29 @@
+# Tier-1 verification and developer entry points.
+
+GO ?= go
+
+.PHONY: build test test-short test-race bench fuzz
+
+build:
+	$(GO) build ./...
+
+# Tier-1: everything must pass, including the trained-model protocol tests.
+test: build
+	$(GO) test ./...
+
+# Quick loop: skips tests that train models.
+test-short:
+	$(GO) test -short ./...
+
+# Race-detector pass over the full tree. The protocol and transport layers
+# are explicitly concurrent (retransmit timers, fault-injection goroutines),
+# so this is part of tier-1, not an optional extra.
+test-race:
+	./scripts/test-race.sh
+
+bench:
+	$(GO) test -run '^$$' -bench . -benchmem ./...
+
+# Seed-corpus fuzz smoke for the protocol wire format.
+fuzz:
+	$(GO) test -run '^$$' -fuzz FuzzDecode -fuzztime 30s ./internal/protocol/

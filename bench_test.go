@@ -10,16 +10,20 @@
 package vehiclekey
 
 import (
+	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/channel"
 	"repro/internal/core"
 	"repro/internal/exp"
 	"repro/internal/lora"
 	"repro/internal/nn"
+	"repro/internal/protocol"
 	"repro/internal/reconcile"
 	"repro/internal/rng"
 	"repro/internal/trace"
+	"repro/internal/transport"
 )
 
 func runExp(b *testing.B, id string) {
@@ -159,6 +163,72 @@ func BenchmarkLoRaAirtime(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		_ = p.Airtime()
 	}
+}
+
+// Protocol round benchmarks: one full interactive key establishment
+// (all windows, reconciliation, confirmation, DONE handshake) over the
+// in-memory transport. The session is trained once and shared.
+
+var (
+	benchProtoOnce    sync.Once
+	benchProtoSession *Session
+	benchProtoErr     error
+)
+
+func benchSession(b *testing.B) *Session {
+	b.Helper()
+	benchProtoOnce.Do(func() {
+		benchProtoSession, benchProtoErr = Setup(Options{
+			Seed:            11,
+			TrainingWindows: 160,
+			TrainingEpochs:  10,
+		})
+	})
+	if benchProtoErr != nil {
+		b.Fatal(benchProtoErr)
+	}
+	return benchProtoSession
+}
+
+func runProtoBench(b *testing.B, cfg transport.FaultConfig) {
+	s := benchSession(b)
+	aliceWin, bobWin := s.Windows(8)
+	policy := protocol.RetryPolicy{
+		Timeout: 20 * time.Millisecond, MaxTimeout: 160 * time.Millisecond,
+		Backoff: 2, MaxRetries: 8,
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ca, cb := transport.FaultyPair(cfg, rng.New(int64(100+i)))
+		alice := protocol.NewNode(s.System(), ca, "bench", protocol.WithRetryPolicy(policy))
+		bob := protocol.NewNode(s.System(), cb, "bench", protocol.WithRetryPolicy(policy))
+		var wg sync.WaitGroup
+		wg.Add(1)
+		var bobOut []protocol.KeyOutcome
+		var bobErr error
+		go func() {
+			defer wg.Done()
+			bobOut, bobErr = bob.RunBob(bobWin)
+		}()
+		aliceOut, aliceErr := alice.RunAlice(aliceWin)
+		wg.Wait()
+		ca.Close()
+		cb.Close()
+		if aliceErr != nil || bobErr != nil {
+			b.Fatalf("alice=%v bob=%v", aliceErr, bobErr)
+		}
+		if len(aliceOut) == 0 || len(bobOut) == 0 {
+			b.Fatal("protocol produced no outcomes")
+		}
+	}
+}
+
+func BenchmarkProtocolRound(b *testing.B) {
+	runProtoBench(b, transport.FaultConfig{})
+}
+
+func BenchmarkProtocolRoundLossy(b *testing.B) {
+	runProtoBench(b, transport.FaultConfig{Drop: 0.10, Reorder: 0.10})
 }
 
 func BenchmarkKeyStreamPush(b *testing.B) {

@@ -7,6 +7,15 @@
 //
 // Both processes derive the same simulated drive and trained model from
 // -seed, standing in for two radios probing the same physical channel.
+//
+// Link faults can be injected locally to exercise the protocol's
+// retransmit/resynchronization path without a lossy network:
+//
+//	vkproto -role bob -listen 127.0.0.1:9100 -loss 0.25 -reorder 0.2
+//	vkproto -role alice -peer 127.0.0.1:9100 -loss 0.25 -reorder 0.2
+//
+// Faults apply to this process's outgoing datagrams, so each side
+// degrades its own uplink; run both with flags for a symmetric bad link.
 package main
 
 import (
@@ -14,9 +23,11 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	vehiclekey "repro"
 	"repro/internal/protocol"
+	"repro/internal/rng"
 	"repro/internal/transport"
 )
 
@@ -25,51 +36,81 @@ func main() {
 		role    = flag.String("role", "", "alice or bob")
 		listen  = flag.String("listen", "127.0.0.1:9100", "bob's UDP address")
 		peer    = flag.String("peer", "127.0.0.1:9100", "peer address (alice side)")
-		seed    = flag.Int64("seed", 1, "shared deterministic seed")
+		seed    = flag.Int64("seed", 21, "shared deterministic seed")
 		windows = flag.Int("windows", 16, "probing windows to run")
 		session = flag.String("session", "vkproto", "session identifier")
+
+		loss      = flag.Float64("loss", 0, "probability of dropping an outgoing message")
+		dup       = flag.Float64("dup", 0, "probability of duplicating an outgoing message")
+		reorder   = flag.Float64("reorder", 0, "probability of holding a message past its successor")
+		corrupt   = flag.Float64("corrupt", 0, "probability of flipping bytes in an outgoing message")
+		delay     = flag.Float64("delay", 0, "probability of delaying an outgoing message")
+		maxDelay  = flag.Duration("max-delay", 5*time.Millisecond, "upper bound for injected delays")
+		faultSeed = flag.Int64("fault-seed", 1, "seed for the fault-injection schedule")
+
+		timeout = flag.Duration("timeout", 500*time.Millisecond, "initial per-message receive timeout")
+		retries = flag.Int("retries", 8, "retransmit attempts before abandoning a round")
 	)
 	flag.Parse()
+
+	// Validate cheap inputs before paying for model training.
+	if *role != "alice" && *role != "bob" {
+		fatal(fmt.Errorf("-role must be alice or bob"))
+	}
 
 	fmt.Println("building the shared channel simulation and model...")
 	vs, err := vehiclekey.Setup(vehiclekey.Options{
 		Seed:            *seed,
-		TrainingWindows: 240,
-		TrainingEpochs:  18,
+		TrainingWindows: 300,
+		TrainingEpochs:  25,
 	})
 	if err != nil {
 		fatal(err)
 	}
 	aliceWin, bobWin := vs.Windows(*windows)
 
-	var conn *transport.UDPConn
-	switch *role {
-	case "bob":
-		conn, err = transport.DialUDP(*listen, "127.0.0.1:9") // peer learned from first datagram
+	var udp *transport.UDPConn
+	if *role == "bob" {
+		udp, err = transport.DialUDP(*listen, "127.0.0.1:9") // peer learned from first datagram
 		if err != nil {
 			fatal(err)
 		}
 		// Wait for Alice's hello to learn her address.
-		conn.SetPeer(nil)
-		hello, err := conn.Recv()
+		udp.SetPeer(nil)
+		hello, err := udp.Recv()
 		if err != nil {
 			fatal(fmt.Errorf("waiting for alice: %w", err))
 		}
 		fmt.Printf("alice connected: %s\n", hello)
-	case "alice":
-		conn, err = transport.DialUDP("127.0.0.1:0", *peer)
+	} else {
+		udp, err = transport.DialUDP("127.0.0.1:0", *peer)
 		if err != nil {
 			fatal(err)
 		}
-		if err := conn.Send([]byte("hello from alice")); err != nil {
+		if err := udp.Send([]byte("hello from alice")); err != nil {
 			fatal(err)
 		}
-	default:
-		fatal(fmt.Errorf("-role must be alice or bob"))
 	}
-	defer conn.Close()
+	defer udp.Close()
 
-	node := protocol.NewNode(vs.System(), conn, *session)
+	// Wrap in the fault injector only after the hello exchange: the
+	// handshake that discovers Bob's peer address must not be dropped.
+	faults := transport.FaultConfig{
+		Drop: *loss, Duplicate: *dup, Reorder: *reorder,
+		Corrupt: *corrupt, Delay: *delay, MaxDelay: *maxDelay,
+	}
+	var conn transport.Conn = udp
+	var faulty *transport.FaultyConn
+	if faults.Enabled() {
+		faulty = transport.WrapFaulty(udp, faults, rng.New(*faultSeed))
+		conn = faulty
+		fmt.Printf("injecting faults on outgoing messages: %+v\n", faults)
+	}
+
+	policy := protocol.DefaultRetryPolicy()
+	policy.Timeout = *timeout
+	policy.MaxRetries = *retries
+	node := protocol.NewNode(vs.System(), conn, *session, protocol.WithRetryPolicy(policy))
 	var outcomes []protocol.KeyOutcome
 	if *role == "bob" {
 		outcomes, err = node.RunBob(bobWin)
@@ -87,6 +128,15 @@ func main() {
 		} else {
 			fmt.Printf("block %d: rejected by confirmation\n", i)
 		}
+	}
+	st := node.Stats()
+	fmt.Printf("protocol stats: sent=%d retransmits=%d timeouts=%d garbage=%d stale=%d abandoned=%d/%d\n",
+		st.Sent, st.Retransmits, st.Timeouts, st.Garbage, st.Stale,
+		st.AbandonedWindows, st.AbandonedRounds)
+	if faulty != nil {
+		fs := faulty.Stats()
+		fmt.Printf("fault stats: sent=%d delivered=%d dropped=%d dup=%d reordered=%d corrupted=%d delayed=%d\n",
+			fs.Sent, fs.Delivered, fs.Dropped, fs.Duplicated, fs.Reordered, fs.Corrupted, fs.Delayed)
 	}
 	fmt.Printf("%s done: %d/%d blocks confirmed\n", *role, confirmed, len(outcomes))
 }

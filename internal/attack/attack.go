@@ -19,6 +19,9 @@
 package attack
 
 import (
+	"encoding/binary"
+	"hash/crc32"
+
 	"repro/internal/core"
 	"repro/internal/trace"
 	"repro/internal/transport"
@@ -50,13 +53,16 @@ func KeyProbability(perBitAgreement float64, bits int) float64 {
 
 // TamperConn wraps a transport and corrupts the payload of the nth
 // message that flows through Send, modeling an on-path MITM who modifies
-// a syndrome.
+// a syndrome. The attacker knows the wire format, so after flipping
+// payload bytes it recomputes the (unkeyed) CRC32 frame header — the
+// checksum only defends against random corruption; rejecting the
+// tampered round is the keyed MAC's job.
 type TamperConn struct {
 	transport.Conn
 	// TamperAt is the 1-based index of the message to corrupt.
 	TamperAt int
-	// Flip is the byte offset whose bits get flipped; clamped to the
-	// message length.
+	// Flip is the byte offset whose bits get flipped; clamped into the
+	// payload (past the 4-byte checksum header).
 	Flip int
 
 	sent int
@@ -73,7 +79,13 @@ func (c *TamperConn) Send(msg []byte) error {
 		if idx >= len(cp) {
 			idx = len(cp) - 1
 		}
+		if idx < 4 && len(cp) > 4 {
+			idx = 4
+		}
 		cp[idx] ^= 0xFF
+		if len(cp) > 4 {
+			binary.BigEndian.PutUint32(cp[:4], crc32.ChecksumIEEE(cp[4:]))
+		}
 		return c.Conn.Send(cp)
 	}
 	return c.Conn.Send(msg)

@@ -176,28 +176,66 @@ func (s *System) AliceBitsAt(aliceSeq []float64, kept []int) []byte {
 	return out
 }
 
-// AliceSelect runs Alice's full round: the prediction network, then the
-// guard-band rule over her predicted sequence, restricted to Bob's
-// announced kept indices. It returns her bits (from the quantization
-// head) and the final index list she announces back to Bob.
-func (s *System) AliceSelect(aliceSeq []float64, bobKept []int) (bits []byte, kept []int) {
+// AliceRound is Alice's precomputed per-window prediction state: the
+// expensive network forward pass and guard-band pass run once, after
+// which Select answers Bob's announcement (possibly several times, under
+// retransmission) with a cheap set intersection. The protocol layer
+// precomputes one per window so its receive-loop latency stays far below
+// the retransmit timeout.
+type AliceRound struct {
+	mine map[int]bool
+	all  []byte
+	b    int
+}
+
+// AlicePrecompute runs Alice's prediction network and guard-band rule
+// over her measured sequence, independent of anything Bob announces.
+func (s *System) AlicePrecompute(aliceSeq []float64) (*AliceRound, error) {
 	yHat, zHat := s.Predictor.Forward(aliceSeq)
 	res, err := quantize.MultiBit(yHat, s.Cfg.quantConfig(s.Cfg.PredGuardRatio))
 	if err != nil {
-		return nil, nil
+		return nil, fmt.Errorf("core: Alice quantization: %w", err)
 	}
 	mine := make(map[int]bool, len(res.Kept))
 	for _, idx := range res.Kept {
 		mine[idx] = true
 	}
-	all := nn.Bits(zHat)
-	b := s.Cfg.BitsPerSample
+	return &AliceRound{mine: mine, all: nn.Bits(zHat), b: s.Cfg.BitsPerSample}, nil
+}
+
+// Select intersects Bob's announced kept indices with Alice's own
+// guard-band survivors and returns her bits plus the final index list.
+// Out-of-range announcements (possible with a corrupted envelope) are
+// rejected with ok=false rather than panicking.
+func (r *AliceRound) Select(bobKept []int) (bits []byte, kept []int, ok bool) {
+	n := len(r.all) / r.b
 	for _, idx := range bobKept {
-		if !mine[idx] {
+		if idx < 0 || idx >= n {
+			return nil, nil, false
+		}
+	}
+	for _, idx := range bobKept {
+		if !r.mine[idx] {
 			continue
 		}
 		kept = append(kept, idx)
-		bits = append(bits, all[idx*b:(idx+1)*b]...)
+		bits = append(bits, r.all[idx*r.b:(idx+1)*r.b]...)
+	}
+	return bits, kept, true
+}
+
+// AliceSelect runs Alice's full round: the prediction network, then the
+// guard-band rule over her predicted sequence, restricted to Bob's
+// announced kept indices. It returns her bits (from the quantization
+// head) and the final index list she announces back to Bob.
+func (s *System) AliceSelect(aliceSeq []float64, bobKept []int) (bits []byte, kept []int) {
+	r, err := s.AlicePrecompute(aliceSeq)
+	if err != nil {
+		return nil, nil
+	}
+	bits, kept, ok := r.Select(bobKept)
+	if !ok {
+		return nil, nil
 	}
 	return bits, kept
 }

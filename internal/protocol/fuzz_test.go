@@ -1,0 +1,136 @@
+package protocol
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"hash/crc32"
+	"testing"
+)
+
+// FuzzDecode feeds decode arbitrary bytes plus mutations of valid
+// envelopes. It must never panic, and every envelope it does accept must
+// respect the wire-format caps — a corrupted or hostile peer cannot
+// drive allocations through oversized Indices/Code/Windows payloads.
+func FuzzDecode(f *testing.F) {
+	seed := []Envelope{
+		{Type: MsgKept, Session: "s", Seq: 1, Window: 3, Indices: []int{1, 2, 3}},
+		{Type: MsgFinal, Session: "sess-1", Seq: 9, Window: 0, Indices: []int{0, 31}},
+		{Type: MsgSyndrome, Session: "s", Seq: 2, Round: 1, Code: []float64{0.5, -1.25}, MAC: bytes.Repeat([]byte{7}, 16), Windows: []int{0, 1}, Counts: []int{40, 24}},
+		{Type: MsgConfirm, Session: "s", Seq: 3, Round: 1, MAC: make([]byte, 16)},
+		{Type: MsgResult, Session: "s", Seq: 4, Round: 1, Accepted: true},
+		{Type: MsgDone, Session: "s", Seq: 5, Round: 7},
+	}
+	for _, e := range seed {
+		data, err := encode(e)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(data)
+		// A mutated-valid variant so the corpus starts near the format.
+		mut := append([]byte(nil), data...)
+		if len(mut) > 4 {
+			mut[len(mut)/2] ^= 0xA5
+			mut[len(mut)-1] ^= 0x5A
+		}
+		f.Add(mut)
+	}
+	f.Add([]byte{})
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		e, err := decode(data)
+		if err != nil {
+			return
+		}
+		if e.Type < MsgKept || e.Type > MsgDone {
+			t.Fatalf("decode accepted unknown type %d", e.Type)
+		}
+		if len(e.Indices) > MaxIndices {
+			t.Fatalf("decode accepted %d indices", len(e.Indices))
+		}
+		if len(e.Code) > MaxCode {
+			t.Fatalf("decode accepted code of %d", len(e.Code))
+		}
+		if len(e.MAC) > MaxMACBytes {
+			t.Fatalf("decode accepted MAC of %d bytes", len(e.MAC))
+		}
+		if len(e.Windows) > MaxIndices || len(e.Counts) > MaxIndices {
+			t.Fatalf("decode accepted %d windows / %d counts", len(e.Windows), len(e.Counts))
+		}
+	})
+}
+
+// frame wraps raw gob bytes in the CRC32 header so tests can hand decode
+// envelopes that encode itself would never produce.
+func frame(t *testing.T, e Envelope) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	buf.Write(make([]byte, 4))
+	if err := gob.NewEncoder(&buf).Encode(e); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	binary.BigEndian.PutUint32(data[:4], crc32.ChecksumIEEE(data[4:]))
+	return data
+}
+
+func TestDecodeRejectsOversized(t *testing.T) {
+	huge := make([]int, MaxIndices+1)
+	for _, e := range []Envelope{
+		{Type: MsgKept, Session: "s", Seq: 1, Indices: huge},
+		{Type: MsgSyndrome, Session: "s", Seq: 1, Code: make([]float64, MaxCode+1)},
+		{Type: MsgSyndrome, Session: "s", Seq: 1, MAC: make([]byte, MaxMACBytes+1)},
+		{Type: MsgSyndrome, Session: "s", Seq: 1, Windows: huge},
+		{Type: MsgSyndrome, Session: "s", Seq: 1, Counts: huge},
+		{Type: 0, Session: "s", Seq: 1},
+		{Type: MsgDone + 1, Session: "s", Seq: 1},
+	} {
+		if _, err := decode(frame(t, e)); err == nil {
+			t.Fatalf("decode accepted out-of-bounds envelope %+v", e.Type)
+		}
+	}
+	if _, err := decode(make([]byte, MaxEnvelopeBytes+1)); err == nil {
+		t.Fatal("decode accepted an envelope beyond the byte cap")
+	}
+}
+
+func TestDecodeRejectsCorruptFrame(t *testing.T) {
+	data, err := encode(Envelope{Type: MsgKept, Session: "s", Seq: 1, Indices: []int{1, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := decode(data); err != nil {
+		t.Fatalf("intact frame rejected: %v", err)
+	}
+	for _, pos := range []int{0, 2, 4, len(data) - 1} {
+		bad := append([]byte(nil), data...)
+		bad[pos] ^= 0x40
+		if _, err := decode(bad); err == nil {
+			t.Fatalf("flipped byte %d went undetected", pos)
+		}
+	}
+	if _, err := decode(data[:3]); err == nil {
+		t.Fatal("short frame accepted")
+	}
+}
+
+func TestDecodeRoundTrip(t *testing.T) {
+	e := Envelope{
+		Type: MsgSyndrome, Session: "round-trip", Seq: 42, Round: 3,
+		Code: []float64{1, 2.5, -3}, MAC: bytes.Repeat([]byte{9}, 16),
+		Windows: []int{0, 2, 5}, Counts: []int{40, 38, 44},
+	}
+	data, err := encode(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Session != e.Session || got.Seq != e.Seq || got.Round != e.Round ||
+		len(got.Code) != len(e.Code) || len(got.Windows) != len(e.Windows) {
+		t.Fatalf("round trip mangled envelope: %+v", got)
+	}
+}

@@ -1,24 +1,46 @@
 // Package protocol runs the Vehicle-Key key-establishment message flow
 // between two real endpoints over a transport.Conn:
 //
-//	Bob  → Alice  KEPT      Bob's guard-band kept sample indices
+//	Bob  → Alice  KEPT      Bob's guard-band kept sample indices (window w)
 //	Alice → Bob   FINAL     the confidence-intersected final indices
-//	Bob  → Alice  SYNDROME  the autoencoder code vector y_Bob + MAC
+//	Bob  → Alice  SYNDROME  the autoencoder code vector y_Bob + MAC (round r)
 //	Alice → Bob   CONFIRM   HMAC key confirmation
 //	Bob  → Alice  RESULT    confirm/deny
+//	Bob  ⇄ Alice  DONE      end-of-session handshake (total round count)
 //
 // Both sides accumulate kept bits across rounds and emit a 128-bit
 // session key whenever a reconciliation block completes and confirms.
 // Syndromes are authenticated with a MAC keyed by the sender's
 // Bloom-domain key (Sec. IV-C's MITM defence), and every message carries
-// a session ID and strictly increasing sequence number (replay defence).
+// a session ID and a sequence number checked against a sliding replay
+// window (replay defence).
+//
+// # Loss tolerance
+//
+// The paper's protocol runs over lossy LoRa links (Sec. IV: rounds simply
+// retry), so the transport is treated as unreliable. Every expected
+// message is awaited under a per-attempt timeout; on timeout the sender
+// retransmits the message that elicits it, with exponential backoff, up
+// to RetryPolicy.MaxRetries times. Retransmits are fresh envelopes (new
+// sequence number, identical content), so the replay window never blocks
+// them; the receiver deduplicates semantically by (type, window/round)
+// and answers a retransmitted request by re-sending its cached reply.
+// A window or round that exhausts its retries is abandoned — it counts as
+// a failed outcome — and the session resynchronizes on the next one
+// instead of erroring out. Bob's syndromes carry the ordered list of
+// windows (and their bit counts) that feed his key stream, so Alice
+// reconstructs exactly the block Bob reconciled even when some of her
+// windows never made it into his stream.
 package protocol
 
 import (
 	"bytes"
+	"encoding/binary"
 	"encoding/gob"
 	"errors"
 	"fmt"
+	"hash/crc32"
+	"time"
 
 	"repro/internal/amplify"
 	"repro/internal/core"
@@ -37,6 +59,7 @@ const (
 	MsgSyndrome
 	MsgConfirm
 	MsgResult
+	MsgDone
 )
 
 // Envelope is the wire format.
@@ -45,27 +68,145 @@ type Envelope struct {
 	Session string
 	Seq     uint64
 
+	Window   int       // probing-window index for MsgKept/MsgFinal
 	Indices  []int     // MsgKept, MsgFinal
 	Code     []float64 // MsgSyndrome
 	MAC      []byte    // MsgSyndrome, MsgConfirm
-	Round    int       // block counter for MsgSyndrome/Confirm/Result
+	Round    int       // block counter for MsgSyndrome/Confirm/Result; total for MsgDone
 	Accepted bool      // MsgResult
+
+	// Windows/Counts (MsgSyndrome) describe Bob's key stream: the ordered
+	// window indices whose bits were appended, and how many bits each
+	// contributed, so Alice can assemble the identical block even when
+	// some windows were abandoned on one side.
+	Windows []int
+	Counts  []int
 }
 
+// Wire-format hard limits: decode rejects anything beyond these instead
+// of letting a corrupted or hostile envelope drive allocations.
+const (
+	// MaxEnvelopeBytes bounds one encoded envelope.
+	MaxEnvelopeBytes = 1 << 20
+	// MaxIndices bounds the Indices, Windows, and Counts lists.
+	MaxIndices = 1 << 14
+	// MaxCode bounds the syndrome code vector.
+	MaxCode = 1 << 14
+	// MaxMACBytes bounds the MAC field.
+	MaxMACBytes = 64
+)
+
+// The wire format frames the gob payload behind a CRC32 so that link
+// corruption is detected at decode and handled like loss (the sender
+// retransmits) instead of leaking altered content into a round, where it
+// would only surface as a MAC mismatch and burn the whole round.
 func encode(e Envelope) ([]byte, error) {
 	var buf bytes.Buffer
+	buf.Write(make([]byte, 4))
 	if err := gob.NewEncoder(&buf).Encode(e); err != nil {
 		return nil, fmt.Errorf("protocol: encode: %w", err)
 	}
-	return buf.Bytes(), nil
+	data := buf.Bytes()
+	binary.BigEndian.PutUint32(data[:4], crc32.ChecksumIEEE(data[4:]))
+	return data, nil
 }
 
 func decode(data []byte) (Envelope, error) {
+	if len(data) > MaxEnvelopeBytes {
+		return Envelope{}, fmt.Errorf("protocol: decode: envelope %d bytes exceeds cap %d", len(data), MaxEnvelopeBytes)
+	}
+	if len(data) < 4 {
+		return Envelope{}, fmt.Errorf("protocol: decode: short frame (%d bytes)", len(data))
+	}
+	if want := binary.BigEndian.Uint32(data[:4]); want != crc32.ChecksumIEEE(data[4:]) {
+		return Envelope{}, fmt.Errorf("protocol: decode: checksum mismatch")
+	}
 	var e Envelope
-	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&e); err != nil {
+	if err := gob.NewDecoder(bytes.NewReader(data[4:])).Decode(&e); err != nil {
 		return Envelope{}, fmt.Errorf("protocol: decode: %w", err)
 	}
+	switch {
+	case e.Type < MsgKept || e.Type > MsgDone:
+		return Envelope{}, fmt.Errorf("protocol: decode: unknown message type %d", e.Type)
+	case len(e.Indices) > MaxIndices:
+		return Envelope{}, fmt.Errorf("protocol: decode: %d indices exceeds cap %d", len(e.Indices), MaxIndices)
+	case len(e.Code) > MaxCode:
+		return Envelope{}, fmt.Errorf("protocol: decode: code length %d exceeds cap %d", len(e.Code), MaxCode)
+	case len(e.MAC) > MaxMACBytes:
+		return Envelope{}, fmt.Errorf("protocol: decode: MAC length %d exceeds cap %d", len(e.MAC), MaxMACBytes)
+	case len(e.Windows) > MaxIndices:
+		return Envelope{}, fmt.Errorf("protocol: decode: %d windows exceeds cap %d", len(e.Windows), MaxIndices)
+	case len(e.Counts) > MaxIndices:
+		return Envelope{}, fmt.Errorf("protocol: decode: %d counts exceeds cap %d", len(e.Counts), MaxIndices)
+	}
 	return e, nil
+}
+
+// RetryPolicy configures the per-message timeout/retransmit behavior.
+type RetryPolicy struct {
+	// Timeout is the initial per-attempt receive deadline.
+	Timeout time.Duration
+	// MaxTimeout caps the backed-off deadline.
+	MaxTimeout time.Duration
+	// Backoff multiplies the deadline after each timeout (≥ 1).
+	Backoff float64
+	// MaxRetries is how many retransmissions are attempted before an
+	// exchange is abandoned.
+	MaxRetries int
+}
+
+// DefaultRetryPolicy suits real (UDP, cross-process) links: generous
+// initial deadline, ~8 retransmits with exponential backoff.
+func DefaultRetryPolicy() RetryPolicy {
+	return RetryPolicy{Timeout: 500 * time.Millisecond, MaxTimeout: 4 * time.Second, Backoff: 1.6, MaxRetries: 8}
+}
+
+func (p RetryPolicy) normalize() RetryPolicy {
+	d := DefaultRetryPolicy()
+	if p.Timeout <= 0 {
+		p.Timeout = d.Timeout
+	}
+	if p.MaxTimeout < p.Timeout {
+		p.MaxTimeout = 8 * p.Timeout
+	}
+	if p.Backoff < 1 {
+		p.Backoff = d.Backoff
+	}
+	if p.MaxRetries <= 0 {
+		p.MaxRetries = d.MaxRetries
+	}
+	return p
+}
+
+func (p RetryPolicy) next(d time.Duration) time.Duration {
+	d = time.Duration(float64(d) * p.Backoff)
+	if d > p.MaxTimeout {
+		d = p.MaxTimeout
+	}
+	return d
+}
+
+// iterCap bounds a receive loop's total iterations (timeouts plus
+// garbage/stale deliveries) so a flood of junk cannot spin it forever.
+func (p RetryPolicy) iterCap() int { return (p.MaxRetries + 2) * 64 }
+
+// Stats counts what one node's run observed; read it after the run.
+type Stats struct {
+	Sent             int // envelopes transmitted (including retransmits)
+	Retransmits      int
+	Timeouts         int
+	Garbage          int // undecodable, wrong-session, replayed, or invalid
+	Stale            int // well-formed duplicates of already-handled messages
+	AbandonedWindows int // probing windows given up after retry exhaustion
+	AbandonedRounds  int // reconciliation rounds given up or never seen
+}
+
+// Option configures a Node.
+type Option func(*Node)
+
+// WithRetryPolicy overrides the node's timeout/retransmit policy.
+func WithRetryPolicy(p RetryPolicy) Option {
+	return func(n *Node) { n.policy = p.normalize() }
 }
 
 // Node is one protocol endpoint.
@@ -74,16 +215,58 @@ type Node struct {
 	Conn    transport.Conn
 	Session string
 
-	guard *secure.ReplayGuard
-	seq   uint64
+	policy RetryPolicy
+	guard  *secure.WindowGuard
+	seq    uint64
+	sent   map[msgKey]Envelope // last semantic message per key, for re-replies
+	stats  Stats
+}
+
+// msgKey identifies a semantic message independent of retransmission:
+// the type plus its window index (KEPT/FINAL) or round (the rest).
+type msgKey struct {
+	t   MsgType
+	idx int
+}
+
+func keyOf(e Envelope) msgKey {
+	if e.Type == MsgKept || e.Type == MsgFinal {
+		return msgKey{e.Type, e.Window}
+	}
+	return msgKey{e.Type, e.Round}
 }
 
 // NewNode wraps a trained system and a connection into an endpoint.
-func NewNode(sys *core.System, conn transport.Conn, session string) *Node {
-	return &Node{Sys: sys, Conn: conn, Session: session, guard: secure.NewReplayGuard()}
+func NewNode(sys *core.System, conn transport.Conn, session string, opts ...Option) *Node {
+	n := &Node{
+		Sys:     sys,
+		Conn:    conn,
+		Session: session,
+		policy:  DefaultRetryPolicy(),
+		guard:   secure.NewWindowGuard(64),
+		sent:    make(map[msgKey]Envelope),
+	}
+	for _, o := range opts {
+		o(n)
+	}
+	return n
 }
 
+// Stats returns the node's counters. Call it after RunBob/RunAlice
+// returns; a Node is not safe for concurrent use.
+func (n *Node) Stats() Stats { return n.stats }
+
+// send transmits a semantic message and caches it so a peer's
+// retransmitted request can be answered idempotently.
 func (n *Node) send(e Envelope) error {
+	n.sent[keyOf(e)] = e
+	return n.transmit(e)
+}
+
+// transmit stamps a fresh sequence number and writes the envelope. Every
+// (re)transmission gets a new sequence number so the peer's replay window
+// admits it; deduplication happens semantically, by msgKey.
+func (n *Node) transmit(e Envelope) error {
 	n.seq++
 	e.Session = n.Session
 	e.Seq = n.seq
@@ -91,28 +274,100 @@ func (n *Node) send(e Envelope) error {
 	if err != nil {
 		return err
 	}
+	n.stats.Sent++
 	return n.Conn.Send(data)
 }
 
-func (n *Node) recv(want MsgType) (Envelope, error) {
-	data, err := n.Conn.Recv()
+// resend retransmits the cached semantic message for key, if any.
+func (n *Node) resend(k msgKey) {
+	if e, ok := n.sent[k]; ok {
+		n.stats.Retransmits++
+		_ = n.transmit(e)
+	}
+}
+
+// Sentinel errors of the receive path.
+var (
+	// errGarbage flags an unusable delivery: undecodable, wrong session,
+	// or replayed. The receive loops skip it without consuming a retry.
+	errGarbage = errors.New("protocol: unusable message")
+	// ErrExchangeAbandoned reports an exchange that exhausted its retries.
+	ErrExchangeAbandoned = errors.New("protocol: exchange abandoned after retries")
+)
+
+// recvEnvelope reads one envelope within the deadline, rejecting
+// undecodable data, session mismatches, and replays.
+func (n *Node) recvEnvelope(timeout time.Duration) (Envelope, error) {
+	data, err := n.Conn.RecvTimeout(timeout)
 	if err != nil {
+		if errors.Is(err, transport.ErrTimeout) {
+			return Envelope{}, transport.ErrTimeout
+		}
 		return Envelope{}, err
 	}
 	e, err := decode(data)
 	if err != nil {
-		return Envelope{}, err
+		n.stats.Garbage++
+		return Envelope{}, errGarbage
 	}
 	if e.Session != n.Session {
-		return Envelope{}, fmt.Errorf("protocol: session mismatch %q", e.Session)
+		n.stats.Garbage++
+		return Envelope{}, errGarbage
 	}
 	if err := n.guard.Check("peer:"+e.Session, e.Seq); err != nil {
-		return Envelope{}, err
-	}
-	if e.Type != want {
-		return Envelope{}, fmt.Errorf("protocol: got message type %d, want %d", e.Type, want)
+		n.stats.Garbage++
+		return Envelope{}, errGarbage
 	}
 	return e, nil
+}
+
+// await drives one lockstep exchange: it waits for the (want, idx)
+// message, retransmitting the cached `request` on each timeout with
+// backoff, answering stale traffic in between. It fails with
+// ErrExchangeAbandoned after MaxRetries timeouts.
+func (n *Node) await(want MsgType, idx int, request msgKey) (Envelope, error) {
+	timeout := n.policy.Timeout
+	timeouts := 0
+	for iter := 0; iter < n.policy.iterCap(); iter++ {
+		e, err := n.recvEnvelope(timeout)
+		switch {
+		case err == nil:
+		case errors.Is(err, transport.ErrTimeout):
+			n.stats.Timeouts++
+			timeouts++
+			if timeouts > n.policy.MaxRetries {
+				return Envelope{}, ErrExchangeAbandoned
+			}
+			n.resend(request)
+			timeout = n.policy.next(timeout)
+			continue
+		case errors.Is(err, errGarbage):
+			continue
+		default:
+			return Envelope{}, err
+		}
+		if e.Type == want && keyOf(e).idx == idx {
+			return e, nil
+		}
+		n.answerStale(e)
+	}
+	return Envelope{}, ErrExchangeAbandoned
+}
+
+// answerStale handles a well-formed message that is not the one currently
+// awaited: a peer retransmitting an already-answered request gets the
+// cached reply again; anything else is dropped.
+func (n *Node) answerStale(e Envelope) {
+	n.stats.Stale++
+	switch e.Type {
+	case MsgConfirm:
+		// Alice never got (or lost) our RESULT for that round.
+		n.resend(msgKey{MsgResult, e.Round})
+	case MsgKept:
+		n.resend(msgKey{MsgFinal, e.Window})
+	case MsgSyndrome:
+		n.resend(msgKey{MsgConfirm, e.Round})
+	}
 }
 
 // KeyOutcome is one established (or failed) key block.
@@ -128,130 +383,358 @@ func sessionSalt(session string, round int) []byte {
 }
 
 // RunBob drives Bob's side over the measurement windows (his normalized
-// arRSSI sequences, one per probing round) and returns the confirmed
-// keys.
+// arRSSI sequences, one per probing round) and returns the key outcomes,
+// one per reconciliation round. Windows and rounds that exhaust their
+// retries are abandoned, not fatal; the only hard errors are local
+// (quantization) failures. A closed transport ends the run gracefully
+// with the outcomes so far.
 func (n *Node) RunBob(windows [][]float64) ([]KeyOutcome, error) {
+	block := n.Sys.Cfg.KeyBlockBits
+	bps := n.Sys.Cfg.BitsPerSample
 	var buf []byte
+	var contributed, counts []int
 	var out []KeyOutcome
 	round := 0
-	block := n.Sys.Cfg.KeyBlockBits
-	for _, seq := range windows {
+	for w, seq := range windows {
 		bits, kept, err := n.Sys.BobQuantize(seq)
 		if err != nil {
-			return nil, err
+			return out, err
 		}
-		if err := n.send(Envelope{Type: MsgKept, Indices: kept}); err != nil {
-			return nil, err
+		if err := n.send(Envelope{Type: MsgKept, Window: w, Indices: kept}); err != nil {
+			return out, ignoreClosed(err)
 		}
-		fin, err := n.recv(MsgFinal)
+		fin, err := n.await(MsgFinal, w, msgKey{MsgKept, w})
 		if err != nil {
-			return nil, err
-		}
-		buf = append(buf, core.SelectAt(bits, kept, fin.Indices, n.Sys.Cfg.BitsPerSample)...)
-
-		for len(buf) >= block {
-			res, err := n.bobBlock(buf[:block], round)
-			if err != nil {
-				return nil, err
+			if errors.Is(err, ErrExchangeAbandoned) {
+				n.stats.AbandonedWindows++
+				continue
 			}
+			return out, ignoreClosed(err)
+		}
+		sel := core.SelectAt(bits, kept, fin.Indices, bps)
+		buf = append(buf, sel...)
+		contributed = append(contributed, w)
+		counts = append(counts, len(sel))
+		for len(buf) >= block {
+			res, err := n.bobBlock(buf[:block], round, contributed, counts)
 			out = append(out, res)
 			buf = buf[block:]
 			round++
+			if err != nil {
+				return out, ignoreClosed(err)
+			}
 		}
 	}
+	n.finish(round)
 	return out, nil
 }
 
-func (n *Node) bobBlock(bits []byte, round int) (KeyOutcome, error) {
+// ignoreClosed treats a closed transport as a graceful end of session.
+func ignoreClosed(err error) error {
+	if errors.Is(err, transport.ErrClosed) {
+		return nil
+	}
+	return err
+}
+
+func (n *Node) bobBlock(bits []byte, round int, wins, counts []int) (KeyOutcome, error) {
 	salt := sessionSalt(n.Session, round)
 	bf := reconcile.NewBloomFilter(n.Sys.Cfg.KeyBlockBits, salt)
 	bloomKey := bf.Transform(bits)
 	code := n.Sys.AE.EncodeBob(bloomKey)
 	mac := secure.MAC(bloomKey, floatsToBytes(code))
-	if err := n.send(Envelope{Type: MsgSyndrome, Code: code, MAC: mac, Round: round}); err != nil {
-		return KeyOutcome{}, err
+	env := Envelope{
+		Type: MsgSyndrome, Code: code, MAC: mac, Round: round,
+		Windows: append([]int(nil), wins...), Counts: append([]int(nil), counts...),
 	}
-	conf, err := n.recv(MsgConfirm)
+	if err := n.send(env); err != nil {
+		return KeyOutcome{Round: round}, err
+	}
+	conf, err := n.await(MsgConfirm, round, msgKey{MsgSyndrome, round})
 	if err != nil {
-		return KeyOutcome{}, err
+		if errors.Is(err, ErrExchangeAbandoned) {
+			n.stats.AbandonedRounds++
+			// Cache a denial so Alice's late CONFIRM retries still get a
+			// definitive answer and both sides record the round failed.
+			n.sent[msgKey{MsgResult, round}] = Envelope{Type: MsgResult, Round: round}
+			return KeyOutcome{Round: round}, nil
+		}
+		return KeyOutcome{Round: round}, err
 	}
 	expect := secure.MAC(bits, salt)
 	accepted := bytes.Equal(conf.MAC, expect)
 	if err := n.send(Envelope{Type: MsgResult, Round: round, Accepted: accepted}); err != nil {
-		return KeyOutcome{}, err
+		return KeyOutcome{Round: round}, err
 	}
 	if !accepted {
 		return KeyOutcome{Round: round}, nil
 	}
 	key, err := amplify.Amplify(bits, salt)
 	if err != nil {
-		return KeyOutcome{}, err
+		return KeyOutcome{Round: round}, err
 	}
 	return KeyOutcome{Key: key, Confirmed: true, Round: round}, nil
+}
+
+// finish runs Bob's end-of-session handshake: announce DONE (with the
+// total round count), keep answering late retransmits, and exit once
+// Alice acknowledges or the retries run out.
+func (n *Node) finish(totalRounds int) {
+	if err := n.send(Envelope{Type: MsgDone, Round: totalRounds}); err != nil {
+		return
+	}
+	timeout := n.policy.Timeout
+	timeouts := 0
+	for iter := 0; iter < n.policy.iterCap(); iter++ {
+		e, err := n.recvEnvelope(timeout)
+		switch {
+		case err == nil:
+		case errors.Is(err, transport.ErrTimeout):
+			timeouts++
+			if timeouts > n.policy.MaxRetries {
+				return
+			}
+			n.resend(msgKey{MsgDone, totalRounds})
+			timeout = n.policy.next(timeout)
+			continue
+		case errors.Is(err, errGarbage):
+			continue
+		default:
+			return
+		}
+		if e.Type == MsgDone {
+			return // Alice's acknowledgement
+		}
+		n.answerStale(e)
+	}
 }
 
 // RunAlice drives Alice's side over her measurement windows (aligned with
-// Bob's) and returns the confirmed keys.
+// Bob's) and returns the key outcomes, one per reconciliation round that
+// either side opened. Alice is reactive: she answers whatever arrives,
+// deduplicates retransmits, fast-forwards past rounds the peer abandoned,
+// and finishes on the DONE handshake (or after a run of idle timeouts).
 func (n *Node) RunAlice(windows [][]float64) ([]KeyOutcome, error) {
-	var buf []byte
-	var out []KeyOutcome
-	round := 0
 	block := n.Sys.Cfg.KeyBlockBits
-	for _, seq := range windows {
-		kept, err := n.recv(MsgKept)
+	// Precompute the network pass per window up front: replies inside the
+	// receive loop must be cheap relative to the peer's retransmit timer.
+	pre := make([]*core.AliceRound, len(windows))
+	for i, w := range windows {
+		r, err := n.Sys.AlicePrecompute(w)
 		if err != nil {
 			return nil, err
 		}
-		bits, final := n.Sys.AliceSelect(seq, kept.Indices)
-		if err := n.send(Envelope{Type: MsgFinal, Indices: final}); err != nil {
-			return nil, err
-		}
-		buf = append(buf, bits...)
+		pre[i] = r
+	}
 
-		for len(buf) >= block {
-			res, err := n.aliceBlock(buf[:block], round)
-			if err != nil {
-				return nil, err
-			}
-			out = append(out, res)
-			buf = buf[block:]
-			round++
+	type pendingRound struct {
+		final []byte
+		macOK bool
+	}
+	winBits := make(map[int][]byte)
+	pending := make(map[int]*pendingRound)
+	outcomes := make(map[int]KeyOutcome)
+	nextRound := 0
+	totalRounds := -1
+	strikes := 0
+	timeout := n.policy.Timeout
+
+	fail := func(r int) {
+		if _, seen := outcomes[r]; !seen {
+			outcomes[r] = KeyOutcome{Round: r}
+			n.stats.AbandonedRounds++
 		}
 	}
-	return out, nil
+
+	maxIter := (len(windows) + 4) * n.policy.iterCap()
+loop:
+	for iter := 0; iter < maxIter; iter++ {
+		if totalRounds >= 0 && len(pending) == 0 && nextRound >= totalRounds {
+			break
+		}
+		e, err := n.recvEnvelope(timeout)
+		switch {
+		case err == nil:
+		case errors.Is(err, transport.ErrTimeout):
+			n.stats.Timeouts++
+			strikes++
+			if strikes > n.policy.MaxRetries {
+				break loop // the peer has gone quiet; keep what we have
+			}
+			// The only progress Alice can force is re-asking for a lost
+			// RESULT; everything else is retransmitted by Bob.
+			lowest, found := -1, false
+			for r := range pending {
+				if !found || r < lowest {
+					lowest, found = r, true
+				}
+			}
+			if found {
+				n.resend(msgKey{MsgConfirm, lowest})
+			}
+			timeout = n.policy.next(timeout)
+			continue
+		case errors.Is(err, errGarbage):
+			continue
+		default:
+			return aliceOutcomes(outcomes, nextRound, totalRounds), ignoreClosed(err)
+		}
+		strikes = 0
+		timeout = n.policy.Timeout
+
+		switch e.Type {
+		case MsgKept:
+			w := e.Window
+			if w < 0 || w >= len(windows) {
+				n.stats.Garbage++
+				continue
+			}
+			if _, done := winBits[w]; done {
+				n.stats.Stale++
+				n.resend(msgKey{MsgFinal, w})
+				continue
+			}
+			bits, final, ok := pre[w].Select(e.Indices)
+			if !ok {
+				n.stats.Garbage++ // corrupted announcement; Bob will retry
+				continue
+			}
+			winBits[w] = bits
+			if err := n.send(Envelope{Type: MsgFinal, Window: w, Indices: final}); err != nil {
+				return aliceOutcomes(outcomes, nextRound, totalRounds), ignoreClosed(err)
+			}
+
+		case MsgSyndrome:
+			r := e.Round
+			if r < nextRound {
+				n.stats.Stale++
+				n.resend(msgKey{MsgConfirm, r})
+				continue
+			}
+			// Bob never opens round r+1 before r, so a jump means rounds
+			// nextRound..r-1 were lost wholesale; Bob abandoned them too.
+			for s := nextRound; s < r; s++ {
+				fail(s)
+			}
+			nextRound = r + 1
+			bits, ok := assembleBlock(winBits, e.Windows, e.Counts, r, block)
+			if !ok {
+				fail(r)
+				continue
+			}
+			salt := sessionSalt(n.Session, r)
+			bf := reconcile.NewBloomFilter(block, salt)
+			bloomKey := bf.Transform(bits)
+			corrected := n.Sys.AE.Correct(bloomKey, e.Code)
+			// MAC check: if our corrected key equals Bob's, his MAC
+			// verifies under it. A failed MAC means residual mismatch or
+			// tampering; both end in rejection (Sec. IV-C).
+			macOK := secure.VerifyMAC(corrected, floatsToBytes(e.Code), e.MAC)
+			final := bf.Inverse(corrected)
+			if err := n.send(Envelope{Type: MsgConfirm, MAC: secure.MAC(final, salt), Round: r}); err != nil {
+				fail(r)
+				return aliceOutcomes(outcomes, nextRound, totalRounds), ignoreClosed(err)
+			}
+			pending[r] = &pendingRound{final: final, macOK: macOK}
+
+		case MsgResult:
+			r := e.Round
+			p, ok := pending[r]
+			if !ok {
+				n.stats.Stale++
+				continue
+			}
+			delete(pending, r)
+			o := KeyOutcome{Round: r}
+			if e.Accepted && p.macOK {
+				if key, err := amplify.Amplify(p.final, sessionSalt(n.Session, r)); err == nil {
+					o = KeyOutcome{Key: key, Confirmed: true, Round: r}
+				}
+			}
+			outcomes[r] = o
+
+		case MsgDone:
+			totalRounds = e.Round
+			// Syndromes this side never saw are gone for good — and Bob
+			// abandoned those rounds himself, or he couldn't have moved on.
+			for s := nextRound; s < totalRounds; s++ {
+				fail(s)
+			}
+			if nextRound < totalRounds {
+				nextRound = totalRounds
+			}
+			// Acknowledge only once everything is resolved; otherwise keep
+			// Bob in his finish loop so he can answer our CONFIRM retries.
+			if len(pending) == 0 {
+				if err := n.send(Envelope{Type: MsgDone, Round: e.Round}); err != nil {
+					return aliceOutcomes(outcomes, nextRound, totalRounds), ignoreClosed(err)
+				}
+			}
+
+		default:
+			n.stats.Stale++
+		}
+	}
+
+	for r := range pending {
+		fail(r)
+	}
+	return aliceOutcomes(outcomes, nextRound, totalRounds), nil
 }
 
-func (n *Node) aliceBlock(bits []byte, round int) (KeyOutcome, error) {
-	salt := sessionSalt(n.Session, round)
-	syn, err := n.recv(MsgSyndrome)
-	if err != nil {
-		return KeyOutcome{}, err
+// aliceOutcomes flattens the outcome map into a dense, round-ordered
+// slice; rounds never resolved appear as failed outcomes.
+func aliceOutcomes(outcomes map[int]KeyOutcome, nextRound, totalRounds int) []KeyOutcome {
+	total := nextRound
+	if totalRounds > total {
+		total = totalRounds
 	}
-	bf := reconcile.NewBloomFilter(n.Sys.Cfg.KeyBlockBits, salt)
-	bloomKey := bf.Transform(bits)
-	corrected := n.Sys.AE.Correct(bloomKey, syn.Code)
+	out := make([]KeyOutcome, total)
+	for i := range out {
+		out[i] = KeyOutcome{Round: i}
+	}
+	for r, o := range outcomes {
+		if r >= 0 && r < total {
+			out[r] = o
+		}
+	}
+	return out
+}
 
-	// MAC check: if our corrected key equals Bob's, his MAC verifies
-	// under it. A failed MAC means either residual mismatch or tampering;
-	// both end in rejection (Sec. IV-C).
-	macOK := secure.VerifyMAC(corrected, floatsToBytes(syn.Code), syn.MAC)
-
-	final := bf.Inverse(corrected)
-	if err := n.send(Envelope{Type: MsgConfirm, MAC: secure.MAC(final, salt), Round: round}); err != nil {
-		return KeyOutcome{}, err
+// assembleBlock rebuilds the bits of reconciliation round `round` from
+// Alice's per-window bit slices, following Bob's announced stream layout
+// (window order plus per-window bit counts). It fails — without
+// panicking — when a window overlapping the block is missing or its
+// local bit count disagrees with Bob's announcement (corrupted FINAL).
+func assembleBlock(winBits map[int][]byte, wins, counts []int, round, block int) ([]byte, bool) {
+	if len(wins) != len(counts) || round < 0 || block <= 0 {
+		return nil, false
 	}
-	res, err := n.recv(MsgResult)
-	if err != nil {
-		return KeyOutcome{}, err
+	start, end := round*block, (round+1)*block
+	out := make([]byte, 0, block)
+	off := 0
+	for i, w := range wins {
+		c := counts[i]
+		if c < 0 || c > MaxIndices {
+			return nil, false
+		}
+		lo, hi := max(off, start), min(off+c, end)
+		if lo < hi {
+			b, ok := winBits[w]
+			if !ok || len(b) != c {
+				return nil, false
+			}
+			out = append(out, b[lo-off:hi-off]...)
+		}
+		off += c
+		if off >= end {
+			break
+		}
 	}
-	if !res.Accepted || !macOK {
-		return KeyOutcome{Round: round}, nil
+	if len(out) != block {
+		return nil, false
 	}
-	key, err := amplify.Amplify(final, salt)
-	if err != nil {
-		return KeyOutcome{}, err
-	}
-	return KeyOutcome{Key: key, Confirmed: true, Round: round}, nil
+	return out, true
 }
 
 func floatsToBytes(xs []float64) []byte {

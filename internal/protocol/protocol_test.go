@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/channel"
 	"repro/internal/core"
@@ -129,18 +130,43 @@ func TestReplayRejected(t *testing.T) {
 	defer a.Close()
 	defer b.Close()
 	alice := NewNode(sys, a, "s")
-	// Craft a valid message, deliver it twice.
-	go func() {
-		env := Envelope{Type: MsgKept, Session: "s", Seq: 1, Indices: []int{1, 2}}
-		data, _ := encode(env)
-		b.Send(data)
-		b.Send(data)
-	}()
-	if _, err := alice.recv(MsgKept); err != nil {
+	// Craft a valid message, deliver it twice: an identical re-injection
+	// (same sequence number) is a replay and must be rejected, while a
+	// retransmission (fresh sequence number) must pass.
+	env := Envelope{Type: MsgKept, Session: "s", Seq: 1, Indices: []int{1, 2}}
+	data, _ := encode(env)
+	b.Send(data)
+	b.Send(data)
+	if _, err := alice.recvEnvelope(time.Second); err != nil {
 		t.Fatalf("first delivery should pass: %v", err)
 	}
-	if _, err := alice.recv(MsgKept); err == nil {
+	if _, err := alice.recvEnvelope(time.Second); err == nil {
 		t.Fatal("replayed message must be rejected")
+	}
+	env.Seq = 2 // retransmission with a fresh nonce
+	data, _ = encode(env)
+	b.Send(data)
+	if _, err := alice.recvEnvelope(time.Second); err != nil {
+		t.Fatalf("retransmission with fresh seq should pass: %v", err)
+	}
+}
+
+func TestReorderedSeqAccepted(t *testing.T) {
+	sys := core.New(core.DefaultConfig(), rng.New(5))
+	a, b := transport.Pair()
+	defer a.Close()
+	defer b.Close()
+	alice := NewNode(sys, a, "s")
+	// Deliver seq 3 before seq 2: the sliding replay window admits the
+	// late-but-fresh message instead of discarding it.
+	for _, seq := range []uint64{3, 2} {
+		data, _ := encode(Envelope{Type: MsgKept, Session: "s", Seq: seq})
+		b.Send(data)
+	}
+	for i := 0; i < 2; i++ {
+		if _, err := alice.recvEnvelope(time.Second); err != nil {
+			t.Fatalf("delivery %d: %v", i, err)
+		}
 	}
 }
 
@@ -150,12 +176,10 @@ func TestSessionMismatchRejected(t *testing.T) {
 	defer a.Close()
 	defer b.Close()
 	alice := NewNode(sys, a, "expected")
-	go func() {
-		env := Envelope{Type: MsgKept, Session: "other", Seq: 1}
-		data, _ := encode(env)
-		b.Send(data)
-	}()
-	if _, err := alice.recv(MsgKept); err == nil {
+	env := Envelope{Type: MsgKept, Session: "other", Seq: 1}
+	data, _ := encode(env)
+	b.Send(data)
+	if _, err := alice.recvEnvelope(time.Second); err == nil {
 		t.Fatal("session mismatch must be rejected")
 	}
 }

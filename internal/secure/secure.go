@@ -68,6 +68,66 @@ func (g *ReplayGuard) Check(sessionID string, nonce uint64) error {
 	return nil
 }
 
+// WindowGuard is a sliding-window replay guard (the RFC 4303 ESP
+// anti-replay scheme). Unlike ReplayGuard's strict counter, it admits
+// messages that arrive out of order — which retransmission and reordered
+// links produce constantly — while still rejecting every duplicate nonce
+// and everything older than the window. The protocol layer uses it so
+// that a reordered-but-fresh envelope is usable instead of discarded.
+type WindowGuard struct {
+	window   uint64
+	sessions map[string]*windowState
+}
+
+type windowState struct {
+	max  uint64 // highest nonce admitted
+	seen uint64 // bit i set ⇔ nonce (max - i) admitted
+}
+
+// NewWindowGuard returns a guard admitting out-of-order nonces up to
+// window positions behind the newest; window is clamped to [1, 64].
+func NewWindowGuard(window int) *WindowGuard {
+	if window < 1 {
+		window = 1
+	}
+	if window > 64 {
+		window = 64
+	}
+	return &WindowGuard{window: uint64(window), sessions: make(map[string]*windowState)}
+}
+
+// Check admits the (session, nonce) pair if the nonce has not been seen
+// and is within the replay window of the newest admitted nonce.
+func (g *WindowGuard) Check(sessionID string, nonce uint64) error {
+	st, ok := g.sessions[sessionID]
+	if !ok {
+		st = &windowState{}
+		g.sessions[sessionID] = st
+	}
+	switch {
+	case nonce > st.max:
+		shift := nonce - st.max
+		if shift >= 64 {
+			st.seen = 0
+		} else {
+			st.seen <<= shift
+		}
+		st.seen |= 1
+		st.max = nonce
+		return nil
+	default:
+		diff := st.max - nonce
+		if diff >= g.window {
+			return fmt.Errorf("%w: session %q nonce %d below window (max %d)", ErrReplay, sessionID, nonce, st.max)
+		}
+		if st.seen&(1<<diff) != 0 {
+			return fmt.Errorf("%w: session %q nonce %d already seen", ErrReplay, sessionID, nonce)
+		}
+		st.seen |= 1 << diff
+		return nil
+	}
+}
+
 // Channel is an AES-128-GCM secure channel over an established key.
 type Channel struct {
 	aead    cipher.AEAD

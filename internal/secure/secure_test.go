@@ -101,3 +101,78 @@ func TestChannelKeyLength(t *testing.T) {
 		t.Fatal("15-byte key accepted")
 	}
 }
+
+func TestWindowGuardInOrder(t *testing.T) {
+	g := NewWindowGuard(64)
+	for n := uint64(1); n <= 100; n++ {
+		if err := g.Check("s", n); err != nil {
+			t.Fatalf("in-order nonce %d rejected: %v", n, err)
+		}
+	}
+}
+
+func TestWindowGuardOutOfOrderWithinWindow(t *testing.T) {
+	g := NewWindowGuard(64)
+	for _, n := range []uint64{5, 3, 4, 1, 2, 10, 7, 9, 6, 8} {
+		if err := g.Check("s", n); err != nil {
+			t.Fatalf("fresh out-of-order nonce %d rejected: %v", n, err)
+		}
+	}
+}
+
+func TestWindowGuardRejectsDuplicates(t *testing.T) {
+	g := NewWindowGuard(64)
+	for _, n := range []uint64{1, 5, 3} {
+		if err := g.Check("s", n); err != nil {
+			t.Fatalf("nonce %d: %v", n, err)
+		}
+	}
+	for _, n := range []uint64{1, 5, 3} {
+		if err := g.Check("s", n); err == nil {
+			t.Fatalf("duplicate nonce %d accepted", n)
+		}
+	}
+	// Fresh nonces still pass after the rejections.
+	if err := g.Check("s", 6); err != nil {
+		t.Fatalf("nonce 6 after duplicates: %v", err)
+	}
+}
+
+func TestWindowGuardRejectsBelowWindow(t *testing.T) {
+	g := NewWindowGuard(8)
+	if err := g.Check("s", 100); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Check("s", 92); err == nil {
+		t.Fatal("nonce 8 below max accepted with window 8")
+	}
+	if err := g.Check("s", 93); err != nil {
+		t.Fatalf("nonce 7 below max rejected with window 8: %v", err)
+	}
+}
+
+func TestWindowGuardSessionsIndependent(t *testing.T) {
+	g := NewWindowGuard(64)
+	if err := g.Check("a", 9); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Check("b", 9); err != nil {
+		t.Fatalf("session b blocked by session a: %v", err)
+	}
+}
+
+func TestWindowGuardLargeJump(t *testing.T) {
+	g := NewWindowGuard(64)
+	if err := g.Check("s", 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Check("s", 1000); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Check("s", 1); err == nil {
+		t.Fatal("ancient nonce accepted after jump")
+	}
+	if err := g.Check("s", 999); err != nil {
+		t.Fatalf("nonce just inside window rejected: %v", err)
+	}
+}

@@ -1,0 +1,195 @@
+// Deterministic fault injection for transport connections.
+//
+// LoRa links drop, duplicate, reorder, and corrupt frames as a matter of
+// course; the related simulator literature (LoRa CAD/capture-effect
+// emulators, SDR key-generation testbeds) treats these as first-class
+// simulation inputs. FaultyConn brings the same fault model to any Conn:
+// every fault decision is drawn from a seeded rng.Source on the sender
+// side, so a fixed seed yields a fixed fault schedule for a fixed message
+// sequence — tests replay the exact same loss pattern every run.
+package transport
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/rng"
+)
+
+// FaultConfig sets independent per-message fault probabilities. The zero
+// value injects nothing.
+type FaultConfig struct {
+	// Drop is the probability a message vanishes on the wire.
+	Drop float64
+	// Duplicate is the probability a message is delivered twice.
+	Duplicate float64
+	// Reorder is the probability a message is held back and delivered
+	// after the next one (adjacent swap), modeling out-of-order arrival.
+	Reorder float64
+	// Corrupt is the probability a message has bytes flipped in flight.
+	Corrupt float64
+	// Delay is the probability a message is deferred by a uniform time in
+	// (0, MaxDelay] before transmission.
+	Delay float64
+	// MaxDelay bounds injected delays; it defaults to 5ms when Delay > 0.
+	MaxDelay time.Duration
+}
+
+// Enabled reports whether the config injects any fault at all.
+func (c FaultConfig) Enabled() bool {
+	return c.Drop > 0 || c.Duplicate > 0 || c.Reorder > 0 || c.Corrupt > 0 || c.Delay > 0
+}
+
+// FaultStats counts what the injector did to the traffic that flowed
+// through one direction.
+type FaultStats struct {
+	Sent       int // messages handed to Send
+	Delivered  int // messages actually written to the inner conn
+	Dropped    int
+	Duplicated int
+	Reordered  int
+	Corrupted  int
+	Delayed    int
+	Received   int // messages read from the inner conn
+}
+
+// FaultyConn wraps a Conn and injects faults on the egress path. Wrap
+// both ends (with independently derived sources) to fault both
+// directions. It is safe for concurrent use.
+type FaultyConn struct {
+	inner Conn
+	cfg   FaultConfig
+
+	mu    sync.Mutex
+	src   *rng.Source
+	held  []byte // message deferred by a reorder fault
+	stats FaultStats
+}
+
+// WrapFaulty wraps conn with the given fault model. The source must be
+// dedicated to this wrapper (rng.Source is not safe for sharing across
+// goroutines); derive one per direction.
+func WrapFaulty(conn Conn, cfg FaultConfig, src *rng.Source) *FaultyConn {
+	if cfg.Delay > 0 && cfg.MaxDelay <= 0 {
+		cfg.MaxDelay = 5 * time.Millisecond
+	}
+	return &FaultyConn{inner: conn, cfg: cfg, src: src}
+}
+
+// FaultyPair returns an in-memory pair with both directions faulted under
+// cfg, each from its own source derived from src.
+func FaultyPair(cfg FaultConfig, src *rng.Source) (*FaultyConn, *FaultyConn) {
+	a, b := Pair()
+	return WrapFaulty(a, cfg, src.Derive("faulty-a")), WrapFaulty(b, cfg, src.Derive("faulty-b"))
+}
+
+// Stats returns a snapshot of the injector's counters.
+func (c *FaultyConn) Stats() FaultStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+// Send implements Conn, applying the fault schedule to the outgoing
+// message. Fault draws happen in Send-call order, so a single-goroutine
+// sender gets a fully deterministic schedule from the seed.
+func (c *FaultyConn) Send(msg []byte) error {
+	c.mu.Lock()
+	c.stats.Sent++
+	// Take any message held by an earlier reorder fault: it is released
+	// on this transmission event, after the current message.
+	prev := c.held
+	c.held = nil
+
+	var now [][]byte
+	var delay time.Duration
+	if c.src.Bernoulli(c.cfg.Drop) {
+		c.stats.Dropped++
+	} else {
+		cp := make([]byte, len(msg))
+		copy(cp, msg)
+		if len(cp) > 0 && c.src.Bernoulli(c.cfg.Corrupt) {
+			c.stats.Corrupted++
+			// Flip a burst of 1-4 bytes at a random offset.
+			n := 1 + c.src.Intn(4)
+			at := c.src.Intn(len(cp))
+			for i := 0; i < n && at+i < len(cp); i++ {
+				cp[at+i] ^= byte(1 + c.src.Intn(255))
+			}
+		}
+		if c.src.Bernoulli(c.cfg.Reorder) && prev == nil {
+			c.stats.Reordered++
+			c.held = cp
+		} else {
+			now = append(now, cp)
+			if c.src.Bernoulli(c.cfg.Duplicate) {
+				c.stats.Duplicated++
+				dup := make([]byte, len(cp))
+				copy(dup, cp)
+				now = append(now, dup)
+			}
+		}
+		if len(now) > 0 && c.src.Bernoulli(c.cfg.Delay) {
+			c.stats.Delayed++
+			delay = time.Duration(c.src.Uniform(0, float64(c.cfg.MaxDelay))) + time.Microsecond
+		}
+	}
+	if prev != nil {
+		now = append(now, prev)
+	}
+	c.stats.Delivered += len(now)
+	c.mu.Unlock()
+
+	if delay > 0 {
+		batch := now
+		time.AfterFunc(delay, func() {
+			for _, m := range batch {
+				// The conn may have closed while the delay ran; a late
+				// datagram simply disappears, like on a real link.
+				_ = c.inner.Send(m)
+			}
+		})
+		return nil
+	}
+	for _, m := range now {
+		if err := c.inner.Send(m); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Recv implements Conn.
+func (c *FaultyConn) Recv() ([]byte, error) {
+	msg, err := c.inner.Recv()
+	if err == nil {
+		c.mu.Lock()
+		c.stats.Received++
+		c.mu.Unlock()
+	}
+	return msg, err
+}
+
+// RecvTimeout implements Conn.
+func (c *FaultyConn) RecvTimeout(d time.Duration) ([]byte, error) {
+	msg, err := c.inner.RecvTimeout(d)
+	if err == nil {
+		c.mu.Lock()
+		c.stats.Received++
+		c.mu.Unlock()
+	}
+	return msg, err
+}
+
+// Close implements Conn, flushing a reorder-held message first so the
+// last message of a session cannot be silently starved.
+func (c *FaultyConn) Close() error {
+	c.mu.Lock()
+	held := c.held
+	c.held = nil
+	c.mu.Unlock()
+	if held != nil {
+		_ = c.inner.Send(held)
+	}
+	return c.inner.Close()
+}

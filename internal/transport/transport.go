@@ -1,24 +1,36 @@
 // Package transport provides the message channels the key-establishment
-// protocol runs over: an in-memory pair for simulation and tests, and a
-// UDP pair for running the two protocol ends as real processes.
+// protocol runs over: an in-memory pair for simulation and tests, a UDP
+// pair for running the two protocol ends as real processes, and a
+// deterministic fault-injecting wrapper (see faulty.go) that models lossy
+// LoRa links.
 package transport
 
 import (
 	"errors"
 	"fmt"
 	"net"
+	"os"
 	"time"
 )
 
-// Conn is a reliable, message-oriented, bidirectional channel.
+// Conn is a message-oriented, bidirectional channel. Delivery is NOT
+// guaranteed reliable: the UDP transport drops under congestion and the
+// faulty wrapper drops by design, so the protocol layer owns retries.
 type Conn interface {
 	Send(msg []byte) error
 	Recv() ([]byte, error)
+	// RecvTimeout waits at most d for the next message and returns
+	// ErrTimeout when nothing arrives in time. The protocol's retransmit
+	// logic is built on this.
+	RecvTimeout(d time.Duration) ([]byte, error)
 	Close() error
 }
 
 // ErrClosed reports use of a closed connection.
 var ErrClosed = errors.New("transport: connection closed")
+
+// ErrTimeout reports that no message arrived within the receive deadline.
+var ErrTimeout = errors.New("transport: receive timeout")
 
 // Pair returns two in-memory connection ends wired to each other.
 func Pair() (Conn, Conn) {
@@ -37,6 +49,13 @@ type memConn struct {
 }
 
 func (c *memConn) Send(msg []byte) error {
+	// Check closure first so Send-after-Close fails deterministically
+	// instead of racing the buffered channel in a two-way select.
+	select {
+	case <-c.done:
+		return ErrClosed
+	default:
+	}
 	cp := make([]byte, len(msg))
 	copy(cp, msg)
 	select {
@@ -49,22 +68,43 @@ func (c *memConn) Send(msg []byte) error {
 
 func (c *memConn) Recv() ([]byte, error) {
 	select {
-	case msg, ok := <-c.in:
-		if !ok {
-			return nil, ErrClosed
-		}
+	case msg := <-c.in:
 		return msg, nil
 	case <-c.done:
-		// Closing must not drop messages already queued: drain before
-		// reporting closure, so a peer that sent its final message and
-		// immediately closed still gets it delivered.
-		select {
-		case msg, ok := <-c.in:
-			if ok {
-				return msg, nil
-			}
-		default:
-		}
+		return c.drain()
+	}
+}
+
+// RecvTimeout implements the deadline receive over the in-memory pair.
+func (c *memConn) RecvTimeout(d time.Duration) ([]byte, error) {
+	// Fast path: a queued message never pays for a timer.
+	select {
+	case msg := <-c.in:
+		return msg, nil
+	case <-c.done:
+		return c.drain()
+	default:
+	}
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	select {
+	case msg := <-c.in:
+		return msg, nil
+	case <-c.done:
+		return c.drain()
+	case <-timer.C:
+		return nil, ErrTimeout
+	}
+}
+
+// drain empties messages that were queued before Close: closing must not
+// drop them, so each Recv keeps delivering until the queue is empty and
+// only then reports closure.
+func (c *memConn) drain() ([]byte, error) {
+	select {
+	case msg := <-c.in:
+		return msg, nil
+	default:
 		return nil, ErrClosed
 	}
 }
@@ -79,8 +119,8 @@ func (c *memConn) Close() error {
 }
 
 // UDPConn is a datagram transport to one fixed peer. LoRa control traffic
-// is tiny and loss-tolerant at the protocol layer (rounds simply retry),
-// so plain UDP matches the deployment model.
+// is tiny and loss-tolerant at the protocol layer (rounds retry and
+// resynchronize), so plain UDP matches the deployment model.
 type UDPConn struct {
 	conn    *net.UDPConn
 	peer    *net.UDPAddr
@@ -120,23 +160,40 @@ func ResolvePeer(addr string) (*net.UDPAddr, error) {
 	return out, nil
 }
 
-// SetTimeout adjusts the receive deadline.
+// SetTimeout adjusts the default receive deadline used by Recv.
 func (c *UDPConn) SetTimeout(d time.Duration) { c.timeout = d }
 
 // Send implements Conn.
 func (c *UDPConn) Send(msg []byte) error {
 	_, err := c.conn.WriteToUDP(msg, c.peer)
+	if err != nil && errors.Is(err, net.ErrClosed) {
+		return ErrClosed
+	}
 	return err
 }
 
-// Recv implements Conn. The first sender becomes the peer if none is set.
-func (c *UDPConn) Recv() ([]byte, error) {
-	if err := c.conn.SetReadDeadline(time.Now().Add(c.timeout)); err != nil {
+// Recv implements Conn using the connection's default timeout. The first
+// sender becomes the peer if none is set.
+func (c *UDPConn) Recv() ([]byte, error) { return c.RecvTimeout(c.timeout) }
+
+// RecvTimeout implements Conn, mapping deadline and closure errors onto
+// the transport sentinels so callers can branch without net internals.
+func (c *UDPConn) RecvTimeout(d time.Duration) ([]byte, error) {
+	if err := c.conn.SetReadDeadline(time.Now().Add(d)); err != nil {
+		if errors.Is(err, net.ErrClosed) {
+			return nil, fmt.Errorf("%w: %v", ErrClosed, err)
+		}
 		return nil, err
 	}
 	buf := make([]byte, 64*1024)
 	n, addr, err := c.conn.ReadFromUDP(buf)
 	if err != nil {
+		switch {
+		case errors.Is(err, os.ErrDeadlineExceeded):
+			return nil, fmt.Errorf("%w: %v", ErrTimeout, err)
+		case errors.Is(err, net.ErrClosed):
+			return nil, fmt.Errorf("%w: %v", ErrClosed, err)
+		}
 		return nil, err
 	}
 	if c.peer == nil {

@@ -2,6 +2,7 @@ package transport
 
 import (
 	"bytes"
+	"errors"
 	"testing"
 	"time"
 )
@@ -52,10 +53,59 @@ func TestPairClose(t *testing.T) {
 	a, b := Pair()
 	a.Close()
 	if err := b.Send([]byte("x")); err == nil {
-		// Buffered channel may accept; Recv after close must fail fast.
-		if _, err := b.Recv(); err == nil {
-			t.Fatal("recv on closed pair should fail")
+		t.Fatal("send after close must fail deterministically")
+	}
+	if _, err := b.Recv(); err == nil {
+		t.Fatal("recv on closed pair should fail")
+	}
+}
+
+func TestPairCloseDrainsQueued(t *testing.T) {
+	// Regression: messages queued before Close must all be delivered, not
+	// just the first one, before Recv reports closure.
+	a, b := Pair()
+	for i := 0; i < 3; i++ {
+		if err := a.Send([]byte{byte('a' + i)}); err != nil {
+			t.Fatal(err)
 		}
+	}
+	a.Close()
+	for i := 0; i < 3; i++ {
+		got, err := b.Recv()
+		if err != nil {
+			t.Fatalf("message %d after close: %v", i, err)
+		}
+		if want := byte('a' + i); len(got) != 1 || got[0] != want {
+			t.Fatalf("message %d: got %q want %q", i, got, want)
+		}
+	}
+	if _, err := b.Recv(); err == nil {
+		t.Fatal("drained pair must report closure")
+	}
+	// RecvTimeout must honor the same drain-then-close contract.
+	a2, b2 := Pair()
+	a2.Send([]byte("last"))
+	a2.Close()
+	if got, err := b2.RecvTimeout(time.Second); err != nil || string(got) != "last" {
+		t.Fatalf("RecvTimeout drain: got %q err %v", got, err)
+	}
+	if _, err := b2.RecvTimeout(time.Second); err == nil {
+		t.Fatal("drained pair must report closure via RecvTimeout")
+	}
+}
+
+func TestPairRecvTimeout(t *testing.T) {
+	a, b := Pair()
+	defer a.Close()
+	defer b.Close()
+	if _, err := b.RecvTimeout(5 * time.Millisecond); err != ErrTimeout {
+		t.Fatalf("empty pair: want ErrTimeout, got %v", err)
+	}
+	if err := a.Send([]byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if got, err := b.RecvTimeout(time.Second); err != nil || string(got) != "x" {
+		t.Fatalf("got %q err %v", got, err)
 	}
 }
 
@@ -103,7 +153,24 @@ func TestUDPTimeout(t *testing.T) {
 	}
 	defer c.Close()
 	c.SetTimeout(50 * time.Millisecond)
-	if _, err := c.Recv(); err == nil {
-		t.Fatal("expected timeout")
+	if _, err := c.Recv(); !errors.Is(err, ErrTimeout) {
+		t.Fatalf("want ErrTimeout, got %v", err)
+	}
+	if _, err := c.RecvTimeout(10 * time.Millisecond); !errors.Is(err, ErrTimeout) {
+		t.Fatalf("want ErrTimeout, got %v", err)
+	}
+}
+
+func TestUDPClosedMapsToErrClosed(t *testing.T) {
+	c, err := DialUDP("127.0.0.1:0", "127.0.0.1:9")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Close()
+	if _, err := c.RecvTimeout(10 * time.Millisecond); !errors.Is(err, ErrClosed) {
+		t.Fatalf("want ErrClosed, got %v", err)
+	}
+	if err := c.Send([]byte("x")); !errors.Is(err, ErrClosed) {
+		t.Fatalf("send: want ErrClosed, got %v", err)
 	}
 }

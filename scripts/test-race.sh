@@ -1,0 +1,25 @@
+#!/bin/sh
+# Race-detector test pass, tier-1 alongside `go test ./...`.
+#
+# The concurrent packages (transport, protocol, secure, attack) run with
+# -count=1 so a cached result can never mask a rediscovered race. The
+# model-training packages dominate wall time under -race, so they run
+# -short where that keeps coverage meaningful; the protocol soak itself
+# must run in full — it is the adversarial concurrency test this script
+# exists for.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== race: concurrent layers (full) =="
+go test -race -count=1 \
+	./internal/transport/ \
+	./internal/secure/ \
+	./internal/protocol/ \
+	./internal/attack/
+
+echo "== race: remaining packages (short) =="
+go test -race -short \
+	$(go list ./... | grep -v -e /internal/transport$ -e /internal/secure$ -e /internal/protocol$ -e /internal/attack$)
+
+echo "race suite passed"

@@ -14,6 +14,10 @@
 //     filter, and SHA-based privacy amplification;
 //   - an interactive protocol that runs the scheme between two endpoints
 //     over in-memory or UDP transports, producing confirmed AES-128 keys;
+//     the transport is treated as unreliable (LoRa): messages are
+//     retransmitted with exponential backoff, duplicates and reordering
+//     are tolerated, and a deterministic fault-injecting transport
+//     wrapper exists for testing links at chosen loss rates;
 //   - the three baselines the paper compares against, the NIST SP 800-22
 //     randomness battery, and runners that regenerate every figure and
 //     table of the paper's evaluation (see internal/exp and cmd/vkbench).
