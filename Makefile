@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test test-short test-race bench fuzz
+.PHONY: build test test-short test-race bench fuzz lint
 
 build:
 	$(GO) build ./...
@@ -20,6 +20,15 @@ test-short:
 # so this is part of tier-1, not an optional extra.
 test-race:
 	./scripts/test-race.sh
+
+# Static analysis: go vet, formatting, and the repo's own vklint suite
+# (internal/lint), which enforces the crypto/determinism/concurrency
+# invariants DESIGN.md documents under "Enforced invariants".
+lint:
+	$(GO) vet ./...
+	@out=$$(gofmt -l . 2>/dev/null); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+	$(GO) run ./cmd/vklint ./...
 
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem ./...

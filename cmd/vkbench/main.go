@@ -54,7 +54,8 @@ func main() {
 		start := time.Now()
 		rep, err := exp.Run(id, cfg)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "vkbench: %s: %v\n", id, err)
+			// Best-effort stderr write: the process exits on this error.
+			_, _ = fmt.Fprintf(os.Stderr, "vkbench: %s: %v\n", id, err)
 			os.Exit(1)
 		}
 		if *markdown {

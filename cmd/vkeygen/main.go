@@ -32,8 +32,7 @@ func main() {
 	case "rural":
 		opts.Environment = vehiclekey.Rural
 	default:
-		fmt.Fprintln(os.Stderr, "vkeygen: -env must be urban or rural")
-		os.Exit(2)
+		fatalf(2, "vkeygen: -env must be urban or rural")
 	}
 	switch *link {
 	case "v2i":
@@ -41,8 +40,7 @@ func main() {
 	case "v2v":
 		opts.Link = vehiclekey.V2V
 	default:
-		fmt.Fprintln(os.Stderr, "vkeygen: -link must be v2i or v2v")
-		os.Exit(2)
+		fatalf(2, "vkeygen: -link must be v2i or v2v")
 	}
 	if *quick {
 		opts.TrainingWindows = 160
@@ -52,13 +50,11 @@ func main() {
 	fmt.Printf("training Vehicle-Key on a simulated %s %s link at %.0f km/h...\n", *env, *link, *speed)
 	session, err := vehiclekey.Setup(opts)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "vkeygen: %v\n", err)
-		os.Exit(1)
+		fatalf(1, "vkeygen: %v", err)
 	}
 	ks, metrics, err := session.GenerateKeys(*keys)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "vkeygen: %v\n", err)
-		os.Exit(1)
+		fatalf(1, "vkeygen: %v", err)
 	}
 	for i, k := range ks {
 		status := "AGREED"
@@ -68,4 +64,12 @@ func main() {
 		fmt.Printf("key %d: %s  %s\n", i+1, hex.EncodeToString(k.Bits), status)
 	}
 	fmt.Printf("\nmetrics: %v\n", metrics)
+}
+
+// fatalf reports a fatal error and exits with the given code. Stderr is
+// best-effort by design: the process is exiting because of the reported
+// error, and there is nothing left to do if the write itself fails.
+func fatalf(code int, format string, args ...any) {
+	_, _ = fmt.Fprintf(os.Stderr, format+"\n", args...)
+	os.Exit(code)
 }

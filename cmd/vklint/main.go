@@ -1,0 +1,90 @@
+// Command vklint runs the repository's domain static analyzers — the
+// machine-checked forms of the invariants Vehicle-Key's security and
+// reproducibility arguments rest on (see DESIGN.md, "Enforced
+// invariants"). It is built only on the standard library's go/ast and
+// go/types; there is no x/tools dependency.
+//
+//	vklint ./...                 # whole module (the CI lint job)
+//	vklint -checks consttime,zeroize ./internal/secure/...
+//	vklint -list                 # describe the registered checks
+//
+// Exit status: 0 when no error-severity finding survives suppression,
+// 1 when findings remain, 2 on usage or load failure. A finding is
+// suppressed by a justified comment on or directly above its line:
+//
+//	//vklint:ignore consttime -- tag is public transcript data
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/lint"
+)
+
+func main() {
+	var (
+		checks = flag.String("checks", "", "comma-separated checks to run (default: all)")
+		list   = flag.Bool("list", false, "list registered checks and exit")
+	)
+	flag.Usage = func() {
+		_, _ = fmt.Fprintf(os.Stderr, "usage: vklint [-checks a,b] [-list] [packages]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *list {
+		for _, a := range lint.Analyzers() {
+			fmt.Printf("%-10s %s  [%s]\n", a.Name, a.Doc, a.Severity)
+		}
+		return
+	}
+
+	analyzers, err := lint.Select(*checks)
+	if err != nil {
+		fatal(err)
+	}
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	loader, err := lint.NewLoader(".")
+	if err != nil {
+		fatal(err)
+	}
+	dirs, err := loader.Match(patterns...)
+	if err != nil {
+		fatal(err)
+	}
+	if len(dirs) == 0 {
+		fatal(fmt.Errorf("no packages match %v", patterns))
+	}
+	pkgs, err := loader.Load(dirs...)
+	if err != nil {
+		fatal(err)
+	}
+
+	diags := lint.Run(loader.Module(), pkgs, analyzers)
+	cwd, _ := os.Getwd()
+	for _, d := range diags {
+		file := d.Pos.Filename
+		if cwd != "" {
+			if rel, err := filepath.Rel(cwd, file); err == nil && !filepath.IsAbs(rel) {
+				file = rel
+			}
+		}
+		fmt.Printf("%s:%d:%d: %s: %s\n", file, d.Pos.Line, d.Pos.Column, d.Check, d.Message)
+	}
+	if lint.HasErrors(diags) {
+		fmt.Printf("vklint: %d finding(s) in %d package(s)\n", len(diags), len(pkgs))
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	_, _ = fmt.Fprintf(os.Stderr, "vklint: %v\n", err)
+	os.Exit(2)
+}

@@ -27,13 +27,11 @@ func main() {
 	}
 	session, err := vehiclekey.Setup(opts)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "vknist: %v\n", err)
-		os.Exit(1)
+		fatal(err)
 	}
 	rep, err := session.CheckRandomness(*bits)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "vknist: %v\n", err)
-		os.Exit(1)
+		fatal(err)
 	}
 	fmt.Printf("NIST battery over %d key-stream bits:\n", rep.Bits)
 	failed := 0
@@ -49,4 +47,11 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Println("all tests passed (p >= 0.01)")
+}
+
+// fatal reports a fatal error and exits. The stderr write is
+// best-effort: the process is already exiting on the reported error.
+func fatal(err error) {
+	_, _ = fmt.Fprintf(os.Stderr, "vknist: %v\n", err)
+	os.Exit(1)
 }

@@ -91,7 +91,9 @@ func main() {
 			fatal(err)
 		}
 	}
-	defer udp.Close()
+	// Closing at exit is best-effort: the session is over and the socket
+	// dies with the process either way.
+	defer func() { _ = udp.Close() }()
 
 	// Wrap in the fault injector only after the hello exchange: the
 	// handshake that discovers Bob's peer address must not be dropped.
@@ -142,6 +144,7 @@ func main() {
 }
 
 func fatal(err error) {
-	fmt.Fprintf(os.Stderr, "vkproto: %v\n", err)
+	// Best-effort stderr write: the process is exiting on this error.
+	_, _ = fmt.Fprintf(os.Stderr, "vkproto: %v\n", err)
 	os.Exit(1)
 }

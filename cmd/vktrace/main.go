@@ -41,31 +41,47 @@ func main() {
 	ex := col.Run(*exchanges)
 
 	w := csv.NewWriter(os.Stdout)
-	defer w.Flush()
+	// A short write (closed pipe, full disk) must fail the run, not
+	// silently truncate the dataset.
+	put := func(record []string) {
+		if err := w.Write(record); err != nil {
+			fatalf(1, "vktrace: write: %v", err)
+		}
+	}
 	switch *kind {
 	case "prssi":
-		w.Write([]string{"exchange", "alice_prssi_dbm", "bob_prssi_dbm", "eve_prssi_dbm"})
+		put([]string{"exchange", "alice_prssi_dbm", "bob_prssi_dbm", "eve_prssi_dbm"})
 		alice, bob := trace.PRSSI(ex)
 		eve := trace.EvePRSSI(ex)
 		for i := range alice {
-			w.Write([]string{
+			put([]string{
 				strconv.Itoa(i),
 				fmt.Sprintf("%.2f", alice[i]), fmt.Sprintf("%.2f", bob[i]), fmt.Sprintf("%.2f", eve[i]),
 			})
 		}
 	case "arrssi":
-		w.Write([]string{"idx", "alice", "bob", "eve_imitate"})
+		put([]string{"idx", "alice", "bob", "eve_imitate"})
 		a, b := trace.ArRSSI(ex, trace.DefaultExtract())
 		ev := trace.EveArRSSI(ex, trace.DefaultExtract(), true)
 		fa, fb, fe := trace.Flatten(a), trace.Flatten(b), trace.Flatten(ev)
 		for i := range fa {
-			w.Write([]string{
+			put([]string{
 				strconv.Itoa(i),
 				fmt.Sprintf("%.2f", fa[i]), fmt.Sprintf("%.2f", fb[i]), fmt.Sprintf("%.2f", fe[i]),
 			})
 		}
 	default:
-		fmt.Fprintln(os.Stderr, "vktrace: -kind must be prssi or arrssi")
-		os.Exit(2)
+		fatalf(2, "vktrace: -kind must be prssi or arrssi")
 	}
+	w.Flush()
+	if err := w.Error(); err != nil {
+		fatalf(1, "vktrace: flush: %v", err)
+	}
+}
+
+// fatalf reports a fatal error and exits with the given code. The
+// stderr write is best-effort: the process is exiting either way.
+func fatalf(code int, format string, args ...any) {
+	_, _ = fmt.Fprintf(os.Stderr, format+"\n", args...)
+	os.Exit(code)
 }

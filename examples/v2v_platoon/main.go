@@ -29,8 +29,9 @@ func main() {
 
 	aliceWin, bobWin := session.Windows(24)
 	connA, connB := transport.Pair()
-	defer connA.Close()
-	defer connB.Close()
+	// The in-memory pair's Close is best-effort cleanup at exit.
+	defer func() { _ = connA.Close() }()
+	defer func() { _ = connB.Close() }()
 
 	alice := protocol.NewNode(session.System(), connA, "platoon-42")
 	bob := protocol.NewNode(session.System(), connB, "platoon-42")

@@ -1,0 +1,252 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+	"unicode"
+)
+
+// calleeObject resolves the object a call expression invokes: the
+// function or method named by the call, or nil for calls through function
+// values, function literals, and conversions.
+func calleeObject(info *types.Info, call *ast.CallExpr) types.Object {
+	switch fn := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return info.Uses[fn]
+	case *ast.SelectorExpr:
+		return info.Uses[fn.Sel]
+	}
+	return nil
+}
+
+// objectPkgPath returns the import path of the package an object is
+// declared in, or "" for builtins and universe objects.
+func objectPkgPath(obj types.Object) string {
+	if obj == nil || obj.Pkg() == nil {
+		return ""
+	}
+	return obj.Pkg().Path()
+}
+
+// isPkgFunc reports whether the call invokes pkgPath.name.
+func isPkgFunc(info *types.Info, call *ast.CallExpr, pkgPath, name string) bool {
+	obj := calleeObject(info, call)
+	return obj != nil && obj.Name() == name && objectPkgPath(obj) == pkgPath
+}
+
+// lastErrorResult reports whether the call's (possibly multi-valued)
+// result ends in an error.
+func lastErrorResult(info *types.Info, call *ast.CallExpr) bool {
+	obj := calleeObject(info, call)
+	fn, ok := obj.(*types.Func)
+	if !ok {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Results().Len() == 0 {
+		return false
+	}
+	last := sig.Results().At(sig.Results().Len() - 1).Type()
+	return types.Identical(last, types.Universe.Lookup("error").Type())
+}
+
+// words splits an identifier into lowercase words on camelCase humps,
+// underscores, and digits: "bloomKeyBits" → [bloom key bits].
+func words(name string) []string {
+	var out []string
+	var cur strings.Builder
+	flush := func() {
+		if cur.Len() > 0 {
+			out = append(out, strings.ToLower(cur.String()))
+			cur.Reset()
+		}
+	}
+	runes := []rune(name)
+	for i, r := range runes {
+		switch {
+		case r == '_' || unicode.IsDigit(r):
+			flush()
+		case unicode.IsUpper(r):
+			// A new word starts at an upper rune preceded by a lower rune
+			// (camelCase) or followed by a lower rune (end of an acronym:
+			// "MACKey" → MAC, Key).
+			if i > 0 && (unicode.IsLower(runes[i-1]) || (i+1 < len(runes) && unicode.IsLower(runes[i+1]))) {
+				flush()
+			}
+			cur.WriteRune(r)
+		default:
+			cur.WriteRune(r)
+		}
+	}
+	flush()
+	return out
+}
+
+// secretWords are the identifier words that mark key/MAC/secret material.
+var secretWords = map[string]bool{
+	"mac": true, "macs": true, "hmac": true,
+	"key": true, "keys": true,
+	"secret": true, "secrets": true,
+	"token": true, "tokens": true,
+	"tag": true, "tags": true,
+	"digest": true, "digests": true,
+}
+
+// isSecretName reports whether an identifier names key/MAC/secret
+// material by the repo's naming convention.
+func isSecretName(name string) bool {
+	for _, w := range words(name) {
+		if secretWords[w] {
+			return true
+		}
+	}
+	return false
+}
+
+// keyMaterialWords is the narrower set the zeroize analyzer uses: only
+// names that denote actual key material (MAC tags and the like are
+// public transcript data and need no wiping).
+var keyMaterialWords = map[string]bool{
+	"key": true, "keys": true, "secret": true, "secrets": true,
+}
+
+// isKeyMaterialName reports whether an identifier names key material
+// proper.
+func isKeyMaterialName(name string) bool {
+	for _, w := range words(name) {
+		if keyMaterialWords[w] {
+			return true
+		}
+	}
+	return false
+}
+
+// exprName extracts the most meaningful identifier from an expression
+// for secret-name matching: the identifier itself, a selector's field or
+// method name, a called function's name, or the element expression of an
+// index/slice.
+func exprName(e ast.Expr) string {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return e.Sel.Name
+	case *ast.CallExpr:
+		return exprName(e.Fun)
+	case *ast.IndexExpr:
+		return exprName(e.X)
+	case *ast.SliceExpr:
+		return exprName(e.X)
+	case *ast.UnaryExpr:
+		return exprName(e.X)
+	case *ast.StarExpr:
+		return exprName(e.X)
+	}
+	return ""
+}
+
+// isByteSlice reports whether t is []byte (possibly through a named
+// type's underlying).
+func isByteSlice(t types.Type) bool {
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && b.Kind() == types.Byte
+}
+
+// isComparableSecretType reports whether t is a type whose == comparison
+// could leak timing on secret contents: strings and byte arrays.
+func isComparableSecretType(t types.Type) bool {
+	switch u := t.Underlying().(type) {
+	case *types.Basic:
+		return u.Info()&types.IsString != 0
+	case *types.Array:
+		b, ok := u.Elem().Underlying().(*types.Basic)
+		return ok && (b.Kind() == types.Byte || b.Kind() == types.Uint8)
+	}
+	return false
+}
+
+// typeContainsMutex reports whether t directly or transitively (through
+// struct fields and embedded structs) contains a sync.Mutex or
+// sync.RWMutex by value.
+func typeContainsMutex(t types.Type) bool {
+	return containsMutex(t, make(map[types.Type]bool))
+}
+
+func containsMutex(t types.Type, seen map[types.Type]bool) bool {
+	if seen[t] {
+		return false
+	}
+	seen[t] = true
+	if named, ok := t.(*types.Named); ok {
+		obj := named.Obj()
+		if obj.Pkg() != nil && obj.Pkg().Path() == "sync" &&
+			(obj.Name() == "Mutex" || obj.Name() == "RWMutex" || obj.Name() == "WaitGroup" || obj.Name() == "Once") {
+			return true
+		}
+		return containsMutex(named.Underlying(), seen)
+	}
+	if st, ok := t.(*types.Struct); ok {
+		for i := 0; i < st.NumFields(); i++ {
+			if containsMutex(st.Field(i).Type(), seen) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// isMutexType reports whether t (or *t) is sync.Mutex or sync.RWMutex.
+func isMutexType(t types.Type) bool {
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync" &&
+		(obj.Name() == "Mutex" || obj.Name() == "RWMutex")
+}
+
+// renderExpr formats a simple expression (identifiers and selectors) as
+// source text, for use as a lockset key and in messages.
+func renderExpr(e ast.Expr) string {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return renderExpr(e.X) + "." + e.Sel.Name
+	case *ast.StarExpr:
+		return "*" + renderExpr(e.X)
+	case *ast.UnaryExpr:
+		return renderExpr(e.X)
+	case *ast.IndexExpr:
+		return renderExpr(e.X) + "[...]"
+	case *ast.CallExpr:
+		return renderExpr(e.Fun) + "(...)"
+	}
+	return "?"
+}
+
+// usesObject reports whether the subtree rooted at n contains an
+// identifier resolving to obj.
+func usesObject(info *types.Info, n ast.Node, obj types.Object) bool {
+	found := false
+	ast.Inspect(n, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if id, ok := n.(*ast.Ident); ok && info.Uses[id] == obj {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}

@@ -1,0 +1,83 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+func init() {
+	register(&Analyzer{
+		Name:     "consttime",
+		Doc:      "key/MAC material must be compared in constant time (crypto/subtle or hmac.Equal)",
+		Severity: Error,
+		Run:      runConsttime,
+	})
+}
+
+// runConsttime flags variable-time equality checks over values whose
+// names mark them as key/MAC/secret material: bytes.Equal and
+// reflect.DeepEqual short-circuit at the first differing byte, and ==
+// on strings and byte arrays compiles to the same early-exit compare.
+// An attacker timing MAC verification can forge tags byte by byte
+// (the classic HMAC timing oracle), so these must go through
+// crypto/subtle.ConstantTimeCompare or crypto/hmac.Equal.
+func runConsttime(pass *Pass) {
+	info := pass.Pkg.Info
+	for _, f := range pass.Pkg.Files {
+		if isGenerated(f) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				var fn string
+				switch {
+				case isPkgFunc(info, n, "bytes", "Equal"):
+					fn = "bytes.Equal"
+				case isPkgFunc(info, n, "reflect", "DeepEqual"):
+					fn = "reflect.DeepEqual"
+				default:
+					return true
+				}
+				for _, arg := range n.Args {
+					if name := exprName(arg); name != "" && isSecretName(name) {
+						pass.Reportf(n.Pos(),
+							"%s on secret-marked value %q is not constant-time; use crypto/subtle.ConstantTimeCompare or hmac.Equal",
+							fn, name)
+						return true
+					}
+				}
+			case *ast.BinaryExpr:
+				if n.Op != token.EQL && n.Op != token.NEQ {
+					return true
+				}
+				// Comparing against a compile-time constant (a sentinel or
+				// mode string) is configuration, not secret verification.
+				if isConstOperand(info, n.X) || isConstOperand(info, n.Y) {
+					return true
+				}
+				for _, side := range []ast.Expr{n.X, n.Y} {
+					tv, ok := info.Types[side]
+					if !ok || !isComparableSecretType(tv.Type) {
+						continue
+					}
+					if name := exprName(side); name != "" && isSecretName(name) {
+						pass.Reportf(n.Pos(),
+							"%s comparison on secret-marked value %q is not constant-time; use crypto/subtle.ConstantTimeCompare",
+							n.Op, name)
+						return true
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+// isConstOperand reports whether the expression has a compile-time
+// constant value (literal or named constant).
+func isConstOperand(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	return ok && tv.Value != nil
+}

@@ -1,0 +1,137 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// detrandScope is the set of packages whose output must be a pure
+// function of the seed: the channel simulation, the LoRa PHY model, the
+// neural networks, and the experiment runners that regenerate the
+// paper's figures. A wall-clock read or a map-iteration-ordered output
+// here makes two runs of the same seed disagree, which both breaks the
+// figure regeneration and desynchronizes Alice's and Bob's quantizer
+// inputs.
+var detrandScope = []string{"channel", "lora", "nn", "exp"}
+
+func init() {
+	register(&Analyzer{
+		Name:     "detrand",
+		Doc:      "deterministic simulation packages must not read the clock or order output by map iteration",
+		Severity: Error,
+		Run:      runDetrand,
+	})
+}
+
+func runDetrand(pass *Pass) {
+	if !pass.InScope(detrandScope...) {
+		return
+	}
+	info := pass.Pkg.Info
+	for _, f := range pass.Pkg.Files {
+		if isGenerated(f) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			checkFuncDetrand(pass, info, fn)
+		}
+	}
+}
+
+func checkFuncDetrand(pass *Pass, info *types.Info, fn *ast.FuncDecl) {
+	// Objects that are sorted somewhere in this function: feeding them
+	// from a map range is fine because the order is re-established.
+	sorted := make(map[types.Object]bool)
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || len(call.Args) == 0 {
+			return true
+		}
+		obj := calleeObject(info, call)
+		if obj == nil {
+			return true
+		}
+		switch objectPkgPath(obj) {
+		case "sort", "slices":
+		default:
+			return true
+		}
+		if id, ok := ast.Unparen(call.Args[0]).(*ast.Ident); ok {
+			if target := info.Uses[id]; target != nil {
+				sorted[target] = true
+			}
+		}
+		return true
+	})
+
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if isPkgFunc(info, n, "time", "Now") || isPkgFunc(info, n, "time", "Since") {
+				pass.Reportf(n.Pos(),
+					"wall-clock read in deterministic simulation package %s; results must be a pure function of the seed",
+					pass.Pkg.Name)
+			}
+		case *ast.RangeStmt:
+			checkMapRange(pass, info, n, sorted)
+		}
+		return true
+	})
+}
+
+// checkMapRange flags a range over a map whose body feeds ordered output:
+// appending to a slice declared outside the loop (unless that slice is
+// subsequently sorted in the same function) or printing directly.
+func checkMapRange(pass *Pass, info *types.Info, loop *ast.RangeStmt, sorted map[types.Object]bool) {
+	tv, ok := info.Types[loop.X]
+	if !ok {
+		return
+	}
+	if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+		return
+	}
+	ast.Inspect(loop.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		// append(outer, ...) in any assignment position.
+		if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "append" {
+			if _, isBuiltin := info.Uses[id].(*types.Builtin); isBuiltin && len(call.Args) > 0 {
+				dst, ok := ast.Unparen(call.Args[0]).(*ast.Ident)
+				if !ok {
+					return true
+				}
+				obj := info.Uses[dst]
+				if obj == nil || sorted[obj] {
+					return true
+				}
+				if declaredOutside(pass, obj, loop) {
+					pass.Reportf(call.Pos(),
+						"append to %q inside a map range: map iteration order is randomized, so the output order varies run to run; sort afterwards or iterate a sorted key slice",
+						dst.Name)
+				}
+			}
+			return true
+		}
+		// Direct output in map order.
+		obj := calleeObject(info, call)
+		if obj != nil && objectPkgPath(obj) == "fmt" {
+			pass.Reportf(call.Pos(),
+				"fmt.%s inside a map range emits output in randomized map order; iterate a sorted key slice",
+				obj.Name())
+		}
+		return true
+	})
+}
+
+// declaredOutside reports whether obj's declaration lies outside the
+// loop's source range.
+func declaredOutside(pass *Pass, obj types.Object, loop *ast.RangeStmt) bool {
+	pos := obj.Pos()
+	return pos < loop.Pos() || pos > loop.End()
+}

@@ -1,0 +1,99 @@
+package lint
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestParseIgnore(t *testing.T) {
+	cases := []struct {
+		comment string
+		checks  []string
+		ok      bool
+	}{
+		{"//vklint:ignore", []string{"*"}, true},
+		{"// vklint:ignore", []string{"*"}, true},
+		{"//vklint:ignore consttime", []string{"consttime"}, true},
+		{"//vklint:ignore consttime,zeroize", []string{"consttime", "zeroize"}, true},
+		{"//vklint:ignore consttime zeroize -- tag is public", []string{"consttime", "zeroize"}, true},
+		{"//vklint:ignore -- wipe happens in the caller", []string{"*"}, true},
+		{"// just a comment", nil, false},
+		{"//vklint:ignored typo", nil, false},
+	}
+	for _, c := range cases {
+		checks, ok := parseIgnore(c.comment)
+		if ok != c.ok {
+			t.Errorf("parseIgnore(%q) ok = %v, want %v", c.comment, ok, c.ok)
+			continue
+		}
+		if ok && !reflect.DeepEqual(checks, c.checks) {
+			t.Errorf("parseIgnore(%q) = %v, want %v", c.comment, checks, c.checks)
+		}
+	}
+}
+
+func TestSelect(t *testing.T) {
+	all, err := Select("")
+	if err != nil {
+		t.Fatalf("Select(\"\"): %v", err)
+	}
+	if len(all) != len(Analyzers()) {
+		t.Fatalf("Select(\"\") returned %d analyzers, want %d", len(all), len(Analyzers()))
+	}
+	two, err := Select("norand, zeroize")
+	if err != nil {
+		t.Fatalf("Select: %v", err)
+	}
+	if len(two) != 2 || two[0].Name != "norand" || two[1].Name != "zeroize" {
+		t.Fatalf("Select(\"norand, zeroize\") = %v", names(two))
+	}
+	if _, err := Select("nosuchcheck"); err == nil {
+		t.Fatal("Select with an unknown check did not error")
+	}
+}
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{"consttime", "detrand", "errcheck", "locksafe", "norand", "zeroize"}
+	got := names(Analyzers())
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("registered analyzers = %v, want %v", got, want)
+	}
+	for _, a := range Analyzers() {
+		if a.Doc == "" {
+			t.Errorf("analyzer %s has no Doc", a.Name)
+		}
+		if a.Run == nil {
+			t.Errorf("analyzer %s has no Run", a.Name)
+		}
+	}
+}
+
+func TestSecretNameHeuristics(t *testing.T) {
+	secret := []string{"macKey", "sessionKey", "hmacTag", "secret", "keyBits", "expectedMAC"}
+	for _, n := range secret {
+		if !isSecretName(n) {
+			t.Errorf("isSecretName(%q) = false, want true", n)
+		}
+	}
+	public := []string{"index", "window", "payload", "monkey", "donkeyRide", "keyboard"}
+	for _, n := range public {
+		if isSecretName(n) {
+			t.Errorf("isSecretName(%q) = true, want false", n)
+		}
+	}
+	if !isKeyMaterialName("roundKey") || isKeyMaterialName("macTag") {
+		t.Error("isKeyMaterialName should accept roundKey and reject macTag")
+	}
+}
+
+func TestHasErrors(t *testing.T) {
+	if HasErrors(nil) {
+		t.Error("HasErrors(nil) = true")
+	}
+	if HasErrors([]Diagnostic{{Severity: Warn}}) {
+		t.Error("a lone warning should not fail the build")
+	}
+	if !HasErrors([]Diagnostic{{Severity: Warn}, {Severity: Error}}) {
+		t.Error("an error-severity diagnostic must fail the build")
+	}
+}

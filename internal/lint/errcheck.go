@@ -1,0 +1,132 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+func init() {
+	register(&Analyzer{
+		Name:     "errcheck",
+		Doc:      "errors from transport/protocol/crypto calls and real I/O must not be silently discarded",
+		Severity: Error,
+		Run:      runErrcheck,
+	})
+}
+
+// errcheckModulePkgs are the module-internal packages whose error
+// returns are load-bearing for the security argument: a dropped
+// transport or protocol error turns a detected failure (lost CONFIRM,
+// failed MAC, closed link) into silent key disagreement.
+var errcheckModulePkgs = []string{
+	"internal/transport", "internal/protocol", "internal/secure",
+	"internal/amplify", "internal/group", "internal/attack",
+}
+
+// errcheckIOPkgs are standard-library packages whose Close/Flush/Write
+// style errors report real I/O failure (a short CSV write, an unsent
+// datagram) and must be looked at.
+var errcheckIOPkgs = map[string]bool{
+	"encoding/csv": true, "bufio": true, "os": true, "net": true,
+}
+
+var errcheckIOMethods = map[string]bool{
+	"Close": true, "Flush": true, "Write": true, "WriteAll": true, "Sync": true,
+}
+
+// fprintFuncs are the fmt functions that write to an explicit writer.
+var fprintFuncs = map[string]bool{"Fprint": true, "Fprintf": true, "Fprintln": true}
+
+// runErrcheck flags statements that call an error-returning function and
+// drop the result on the floor: bare expression statements plus go/defer
+// statements. Assigning the error to _ is an explicit, greppable
+// acknowledgement and is allowed; silence is not.
+func runErrcheck(pass *Pass) {
+	info := pass.Pkg.Info
+	for _, f := range pass.Pkg.Files {
+		if isGenerated(f) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			var call *ast.CallExpr
+			switch n := n.(type) {
+			case *ast.ExprStmt:
+				call, _ = n.X.(*ast.CallExpr)
+			case *ast.DeferStmt:
+				call = n.Call
+			case *ast.GoStmt:
+				call = n.Call
+			}
+			if call == nil {
+				return true
+			}
+			if !lastErrorResult(info, call) {
+				return true
+			}
+			if why := pass.discardReason(info, call); why != "" {
+				obj := calleeObject(info, call)
+				pass.Reportf(call.Pos(),
+					"error from %s is silently discarded (%s); handle it or assign to _",
+					calleeLabel(obj), why)
+			}
+			return true
+		})
+	}
+}
+
+// discardReason classifies a discarded-error call as a finding,
+// returning a short reason, or "" when the call is out of scope.
+func (p *Pass) discardReason(info *types.Info, call *ast.CallExpr) string {
+	obj := calleeObject(info, call)
+	if obj == nil {
+		return ""
+	}
+	pkgPath := objectPkgPath(obj)
+	// Module-internal protocol-critical packages.
+	for _, suffix := range errcheckModulePkgs {
+		if pkgPath == p.Module.Path+"/"+suffix || strings.HasSuffix(pkgPath, "/"+suffix) {
+			return "protocol-critical call"
+		}
+	}
+	// I/O finalizers from the standard library.
+	if errcheckIOPkgs[pkgPath] && errcheckIOMethods[obj.Name()] {
+		return "I/O may have failed"
+	}
+	// fmt.Fprint* to a writer that can actually fail. Writes into
+	// strings.Builder and bytes.Buffer are infallible by contract and are
+	// exempt — that is why the exp package's report rendering is clean.
+	if pkgPath == "fmt" && fprintFuncs[obj.Name()] && len(call.Args) > 0 {
+		if tv, ok := info.Types[call.Args[0]]; ok {
+			switch tv.Type.String() {
+			case "*strings.Builder", "*bytes.Buffer":
+				return ""
+			}
+			return "write to " + tv.Type.String() + " can fail"
+		}
+	}
+	return ""
+}
+
+func calleeLabel(obj types.Object) string {
+	if obj == nil {
+		return "call"
+	}
+	if fn, ok := obj.(*types.Func); ok {
+		if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+			recv := sig.Recv().Type().String()
+			if i := strings.LastIndex(recv, "."); i >= 0 {
+				star := ""
+				if strings.HasPrefix(recv, "*") {
+					star = "*"
+				}
+				recv = star + recv[i+1:]
+			}
+			return "(" + recv + ")." + obj.Name()
+		}
+	}
+	if pkg := obj.Pkg(); pkg != nil {
+		return pkg.Name() + "." + obj.Name()
+	}
+	return obj.Name()
+}

@@ -1,0 +1,278 @@
+// Package lint is a from-scratch static-analysis engine for the
+// Vehicle-Key repository, built only on the standard library (go/parser,
+// go/ast, go/types, go/token — no x/tools dependency).
+//
+// The compiler cannot see the invariants the paper's security argument
+// rests on: key and MAC material must be compared in constant time and
+// zeroized after use, randomness in the protocol-critical packages must
+// come from crypto/rand or the seeded internal/rng, the channel/NN
+// simulation must stay bit-deterministic so the figures reproduce, and
+// the concurrent transport code must not do network I/O under a lock.
+// Each of those invariants is guarded by one Analyzer in this package;
+// cmd/vklint runs the registry over every package in the module and CI
+// fails on any finding.
+//
+// A finding can be suppressed — with justification, per DESIGN.md — by a
+// comment on the flagged line or the line directly above it:
+//
+//	//vklint:ignore consttime -- tag is public transcript data
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// Severity ranks a diagnostic. Error findings fail the build; Warn
+// findings are printed but do not affect the exit code.
+type Severity int
+
+// Severity levels.
+const (
+	Warn Severity = iota
+	Error
+)
+
+func (s Severity) String() string {
+	if s == Error {
+		return "error"
+	}
+	return "warn"
+}
+
+// Diagnostic is one finding at one source position.
+type Diagnostic struct {
+	Pos      token.Position
+	Check    string
+	Severity Severity
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s (%s)", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Check, d.Message, d.Severity)
+}
+
+// Analyzer is one named invariant check.
+type Analyzer struct {
+	// Name is the check identifier used in diagnostics, -checks, and
+	// //vklint:ignore comments.
+	Name string
+	// Doc is a one-line description of the guarded invariant.
+	Doc string
+	// Severity classifies every diagnostic the analyzer emits.
+	Severity Severity
+	// Run inspects one package and reports findings through the pass.
+	Run func(*Pass)
+}
+
+// Pass carries one (package, analyzer) execution.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Pkg      *Package
+	Module   Module
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      p.Fset.Position(pos),
+		Check:    p.Analyzer.Name,
+		Severity: p.Analyzer.Severity,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// InScope reports whether the package under analysis is one of the named
+// scope packages. Scope is matched on the package name and on the last
+// import-path segment, so golden-file testdata packages (for example
+// testdata/norand/secure) are scoped exactly like the real ones.
+func (p *Pass) InScope(names ...string) bool {
+	base := p.Pkg.ImportPath
+	if i := strings.LastIndex(base, "/"); i >= 0 {
+		base = base[i+1:]
+	}
+	for _, n := range names {
+		if p.Pkg.Name == n || base == n {
+			return true
+		}
+	}
+	return false
+}
+
+// registry holds the built-in analyzers in registration order.
+var registry []*Analyzer
+
+// register adds an analyzer at package init time.
+func register(a *Analyzer) { registry = append(registry, a) }
+
+// Analyzers returns the registered analyzers sorted by name.
+func Analyzers() []*Analyzer {
+	out := append([]*Analyzer(nil), registry...)
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Select returns the analyzers whose names appear in the comma-separated
+// list, or all of them when the list is empty.
+func Select(list string) ([]*Analyzer, error) {
+	all := Analyzers()
+	if strings.TrimSpace(list) == "" {
+		return all, nil
+	}
+	byName := make(map[string]*Analyzer, len(all))
+	for _, a := range all {
+		byName[a.Name] = a
+	}
+	var out []*Analyzer
+	for _, name := range strings.Split(list, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		a, ok := byName[name]
+		if !ok {
+			return nil, fmt.Errorf("lint: unknown check %q (have %s)", name, strings.Join(names(all), ", "))
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}
+
+func names(as []*Analyzer) []string {
+	out := make([]string, len(as))
+	for i, a := range as {
+		out[i] = a.Name
+	}
+	return out
+}
+
+// Run executes the analyzers over the packages and returns the surviving
+// diagnostics, sorted by position, with //vklint:ignore suppressions
+// applied.
+func Run(mod Module, pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		start := len(diags)
+		for _, a := range analyzers {
+			pass := &Pass{Analyzer: a, Fset: pkg.Fset, Pkg: pkg, Module: mod, diags: &diags}
+			a.Run(pass)
+		}
+		diags = append(diags[:start], suppress(pkg, diags[start:])...)
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Check < b.Check
+	})
+	return diags
+}
+
+// HasErrors reports whether any diagnostic is Error severity — the
+// condition under which vklint exits non-zero.
+func HasErrors(diags []Diagnostic) bool {
+	for _, d := range diags {
+		if d.Severity == Error {
+			return true
+		}
+	}
+	return false
+}
+
+// ignoreDirective is the suppression comment prefix.
+const ignoreDirective = "vklint:ignore"
+
+// suppress drops diagnostics covered by an ignore comment on the same
+// line or the line immediately above. The directive names the checks it
+// suppresses; a bare directive suppresses every check on that line.
+// Anything after " -- " is a human rationale and is not parsed.
+func suppress(pkg *Package, diags []Diagnostic) []Diagnostic {
+	if len(diags) == 0 {
+		return diags
+	}
+	// ignored[file][line] → set of suppressed check names ("*" = all).
+	ignored := make(map[string]map[int]map[string]bool)
+	for _, f := range pkg.Files {
+		for _, grp := range f.Comments {
+			for _, c := range grp.List {
+				checks, ok := parseIgnore(c.Text)
+				if !ok {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				byLine := ignored[pos.Filename]
+				if byLine == nil {
+					byLine = make(map[int]map[string]bool)
+					ignored[pos.Filename] = byLine
+				}
+				// The directive covers its own line (trailing comment) and
+				// the next line (comment above the flagged statement).
+				for _, line := range []int{pos.Line, pos.Line + 1} {
+					set := byLine[line]
+					if set == nil {
+						set = make(map[string]bool)
+						byLine[line] = set
+					}
+					for _, chk := range checks {
+						set[chk] = true
+					}
+				}
+			}
+		}
+	}
+	out := diags[:0]
+	for _, d := range diags {
+		set := ignored[d.Pos.Filename][d.Pos.Line]
+		if set["*"] || set[d.Check] {
+			continue
+		}
+		out = append(out, d)
+	}
+	return out
+}
+
+// parseIgnore extracts the suppressed check names from one comment.
+func parseIgnore(text string) ([]string, bool) {
+	text = strings.TrimPrefix(text, "//")
+	text = strings.TrimSpace(text)
+	rest, ok := strings.CutPrefix(text, ignoreDirective)
+	// The directive must be the whole word: "vklint:ignored" is not it.
+	if !ok || (rest != "" && rest[0] != ' ' && rest[0] != '\t') {
+		return nil, false
+	}
+	text = strings.TrimSpace(rest)
+	if i := strings.Index(text, "--"); i >= 0 {
+		text = text[:i]
+	}
+	fields := strings.FieldsFunc(text, func(r rune) bool { return r == ',' || r == ' ' || r == '\t' })
+	if len(fields) == 0 {
+		return []string{"*"}, true
+	}
+	return fields, true
+}
+
+// isGenerated reports whether the file carries the standard generated-code
+// marker; analyzers skip such files.
+func isGenerated(f *ast.File) bool {
+	for _, grp := range f.Comments {
+		for _, c := range grp.List {
+			if strings.HasPrefix(c.Text, "// Code generated ") && strings.HasSuffix(c.Text, " DO NOT EDIT.") {
+				return true
+			}
+		}
+	}
+	return false
+}

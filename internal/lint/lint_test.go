@@ -1,0 +1,181 @@
+package lint
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// The loader is shared across all tests in this package so the standard
+// library is type-checked once, not once per test.
+var (
+	loaderOnce sync.Once
+	sharedL    *Loader
+	loaderErr  error
+)
+
+func goldenLoader(t *testing.T) *Loader {
+	t.Helper()
+	loaderOnce.Do(func() { sharedL, loaderErr = NewLoader(".") })
+	if loaderErr != nil {
+		t.Fatalf("NewLoader: %v", loaderErr)
+	}
+	return sharedL
+}
+
+// wantRe matches a golden expectation marker on a violating line:
+//
+//	... // want "check"
+var wantRe = regexp.MustCompile(`// want "([a-z]+)"`)
+
+// finding is the (file, line, check) identity of one diagnostic,
+// with the file reduced to its base name.
+type finding struct {
+	file  string
+	line  int
+	check string
+}
+
+// readWants scans the fixture sources in dir for want markers.
+func readWants(t *testing.T, dir string) map[finding]bool {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("ReadDir(%s): %v", dir, err)
+	}
+	wants := make(map[finding]bool)
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatalf("ReadFile: %v", err)
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			for _, m := range wantRe.FindAllStringSubmatch(line, -1) {
+				wants[finding{e.Name(), i + 1, m[1]}] = true
+			}
+		}
+	}
+	return wants
+}
+
+// lintDir loads the package in dir and runs the given analyzers over it.
+func lintDir(t *testing.T, dir string, analyzers []*Analyzer) []Diagnostic {
+	t.Helper()
+	l := goldenLoader(t)
+	pkgs, err := l.Load(dir)
+	if err != nil {
+		t.Fatalf("Load(%s): %v", dir, err)
+	}
+	return Run(l.Module(), pkgs, analyzers)
+}
+
+// TestGolden checks, per analyzer, that every marked violation in its
+// golden packages is reported at exactly the marked file and line, that
+// nothing unmarked is reported, and that //vklint:ignore comments in the
+// fixtures suppress their findings (a suppressed line carries no want
+// marker, so a surviving diagnostic there fails the "unexpected" check).
+func TestGolden(t *testing.T) {
+	for _, a := range Analyzers() {
+		t.Run(a.Name, func(t *testing.T) {
+			root := filepath.Join("testdata", a.Name)
+			entries, err := os.ReadDir(root)
+			if err != nil {
+				t.Fatalf("no golden packages for %s: %v", a.Name, err)
+			}
+			ran := 0
+			for _, e := range entries {
+				if !e.IsDir() {
+					continue
+				}
+				ran++
+				dir := filepath.Join(root, e.Name())
+				want := readWants(t, dir)
+				if len(want) == 0 {
+					t.Fatalf("%s has no want markers; the golden package proves nothing", dir)
+				}
+				got := make(map[finding]bool)
+				for _, d := range lintDir(t, dir, []*Analyzer{a}) {
+					got[finding{filepath.Base(d.Pos.Filename), d.Pos.Line, d.Check}] = true
+				}
+				for f := range want {
+					if !got[f] {
+						t.Errorf("%s: missing diagnostic %s:%d (%s)", dir, f.file, f.line, f.check)
+					}
+				}
+				for f := range got {
+					if !want[f] {
+						t.Errorf("%s: unexpected diagnostic %s:%d (%s)", dir, f.file, f.line, f.check)
+					}
+				}
+			}
+			if ran == 0 {
+				t.Fatalf("no golden package directories under %s", root)
+			}
+		})
+	}
+}
+
+// TestSuppressionDirectivesPresent guards the fixtures themselves: every
+// analyzer's golden package must exercise the ignore escape hatch, so a
+// regression that stops parsing directives cannot slip through as
+// "nothing was suppressed, nothing was expected".
+func TestSuppressionDirectivesPresent(t *testing.T) {
+	for _, a := range Analyzers() {
+		pattern := filepath.Join("testdata", a.Name, "*", "ignored.go")
+		matches, err := filepath.Glob(pattern)
+		if err != nil || len(matches) == 0 {
+			t.Errorf("analyzer %s has no ignored.go fixture (%s)", a.Name, pattern)
+			continue
+		}
+		for _, m := range matches {
+			data, err := os.ReadFile(m)
+			if err != nil {
+				t.Fatalf("ReadFile: %v", err)
+			}
+			if !strings.Contains(string(data), "//"+ignoreDirective) {
+				t.Errorf("%s does not contain a %s directive", m, ignoreDirective)
+			}
+		}
+	}
+}
+
+// TestCleanPackage runs every analyzer over the compliant fixture and
+// expects silence.
+func TestCleanPackage(t *testing.T) {
+	dir := filepath.Join("testdata", "clean", "secure")
+	diags := lintDir(t, dir, Analyzers())
+	for _, d := range diags {
+		t.Errorf("clean package produced a diagnostic: %s", d)
+	}
+}
+
+// TestRealTreeClean is the enforcement test: vklint over every package
+// in the module must report nothing. A new violation anywhere in the
+// repository fails this test before CI even reaches the lint job.
+func TestRealTreeClean(t *testing.T) {
+	l := goldenLoader(t)
+	dirs, err := l.Match(l.Module().Root + "/...")
+	if err != nil {
+		t.Fatalf("Match: %v", err)
+	}
+	if len(dirs) < 10 {
+		t.Fatalf("Match found only %d package dirs; pattern expansion is broken", len(dirs))
+	}
+	pkgs, err := l.Load(dirs...)
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	diags := Run(l.Module(), pkgs, Analyzers())
+	for _, d := range diags {
+		t.Errorf("real tree is not lint-clean: %s", d)
+	}
+	if HasErrors(diags) {
+		t.Error("vklint would exit non-zero on this tree")
+	}
+}

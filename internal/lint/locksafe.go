@@ -1,0 +1,213 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+func init() {
+	register(&Analyzer{
+		Name:     "locksafe",
+		Doc:      "locks must not be copied by value, and no network Send/Recv may run while a lock is held",
+		Severity: Error,
+		Run:      runLocksafe,
+	})
+}
+
+// runLocksafe guards the two concurrency invariants the transport and
+// protocol layers depend on:
+//
+//  1. No sync.Mutex/RWMutex (or type containing one) is received or
+//     passed by value — a copied lock silently splits into two
+//     independent locks and the critical section evaporates.
+//  2. No transport Send/Recv/RecvTimeout runs while a mutex is held.
+//     Transport calls block (UDP syscalls, timers, in-memory channels);
+//     holding a node or injector lock across one stalls every other
+//     goroutine touching that state for up to a full receive timeout,
+//     and is one reordered Close away from deadlock.
+func runLocksafe(pass *Pass) {
+	info := pass.Pkg.Info
+	for _, f := range pass.Pkg.Files {
+		if isGenerated(f) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			checkLockCopies(pass, info, fn)
+			if fn.Body != nil {
+				walkLockStmts(pass, info, fn.Body.List, make(map[string]bool))
+			}
+		}
+	}
+}
+
+// checkLockCopies flags by-value receivers and parameters of lock-bearing
+// types.
+func checkLockCopies(pass *Pass, info *types.Info, fn *ast.FuncDecl) {
+	flag := func(fl *ast.Field, kind string) {
+		if fl.Type == nil {
+			return
+		}
+		tv, ok := info.Types[fl.Type]
+		if !ok {
+			return
+		}
+		if _, isPtr := tv.Type.Underlying().(*types.Pointer); isPtr {
+			return
+		}
+		if typeContainsMutex(tv.Type) {
+			pass.Reportf(fl.Pos(),
+				"%s of %s passes a lock by value; use a pointer so the critical section is shared",
+				kind, fn.Name.Name)
+		}
+	}
+	if fn.Recv != nil {
+		for _, fl := range fn.Recv.List {
+			flag(fl, "receiver")
+		}
+	}
+	if fn.Type.Params != nil {
+		for _, fl := range fn.Type.Params.List {
+			flag(fl, "parameter")
+		}
+	}
+}
+
+// transportMethods are the blocking calls that must not run under a lock.
+var transportMethods = map[string]bool{"Send": true, "Recv": true, "RecvTimeout": true}
+
+// walkLockStmts tracks which mutexes are held through a statement list.
+// Straight-line Lock/Unlock pairs update the set in source order;
+// nested control flow is analyzed with a copy of the set (conservative:
+// an unlock inside a branch does not clear the lock for code after the
+// branch); function literals start with an empty set, since they run on
+// their own goroutine or at defer time.
+func walkLockStmts(pass *Pass, info *types.Info, stmts []ast.Stmt, held map[string]bool) {
+	for _, stmt := range stmts {
+		switch s := stmt.(type) {
+		case *ast.BlockStmt:
+			walkLockStmts(pass, info, s.List, held)
+		case *ast.DeferStmt:
+			// defer mu.Unlock() keeps the lock held to the end of the
+			// function — exactly the case where a later Send must be
+			// flagged — so it deliberately does not clear the set.
+			scanExprForLocks(pass, info, s.Call, held, false)
+		case *ast.IfStmt:
+			scanStmtExprs(pass, info, s.Init, held)
+			scanExprForLocks(pass, info, s.Cond, held, true)
+			walkLockStmts(pass, info, s.Body.List, copySet(held))
+			if s.Else != nil {
+				walkLockStmts(pass, info, []ast.Stmt{s.Else}, copySet(held))
+			}
+		case *ast.ForStmt:
+			walkLockStmts(pass, info, s.Body.List, copySet(held))
+		case *ast.RangeStmt:
+			walkLockStmts(pass, info, s.Body.List, copySet(held))
+		case *ast.SwitchStmt:
+			for _, c := range s.Body.List {
+				if cc, ok := c.(*ast.CaseClause); ok {
+					walkLockStmts(pass, info, cc.Body, copySet(held))
+				}
+			}
+		case *ast.TypeSwitchStmt:
+			for _, c := range s.Body.List {
+				if cc, ok := c.(*ast.CaseClause); ok {
+					walkLockStmts(pass, info, cc.Body, copySet(held))
+				}
+			}
+		case *ast.SelectStmt:
+			for _, c := range s.Body.List {
+				if cc, ok := c.(*ast.CommClause); ok {
+					walkLockStmts(pass, info, cc.Body, copySet(held))
+				}
+			}
+		case *ast.LabeledStmt:
+			walkLockStmts(pass, info, []ast.Stmt{s.Stmt}, held)
+		default:
+			scanStmtExprs(pass, info, stmt, held)
+		}
+	}
+}
+
+func copySet(m map[string]bool) map[string]bool {
+	out := make(map[string]bool, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+// scanStmtExprs handles the straight-line statements (expression
+// statements, assignments, returns): every call inside is classified in
+// traversal order.
+func scanStmtExprs(pass *Pass, info *types.Info, stmt ast.Stmt, held map[string]bool) {
+	if stmt == nil {
+		return
+	}
+	scanExprForLocks(pass, info, stmt, held, true)
+}
+
+// scanExprForLocks walks a subtree classifying calls: Lock/Unlock
+// mutate the held set (when mutate is true), transport calls under a
+// non-empty set are reported, and function literals recurse with a
+// fresh set.
+func scanExprForLocks(pass *Pass, info *types.Info, root ast.Node, held map[string]bool, mutate bool) {
+	if root == nil {
+		return
+	}
+	ast.Inspect(root, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			walkLockStmts(pass, info, n.Body.List, make(map[string]bool))
+			return false
+		case *ast.CallExpr:
+			sel, ok := ast.Unparen(n.Fun).(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			name := sel.Sel.Name
+			switch name {
+			case "Lock", "RLock", "Unlock", "RUnlock":
+				tv, ok := info.Types[sel.X]
+				if ok && isMutexType(tv.Type) && mutate {
+					key := renderExpr(sel.X)
+					if name == "Lock" || name == "RLock" {
+						held[key] = true
+					} else {
+						delete(held, key)
+					}
+				}
+			case "Send", "Recv", "RecvTimeout":
+				if len(held) == 0 {
+					return true
+				}
+				obj := info.Uses[sel.Sel]
+				if obj == nil {
+					return true
+				}
+				pkgPath := objectPkgPath(obj)
+				if obj.Pkg() != nil && (obj.Pkg().Name() == "transport" || strings.HasSuffix(pkgPath, "/transport")) {
+					pass.Reportf(n.Pos(),
+						"%s.%s called while holding %s; release the lock before blocking transport I/O",
+						renderExpr(sel.X), name, heldList(held))
+				}
+			}
+		}
+		return true
+	})
+}
+
+func heldList(held map[string]bool) string {
+	keys := make([]string, 0, len(held))
+	for k := range held {
+		keys = append(keys, k)
+	}
+	// Deterministic message text regardless of map order.
+	sort.Strings(keys)
+	return strings.Join(keys, ", ")
+}

@@ -1,0 +1,60 @@
+package lint
+
+import (
+	"go/ast"
+	"strconv"
+)
+
+// norandScope is the set of protocol-critical packages in which every
+// random draw must come from crypto/rand or the explicitly seeded
+// internal/rng streams. A math/rand draw here would silently weaken key
+// material (predictable "randomness") or break the deterministic replay
+// the fault-injection tests depend on.
+var norandScope = []string{"secure", "protocol", "quantize", "reconcile", "amplify"}
+
+func init() {
+	register(&Analyzer{
+		Name:     "norand",
+		Doc:      "protocol-critical packages must not use math/rand or time-seeded randomness",
+		Severity: Error,
+		Run:      runNorand,
+	})
+}
+
+func runNorand(pass *Pass) {
+	if !pass.InScope(norandScope...) {
+		return
+	}
+	for _, f := range pass.Pkg.Files {
+		if isGenerated(f) {
+			continue
+		}
+		for _, imp := range f.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			switch path {
+			case "math/rand", "math/rand/v2":
+				pass.Reportf(imp.Pos(),
+					"package %s must not import %s; draw from crypto/rand or a seeded internal/rng stream",
+					pass.Pkg.Name, path)
+			}
+		}
+		// Time-seeded randomness is the classic smuggling path: even with
+		// math/rand banned, seeding any PRNG from the wall clock destroys
+		// both unpredictability claims and reproducibility.
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if isPkgFunc(pass.Pkg.Info, call, "time", "Now") {
+				pass.Reportf(call.Pos(),
+					"package %s must not read the wall clock; randomness and timing must come from seeded sources",
+					pass.Pkg.Name)
+			}
+			return true
+		})
+	}
+}

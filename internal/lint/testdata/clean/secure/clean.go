@@ -1,0 +1,38 @@
+// Package secure is the clean golden-file fixture: every analyzer runs
+// over it and must report nothing.
+package secure
+
+import (
+	"crypto/hmac"
+	"crypto/rand"
+	"crypto/sha256"
+	"crypto/subtle"
+	"fmt"
+)
+
+// Fresh returns new random key material; the caller owns the wipe.
+func Fresh() ([]byte, error) {
+	key := make([]byte, 16)
+	if _, err := rand.Read(key); err != nil {
+		return nil, fmt.Errorf("fresh: %w", err)
+	}
+	return key, nil
+}
+
+// Tag computes an HMAC and wipes the derived key before returning.
+func Tag(seed, msg []byte) []byte {
+	macKey := make([]byte, 32)
+	copy(macKey, seed)
+	m := hmac.New(sha256.New, macKey)
+	m.Write(msg)
+	tag := m.Sum(nil)
+	for i := range macKey {
+		macKey[i] = 0
+	}
+	return tag
+}
+
+// Verify compares tags in constant time.
+func Verify(want, got []byte) bool {
+	return subtle.ConstantTimeCompare(want, got) == 1
+}

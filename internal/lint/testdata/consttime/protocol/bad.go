@@ -1,0 +1,42 @@
+// Package protocol is a golden-file fixture for the consttime analyzer.
+package protocol
+
+import (
+	"bytes"
+	"crypto/subtle"
+	"reflect"
+)
+
+// verifyTag compares MAC tags three ways; only the subtle one is legal.
+func verifyTag(macKey, tag, got []byte) bool {
+	if bytes.Equal(tag, got) { // want "consttime"
+		return true
+	}
+	if reflect.DeepEqual(macKey, got) { // want "consttime"
+		return true
+	}
+	return subtle.ConstantTimeCompare(tag, got) == 1
+}
+
+// sameKey compares two secret strings with ==.
+func sameKey(key, other string) bool {
+	return key == other // want "consttime"
+}
+
+// roleCheck compares against a compile-time constant — configuration,
+// not secret verification, and deliberately not flagged.
+func roleCheck(sessionKeyName string) bool {
+	return sessionKeyName == "alice"
+}
+
+// publicCompare has no secret-marked operand and is not flagged.
+func publicCompare(a, b []byte) bool {
+	return bytes.Equal(a, b)
+}
+
+var (
+	_ = verifyTag
+	_ = sameKey
+	_ = roleCheck
+	_ = publicCompare
+)

@@ -1,0 +1,47 @@
+// Package exp is a golden-file fixture for the detrand analyzer.
+package exp
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+// stamp leaks wall-clock time into simulation output.
+func stamp() int64 {
+	return time.Now().Unix() // want "detrand"
+}
+
+// unorderedIDs builds output in map-iteration order — different every run.
+func unorderedIDs(registry map[string]int) []string {
+	var out []string
+	for id := range registry {
+		out = append(out, id) // want "detrand"
+	}
+	return out
+}
+
+// sortedIDs does the same but sorts before returning, which restores
+// determinism and is not flagged.
+func sortedIDs(registry map[string]int) []string {
+	var out []string
+	for id := range registry {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// dump prints rows straight out of a map range.
+func dump(m map[string]int) {
+	for k, v := range m {
+		fmt.Println(k, v) // want "detrand"
+	}
+}
+
+var (
+	_ = stamp
+	_ = unorderedIDs
+	_ = sortedIDs
+	_ = dump
+)

@@ -1,0 +1,12 @@
+package exp
+
+import "time"
+
+// wallClock measures real elapsed time for a progress meter, which is
+// presentation, not simulation output.
+func wallClock() time.Time {
+	//vklint:ignore detrand -- progress display only, not in recorded results
+	return time.Now()
+}
+
+var _ = wallClock

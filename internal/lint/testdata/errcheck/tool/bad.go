@@ -1,0 +1,51 @@
+// Package main is a golden-file fixture for the errcheck analyzer,
+// shaped like one of the repo's cmd/ tools.
+package main
+
+import (
+	"encoding/csv"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/transport"
+)
+
+func main() {}
+
+// emit drops CSV write errors and a stderr write error on the floor.
+func emit(rows [][]string) {
+	w := csv.NewWriter(os.Stdout)
+	for _, r := range rows {
+		w.Write(r) // want "errcheck"
+	}
+	w.Flush()
+	fmt.Fprintln(os.Stderr, "done") // want "errcheck"
+}
+
+// closeBoth discards transport errors three different ways; only the
+// explicit `_ =` assignment is sanctioned.
+func closeBoth(a, b transport.Conn) {
+	a.Close()       // want "errcheck"
+	defer b.Close() // want "errcheck"
+	_ = a.Close()
+}
+
+// fire launches a send without anyone to observe the error.
+func fire(c transport.Conn, msg []byte) {
+	go c.Send(msg) // want "errcheck"
+}
+
+// render writes into a strings.Builder, which cannot fail — exempt.
+func render(n int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "n=%d", n)
+	return b.String()
+}
+
+var (
+	_ = emit
+	_ = closeBoth
+	_ = fire
+	_ = render
+)

@@ -1,0 +1,11 @@
+package main
+
+import "repro/internal/transport"
+
+// bestEffortClose documents why this particular discard is fine.
+func bestEffortClose(c transport.Conn) {
+	//vklint:ignore errcheck -- best-effort cleanup at process exit
+	c.Close()
+}
+
+var _ = bestEffortClose

@@ -1,0 +1,67 @@
+// Package transport is a golden-file fixture for the locksafe analyzer.
+// It declares its own tiny Conn so the fixture has no dependencies.
+package transport
+
+import "sync"
+
+// Conn mirrors the real transport interface shape.
+type Conn interface {
+	Send(msg []byte) error
+	Recv() ([]byte, error)
+}
+
+type node struct {
+	mu   sync.Mutex
+	conn Conn
+}
+
+// badSend blocks on the network with the node lock held for the whole
+// call (the deferred unlock runs after Send returns).
+func (n *node) badSend(msg []byte) error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.conn.Send(msg) // want "locksafe"
+}
+
+// badRecv holds the lock across a blocking receive.
+func (n *node) badRecv() ([]byte, error) {
+	n.mu.Lock()
+	msg, err := n.conn.Recv() // want "locksafe"
+	n.mu.Unlock()
+	return msg, err
+}
+
+// goodSend snapshots the conn under the lock, then sends outside it.
+func (n *node) goodSend(msg []byte) error {
+	n.mu.Lock()
+	c := n.conn
+	n.mu.Unlock()
+	return c.Send(msg)
+}
+
+// value receives the lock-bearing struct by value: the mutex is copied
+// and no longer guards anything.
+func (n node) value() Conn { // want "locksafe"
+	return n.conn
+}
+
+// stats takes a lock-bearing parameter by value.
+func stats(n node) int { // want "locksafe"
+	return len(mustBytes(n.conn))
+}
+
+func mustBytes(c Conn) []byte {
+	msg, err := c.Recv()
+	if err != nil {
+		return nil
+	}
+	return msg
+}
+
+var (
+	_ = (*node).badSend
+	_ = (*node).badRecv
+	_ = (*node).goodSend
+	_ = node.value
+	_ = stats
+)

@@ -1,0 +1,19 @@
+package transport
+
+import "sync"
+
+type probe struct {
+	mu   sync.Mutex
+	conn Conn
+}
+
+// lockedSend holds the lock across a send on purpose: the fixture
+// suppression stands in for a measured, documented exception.
+func (p *probe) lockedSend(msg []byte) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	//vklint:ignore locksafe -- single-goroutine probe; lock is for state, not the conn
+	return p.conn.Send(msg)
+}
+
+var _ = (*probe).lockedSend

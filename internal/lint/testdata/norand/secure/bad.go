@@ -1,0 +1,16 @@
+// Package secure is a golden-file fixture: it deliberately violates the
+// norand invariant so the analyzer tests can assert exact positions.
+package secure
+
+import (
+	"math/rand" // want "norand"
+	"time"
+)
+
+// draw seeds a PRNG from the wall clock — both halves of the violation.
+func draw() int {
+	r := rand.New(rand.NewSource(time.Now().UnixNano())) // want "norand"
+	return r.Intn(6)
+}
+
+var _ = draw

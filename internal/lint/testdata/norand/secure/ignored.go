@@ -1,0 +1,13 @@
+package secure
+
+import "time"
+
+// stamp shows the suppression escape hatch: the directive names the
+// check and carries a rationale, and the finding on the next line is
+// dropped.
+func stamp() int64 {
+	//vklint:ignore norand -- fixture exercising justified suppression
+	return time.Now().UnixNano()
+}
+
+var _ = stamp

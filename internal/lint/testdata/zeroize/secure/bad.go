@@ -1,0 +1,59 @@
+// Package secure is a golden-file fixture for the zeroize analyzer.
+package secure
+
+// derive stretches a seed into fresh key material. The returned slice
+// escapes, so derive itself is clean.
+func derive(seed []byte) []byte {
+	out := make([]byte, 16)
+	copy(out, seed)
+	return out
+}
+
+// leak consumes key material and lets it die on the heap unwiped.
+func leak(seed []byte) int {
+	roundKey := derive(seed) // want "zeroize"
+	n := 0
+	for _, b := range roundKey {
+		n += int(b)
+	}
+	return n
+}
+
+// wiped scrubs via the sanctioned helper before returning.
+func wiped(seed []byte) int {
+	sessionKey := derive(seed)
+	n := int(sessionKey[0])
+	Wipe(sessionKey)
+	return n
+}
+
+// loops scrubs with a manual zeroing loop, which is also accepted.
+func loops(seed []byte) int {
+	tmpKey := derive(seed)
+	n := int(tmpKey[0])
+	for i := range tmpKey {
+		tmpKey[i] = 0
+	}
+	return n
+}
+
+// handoff returns the key material, transferring wipe responsibility
+// to the caller — not flagged.
+func handoff(seed []byte) []byte {
+	newKey := derive(seed)
+	return newKey
+}
+
+// Wipe zeroes b in place.
+func Wipe(b []byte) {
+	for i := range b {
+		b[i] = 0
+	}
+}
+
+var (
+	_ = leak
+	_ = wiped
+	_ = loops
+	_ = handoff
+)

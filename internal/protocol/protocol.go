@@ -35,6 +35,7 @@ package protocol
 
 import (
 	"bytes"
+	"crypto/subtle"
 	"encoding/binary"
 	"encoding/gob"
 	"errors"
@@ -256,6 +257,19 @@ func NewNode(sys *core.System, conn transport.Conn, session string, opts ...Opti
 // returns; a Node is not safe for concurrent use.
 func (n *Node) Stats() Stats { return n.stats }
 
+// wipeSent scrubs the retransmit cache: cached SYNDROME/CONFIRM
+// envelopes carry key-derived material (code vectors, MACs over the
+// Bloom-domain key), and once the session is over nothing may re-request
+// them, so they must not linger in dead heap memory. RunBob and RunAlice
+// call it on every exit path.
+func (n *Node) wipeSent() {
+	for k, e := range n.sent {
+		secure.Wipe(e.MAC)
+		secure.WipeFloats(e.Code)
+		delete(n.sent, k)
+	}
+}
+
 // send transmits a semantic message and caches it so a peer's
 // retransmitted request can be answered idempotently.
 func (n *Node) send(e Envelope) error {
@@ -395,6 +409,12 @@ func (n *Node) RunBob(windows [][]float64) ([]KeyOutcome, error) {
 	var contributed, counts []int
 	var out []KeyOutcome
 	round := 0
+	// Session teardown scrubs every secret the run accumulated: the
+	// unconsumed tail of the bit stream and the retransmit cache.
+	defer func() {
+		secure.Wipe(buf)
+		n.wipeSent()
+	}()
 	for w, seq := range windows {
 		bits, kept, err := n.Sys.BobQuantize(seq)
 		if err != nil {
@@ -418,6 +438,7 @@ func (n *Node) RunBob(windows [][]float64) ([]KeyOutcome, error) {
 		for len(buf) >= block {
 			res, err := n.bobBlock(buf[:block], round, contributed, counts)
 			out = append(out, res)
+			secure.Wipe(buf[:block]) // round bits are dead once the round resolves
 			buf = buf[block:]
 			round++
 			if err != nil {
@@ -443,6 +464,7 @@ func (n *Node) bobBlock(bits []byte, round int, wins, counts []int) (KeyOutcome,
 	bloomKey := bf.Transform(bits)
 	code := n.Sys.AE.EncodeBob(bloomKey)
 	mac := secure.MAC(bloomKey, floatsToBytes(code))
+	secure.Wipe(bloomKey) // the Bloom-domain key image is dead once coded and MACed
 	env := Envelope{
 		Type: MsgSyndrome, Code: code, MAC: mac, Round: round,
 		Windows: append([]int(nil), wins...), Counts: append([]int(nil), counts...),
@@ -462,7 +484,9 @@ func (n *Node) bobBlock(bits []byte, round int, wins, counts []int) (KeyOutcome,
 		return KeyOutcome{Round: round}, err
 	}
 	expect := secure.MAC(bits, salt)
-	accepted := bytes.Equal(conf.MAC, expect)
+	// Constant-time compare: a variable-time check here would let a MITM
+	// time CONFIRM verification and forge tags byte by byte.
+	accepted := subtle.ConstantTimeCompare(conf.MAC, expect) == 1
 	if err := n.send(Envelope{Type: MsgResult, Round: round, Accepted: accepted}); err != nil {
 		return KeyOutcome{Round: round}, err
 	}
@@ -534,6 +558,18 @@ func (n *Node) RunAlice(windows [][]float64) ([]KeyOutcome, error) {
 	winBits := make(map[int][]byte)
 	pending := make(map[int]*pendingRound)
 	outcomes := make(map[int]KeyOutcome)
+	// Session teardown scrubs every secret the run accumulated: round keys
+	// still pending confirmation, per-window bit slices, and the
+	// retransmit cache. Confirmed keys in outcomes belong to the caller.
+	defer func() {
+		for _, p := range pending {
+			secure.Wipe(p.final)
+		}
+		for _, b := range winBits {
+			secure.Wipe(b)
+		}
+		n.wipeSent()
+	}()
 	nextRound := 0
 	totalRounds := -1
 	strikes := 0
@@ -626,11 +662,13 @@ loop:
 			bf := reconcile.NewBloomFilter(block, salt)
 			bloomKey := bf.Transform(bits)
 			corrected := n.Sys.AE.Correct(bloomKey, e.Code)
+			secure.Wipe(bloomKey) // dead after correction; see zeroize invariant
 			// MAC check: if our corrected key equals Bob's, his MAC
 			// verifies under it. A failed MAC means residual mismatch or
 			// tampering; both end in rejection (Sec. IV-C).
 			macOK := secure.VerifyMAC(corrected, floatsToBytes(e.Code), e.MAC)
 			final := bf.Inverse(corrected)
+			secure.Wipe(corrected) // bloom-domain image is dead once inverted
 			if err := n.send(Envelope{Type: MsgConfirm, MAC: secure.MAC(final, salt), Round: r}); err != nil {
 				fail(r)
 				return aliceOutcomes(outcomes, nextRound, totalRounds), ignoreClosed(err)
@@ -651,6 +689,9 @@ loop:
 					o = KeyOutcome{Key: key, Confirmed: true, Round: r}
 				}
 			}
+			// The round is resolved either way: its reconciled bits are an
+			// expired round key and must not outlive the resolution.
+			secure.Wipe(p.final)
 			outcomes[r] = o
 
 		case MsgDone:

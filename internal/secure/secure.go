@@ -42,6 +42,24 @@ func packKeyed(bits []byte) []byte {
 	return out
 }
 
+// Wipe zeroes key material in place. Go never scrubs dead heap memory,
+// so intermediate key buffers (Bloom-domain images, expired round keys,
+// cached envelopes) must be wiped explicitly once they are dead — the
+// invariant the vklint zeroize analyzer enforces.
+func Wipe(b []byte) {
+	for i := range b {
+		b[i] = 0
+	}
+}
+
+// WipeFloats zeroes a float64 buffer that carried key-derived signal
+// (code vectors, soft values) the same way Wipe does for bytes.
+func WipeFloats(f []float64) {
+	for i := range f {
+		f[i] = 0
+	}
+}
+
 // ErrReplay reports a replayed or out-of-window message.
 var ErrReplay = errors.New("secure: replayed message")
 
