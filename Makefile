@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test test-short test-race bench fuzz lint
+.PHONY: build test test-short test-race bench bench-json fuzz lint
 
 build:
 	$(GO) build ./...
@@ -32,6 +32,11 @@ lint:
 
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem ./...
+
+# One iteration of every benchmark, summarized as JSON (BENCH.json).
+# CI's bench-smoke job uploads this per PR as a perf-trajectory artifact.
+bench-json:
+	./scripts/bench-json.sh
 
 # Seed-corpus fuzz smoke for the protocol wire format.
 fuzz:

@@ -10,6 +10,7 @@
 package vehiclekey
 
 import (
+	"flag"
 	"sync"
 	"testing"
 	"time"
@@ -26,9 +27,21 @@ import (
 	"repro/internal/transport"
 )
 
+// expParallel is the experiment engine's worker count for the benchmarks
+// below: `go test -bench=. -args -j 8`. 0 uses every core; 1 benchmarks
+// the serial baseline. Reports are identical either way — only the
+// wall-clock changes.
+var expParallel = flag.Int("j", 0, "exp.RunConfig.Parallelism for experiment benchmarks (0 = all cores)")
+
+func expConfig() exp.RunConfig {
+	cfg := exp.Quick()
+	cfg.Parallelism = *expParallel
+	return cfg
+}
+
 func runExp(b *testing.B, id string) {
 	b.Helper()
-	cfg := exp.Quick()
+	cfg := expConfig()
 	for i := 0; i < b.N; i++ {
 		rep, err := exp.Run(id, cfg)
 		if err != nil {
@@ -63,6 +76,23 @@ func BenchmarkFig17PowerTrace(b *testing.B)             { runExp(b, "fig17") }
 
 func BenchmarkAblationTheta(b *testing.B) { runExp(b, "ablate-theta") }
 func BenchmarkAblationBloom(b *testing.B) { runExp(b, "ablate-bloom") }
+
+// BenchmarkRunAllPrelim measures the cross-experiment concurrency of
+// exp.RunAll over the training-free runners (the trained ones would
+// mostly benchmark the cache). Compare `-args -j 1` with `-args -j 8`.
+func BenchmarkRunAllPrelim(b *testing.B) {
+	cfg := expConfig()
+	ids := []string{"fig2a", "fig2b", "fig3", "fig4", "fig9", "fig16"}
+	for i := 0; i < b.N; i++ {
+		reps, err := exp.RunAll(ids, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(reps) != len(ids) {
+			b.Fatalf("got %d reports, want %d", len(reps), len(ids))
+		}
+	}
+}
 
 // Micro-benchmarks of the pipeline's hot paths.
 

@@ -3,7 +3,12 @@
 //
 //	vkbench -list
 //	vkbench -exp fig12
-//	vkbench -exp all -quick
+//	vkbench -all -quick -j 8
+//
+// Reports go to stdout; per-experiment timing goes to stderr, so stdout
+// is byte-comparable across runs — `vkbench -all -j 8 > par.txt` equals
+// `vkbench -all -j 1 > ser.txt` for the same seed (in -quick mode, where
+// even the power profile is modeled deterministically).
 package main
 
 import (
@@ -18,13 +23,16 @@ import (
 func main() {
 	var (
 		id       = flag.String("exp", "all", "experiment id (see -list) or 'all'")
+		all      = flag.Bool("all", false, "run every experiment (same as -exp all)")
 		list     = flag.Bool("list", false, "list experiment ids and exit")
 		quick    = flag.Bool("quick", false, "reduced dataset/epochs for a fast pass")
 		seed     = flag.Int64("seed", 1, "deterministic seed")
 		samples  = flag.Int("samples", 0, "override dataset windows per scenario")
 		epochs   = flag.Int("epochs", 0, "override training epochs")
 		markdown = flag.Bool("markdown", false, "emit GitHub-flavored markdown tables")
+		parallel = flag.Int("parallel", 0, "worker count for grid fan-out and cross-experiment concurrency (0 = all cores, 1 = serial)")
 	)
+	flag.IntVar(parallel, "j", 0, "shorthand for -parallel")
 	flag.Parse()
 
 	if *list {
@@ -45,24 +53,48 @@ func main() {
 	if *epochs > 0 {
 		cfg.Epochs = *epochs
 	}
+	cfg.Parallelism = *parallel
 
-	ids := []string{*id}
-	if *id == "all" {
-		ids = exp.IDs()
-	}
-	for _, id := range ids {
-		start := time.Now()
-		rep, err := exp.Run(id, cfg)
-		if err != nil {
-			// Best-effort stderr write: the process exits on this error.
-			_, _ = fmt.Fprintf(os.Stderr, "vkbench: %s: %v\n", id, err)
-			os.Exit(1)
-		}
+	emit := func(rep exp.Report) {
 		if *markdown {
 			fmt.Println(rep.Markdown())
 		} else {
 			fmt.Println(rep)
 		}
-		fmt.Printf("(%s in %v)\n\n", id, time.Since(start).Round(time.Millisecond))
 	}
+	fail := func(err error) {
+		// Best-effort stderr write: the process exits on this error.
+		_, _ = fmt.Fprintf(os.Stderr, "vkbench: %v\n", err)
+		os.Exit(1)
+	}
+
+	if *all || *id == "all" {
+		start := time.Now()
+		reps, err := exp.RunAll(nil, cfg)
+		if err != nil {
+			fail(err)
+		}
+		for _, rep := range reps {
+			emit(rep)
+		}
+		_, _ = fmt.Fprintf(os.Stderr, "(%d experiments in %v, %d workers)\n",
+			len(reps), time.Since(start).Round(time.Millisecond), workersFor(cfg))
+		return
+	}
+
+	start := time.Now()
+	rep, err := exp.Run(*id, cfg)
+	if err != nil {
+		fail(fmt.Errorf("%s: %w", *id, err))
+	}
+	emit(rep)
+	_, _ = fmt.Fprintf(os.Stderr, "(%s in %v)\n", *id, time.Since(start).Round(time.Millisecond))
+}
+
+// workersFor mirrors the engine's Parallelism resolution for display.
+func workersFor(cfg exp.RunConfig) int {
+	if cfg.Parallelism > 0 {
+		return cfg.Parallelism
+	}
+	return exp.DefaultWorkers()
 }

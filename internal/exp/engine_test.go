@@ -1,0 +1,175 @@
+package exp
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"repro/internal/channel"
+	"repro/internal/core"
+	"repro/internal/rng"
+	"repro/internal/trace"
+)
+
+func sceneForCacheTest() trace.Scenario {
+	return trace.NewScenario(channel.Urban, channel.V2I)
+}
+
+func defaultSysCfg() core.Config { return core.DefaultConfig() }
+
+// TestForEachSubStreams: a unit's draws depend only on (seed, label,
+// index), so any worker count produces the same per-slot values.
+func TestForEachSubStreams(t *testing.T) {
+	const n = 37
+	collect := func(parallelism int) []float64 {
+		cfg := Quick()
+		cfg.Parallelism = parallelism
+		out := make([]float64, n)
+		err := forEach(cfg, "engine-test", n, func(i int, src *rng.Source) error {
+			// Several draws per unit, so stream interleaving bugs show up.
+			out[i] = src.Float64() + src.Normal(0, 1) + float64(src.Intn(1000))
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("forEach: %v", err)
+		}
+		return out
+	}
+	want := collect(1)
+	for _, p := range []int{2, 3, 8, 64} {
+		if got := collect(p); !reflect.DeepEqual(got, want) {
+			t.Errorf("Parallelism=%d produced different values than serial", p)
+		}
+	}
+}
+
+// TestForEachErrorDeterministic: when several units fail, the reported
+// error is the lowest-index one, regardless of scheduling.
+func TestForEachErrorDeterministic(t *testing.T) {
+	for _, p := range []int{1, 4, 16} {
+		cfg := Quick()
+		cfg.Parallelism = p
+		err := forEach(cfg, "engine-err", 20, func(i int, _ *rng.Source) error {
+			if i%3 == 1 { // units 1, 4, 7, ... fail
+				return fmt.Errorf("unit %d failed", i)
+			}
+			return nil
+		})
+		if err == nil || err.Error() != "unit 1 failed" {
+			t.Errorf("Parallelism=%d: error = %v, want the lowest-index failure", p, err)
+		}
+	}
+}
+
+// TestParMapOrder: results land in index order whatever the fan-out.
+func TestParMapOrder(t *testing.T) {
+	cfg := Quick()
+	cfg.Parallelism = 8
+	got, err := parMap(cfg, "engine-map", 25, func(i int, _ *rng.Source) (int, error) {
+		return i * i, nil
+	})
+	if err != nil {
+		t.Fatalf("parMap: %v", err)
+	}
+	for i, v := range got {
+		if v != i*i {
+			t.Fatalf("slot %d = %d, want %d", i, v, i*i)
+		}
+	}
+}
+
+// TestParMapErrorDropsResults: a failing unit poisons the whole map.
+func TestParMapErrorDropsResults(t *testing.T) {
+	cfg := Quick()
+	cfg.Parallelism = 4
+	sentinel := errors.New("boom")
+	out, err := parMap(cfg, "engine-maperr", 10, func(i int, _ *rng.Source) (int, error) {
+		if i == 9 {
+			return 0, sentinel
+		}
+		return i, nil
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v, want sentinel", err)
+	}
+	if out != nil {
+		t.Fatalf("out = %v, want nil on error", out)
+	}
+}
+
+// TestForEachZeroAndNegative: degenerate unit counts are no-ops.
+func TestForEachZeroAndNegative(t *testing.T) {
+	cfg := Quick()
+	for _, n := range []int{0, -3} {
+		ran := false
+		if err := forEach(cfg, "engine-zero", n, func(int, *rng.Source) error {
+			ran = true
+			return nil
+		}); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if ran {
+			t.Errorf("n=%d: fn ran", n)
+		}
+	}
+}
+
+// TestWorkersResolution pins the Parallelism semantics: positive values
+// are taken literally, zero falls back to the CPU count.
+func TestWorkersResolution(t *testing.T) {
+	cfg := Quick()
+	if cfg.Parallelism != 0 {
+		t.Fatalf("Quick() should leave Parallelism unset, got %d", cfg.Parallelism)
+	}
+	if got := cfg.workers(); got != DefaultWorkers() || got < 1 {
+		t.Errorf("workers() with Parallelism=0 = %d, want DefaultWorkers() = %d", got, DefaultWorkers())
+	}
+	cfg.Parallelism = 5
+	if got := cfg.workers(); got != 5 {
+		t.Errorf("workers() with Parallelism=5 = %d", got)
+	}
+}
+
+// TestTrainCacheServesClones: two requests for the same key must return
+// distinct System instances (forward passes mutate LSTM scratch state,
+// so sharing one across goroutines would race) backed by identical
+// weights, plus the same shared datasets.
+func TestTrainCacheServesClones(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains a model")
+	}
+	resetCaches()
+	cfg := Quick()
+	cfg.Samples = 64
+	cfg.Epochs = 2
+	sc := sceneForCacheTest()
+	s1, train1, test1, err := trainFor(sc, cfg, defaultSysCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, train2, test2, err := trainFor(sc, cfg, defaultSysCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1 == s2 {
+		t.Fatal("trainFor returned the same *System twice; callers would race on LSTM caches")
+	}
+	if train1 != train2 || test1 != test2 {
+		t.Error("datasets should be shared (read-only) across cache hits")
+	}
+	if len(cachedTrainKeys()) != 1 {
+		t.Errorf("cache holds %d keys, want 1", len(cachedTrainKeys()))
+	}
+	m1, err := s1.Evaluate(test1, []byte("cache-test"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := s2.Evaluate(test2, []byte("cache-test"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m1 != m2 {
+		t.Errorf("clones evaluate differently: %v vs %v", m1, m2)
+	}
+}

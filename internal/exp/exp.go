@@ -6,6 +6,7 @@
 package exp
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"strings"
@@ -17,6 +18,15 @@ type RunConfig struct {
 	Samples int // dataset windows per scenario
 	Epochs  int // predictor training epochs
 	Quick   bool
+
+	// Parallelism is the worker count used to fan out each experiment's
+	// grid points and RunAll's cross-experiment scheduling. 0 means one
+	// worker per CPU; 1 forces serial execution. Reports are a pure
+	// function of Seed regardless of this value — every unit of work
+	// draws from its own (seed, experiment, index) sub-stream, so the
+	// parallel output is bit-identical to the serial one (enforced by
+	// TestParallelEquivalence).
+	Parallelism int
 }
 
 // Default returns the full-size configuration; Quick returns a reduced
@@ -89,11 +99,22 @@ func IDs() []string {
 	return out
 }
 
+// ErrUnknownID is wrapped by the error Run and RunAll return for an
+// unregistered experiment ID, so callers can match it with errors.Is.
+var ErrUnknownID = errors.New("unknown experiment")
+
+// unknownIDError builds the stable not-found error: it always lists the
+// valid IDs in sorted order, so the message is identical run to run and
+// usable directly as CLI output.
+func unknownIDError(id string) error {
+	return fmt.Errorf("exp: %w %q; valid IDs: %s", ErrUnknownID, id, strings.Join(IDs(), ", "))
+}
+
 // Run executes one experiment by ID.
 func Run(id string, cfg RunConfig) (Report, error) {
 	r, ok := registry[id]
 	if !ok {
-		return Report{}, fmt.Errorf("exp: unknown experiment %q (have %v)", id, IDs())
+		return Report{}, unknownIDError(id)
 	}
 	return r(cfg)
 }

@@ -1,0 +1,145 @@
+package exp
+
+import (
+	"errors"
+	"os"
+	"strings"
+	"testing"
+)
+
+// equivConfig is the configuration the scheduling-equivalence tests run
+// at: exp.Quick(), or a further-reduced variant when VK_EQUIV_FAST is
+// set (scripts/test-race.sh sets it — the race detector needs the
+// engine's scheduling exercised, not full-size models, and Quick-size
+// training under -race costs tens of minutes on small runners).
+func equivConfig() RunConfig {
+	cfg := Quick()
+	if os.Getenv("VK_EQUIV_FAST") != "" {
+		cfg.Samples = 64
+		cfg.Epochs = 3
+	}
+	return cfg
+}
+
+// TestParallelEquivalence is the engine's determinism contract: for
+// every registered experiment, the report produced with eight workers is
+// byte-identical (via Report.Markdown) to the one produced serially.
+// Units of work draw only from (seed, experiment, index) sub-streams, so
+// neither worker count nor goroutine scheduling may leak into a report.
+// scripts/test-race.sh runs this test under -race, which additionally
+// turns any shared-state shortcut between workers into a hard failure.
+func TestParallelEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the full experiment sweep twice")
+	}
+	serial := equivConfig()
+	serial.Parallelism = 1
+	parallel := equivConfig()
+	parallel.Parallelism = 8
+	for _, id := range IDs() {
+		t.Run(id, func(t *testing.T) {
+			a, err := Run(id, serial)
+			if err != nil {
+				t.Fatalf("serial run: %v", err)
+			}
+			b, err := Run(id, parallel)
+			if err != nil {
+				t.Fatalf("parallel run: %v", err)
+			}
+			if am, bm := a.Markdown(), b.Markdown(); am != bm {
+				t.Errorf("Parallelism=8 report differs from Parallelism=1:\n--- serial ---\n%s\n--- parallel ---\n%s", am, bm)
+			}
+		})
+	}
+}
+
+// TestParallelEquivalenceColdCache re-proves equivalence for one
+// training experiment with the trained-system cache dropped between the
+// two runs, so the parallel run's *training* path (not just its
+// evaluation path) is shown to be schedule-independent. The main sweep
+// above shares the cache for speed, which would otherwise let a
+// nondeterministic parallel training hide behind a serial run's cached
+// weights.
+func TestParallelEquivalenceColdCache(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains models twice")
+	}
+	cfg := equivConfig()
+	cfg.Parallelism = 1
+	resetCaches()
+	a, err := Run("fig15", cfg)
+	if err != nil {
+		t.Fatalf("serial run: %v", err)
+	}
+	cfg.Parallelism = 8
+	resetCaches()
+	b, err := Run("fig15", cfg)
+	if err != nil {
+		t.Fatalf("parallel run: %v", err)
+	}
+	if a.Markdown() != b.Markdown() {
+		t.Errorf("cold-cache parallel report differs:\n--- serial ---\n%s\n--- parallel ---\n%s", a.Markdown(), b.Markdown())
+	}
+	if keys := cachedTrainKeys(); len(keys) == 0 {
+		t.Error("expected the cold-cache run to repopulate the training cache")
+	}
+}
+
+// TestRunAllMatchesRun checks that cross-experiment concurrency changes
+// nothing: RunAll's reports equal the per-ID serial ones, in input
+// order. Restricted to the training-free runners to stay cheap.
+func TestRunAllMatchesRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs simulations")
+	}
+	ids := []string{"fig2a", "fig2b", "fig3", "fig4", "fig9", "fig16"}
+	par := equivConfig()
+	par.Parallelism = 8
+	reps, err := RunAll(ids, par)
+	if err != nil {
+		t.Fatalf("RunAll: %v", err)
+	}
+	if len(reps) != len(ids) {
+		t.Fatalf("RunAll returned %d reports for %d ids", len(reps), len(ids))
+	}
+	serial := equivConfig()
+	serial.Parallelism = 1
+	for i, id := range ids {
+		if reps[i].ID != id {
+			t.Errorf("report %d is %q, want %q (input order must be preserved)", i, reps[i].ID, id)
+		}
+		want, err := Run(id, serial)
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if reps[i].Markdown() != want.Markdown() {
+			t.Errorf("%s: RunAll report differs from serial Run", id)
+		}
+	}
+}
+
+// TestUnknownIDError pins the stable not-found contract: the error wraps
+// ErrUnknownID, lists every valid ID, and renders identically on every
+// call, from both Run and RunAll.
+func TestUnknownIDError(t *testing.T) {
+	_, err := Run("nope", Quick())
+	if err == nil {
+		t.Fatal("Run with an unknown ID did not error")
+	}
+	if !errors.Is(err, ErrUnknownID) {
+		t.Errorf("error does not wrap ErrUnknownID: %v", err)
+	}
+	msg := err.Error()
+	for _, id := range IDs() {
+		if !strings.Contains(msg, id) {
+			t.Errorf("error message does not list valid ID %q: %s", id, msg)
+		}
+	}
+	if _, again := Run("nope", Quick()); again == nil || again.Error() != msg {
+		t.Errorf("error message is not stable across calls:\n%s\nvs\n%v", msg, again)
+	}
+	_, err2 := RunAll([]string{"fig4", "nope"}, Quick())
+	if err2 == nil || err2.Error() != msg {
+		t.Errorf("RunAll unknown-ID error differs from Run's:\n%v\nvs\n%s", err2, msg)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"repro/internal/channel"
 	"repro/internal/lora"
 	"repro/internal/mathx"
+	"repro/internal/rng"
 	"repro/internal/trace"
 )
 
@@ -16,11 +17,12 @@ func init() {
 }
 
 // avgCorr runs several channel realizations and averages the pRSSI
-// correlation.
-func avgCorr(sc trace.Scenario, seeds, exchanges int, base int64) (float64, error) {
+// correlation. Realization seeds are drawn from src, the calling work
+// unit's private sub-stream.
+func avgCorr(sc trace.Scenario, seeds, exchanges int, src *rng.Source) (float64, error) {
 	var sum float64
 	for s := 0; s < seeds; s++ {
-		col := trace.NewCollector(sc, base+int64(s))
+		col := trace.NewCollector(sc, src.Int63())
 		ex := col.Run(exchanges)
 		pa, pb := trace.PRSSI(ex)
 		c, err := mathx.Pearson(pa, pb)
@@ -33,7 +35,8 @@ func avgCorr(sc trace.Scenario, seeds, exchanges int, base int64) (float64, erro
 }
 
 // Fig2a regenerates Fig. 2(a): Alice/Bob pRSSI correlation vs data rate
-// at a fixed 50 km/h.
+// at a fixed 50 km/h. Each data-rate point is an independent unit of
+// work on the fan-out engine.
 func Fig2a(cfg RunConfig) (Report, error) {
 	r := Report{
 		ID:     "fig2a",
@@ -45,15 +48,21 @@ func Fig2a(cfg RunConfig) (Report, error) {
 	if cfg.Quick {
 		seeds, exch = 2, 50
 	}
-	for _, pt := range lora.DataRateSweep() {
+	pts := lora.DataRateSweep()
+	rows, err := parMap(cfg, "fig2a", len(pts), func(i int, src *rng.Source) ([]string, error) {
+		pt := pts[i]
 		sc := trace.NewScenario(channel.Urban, channel.V2I)
 		sc.Radio = pt.Params
-		c, err := avgCorr(sc, seeds, exch, cfg.Seed+100)
+		c, err := avgCorr(sc, seeds, exch, src)
 		if err != nil {
-			return Report{}, err
+			return nil, err
 		}
-		r.Rows = append(r.Rows, []string{pt.Label, f("%.0f ms", pt.Params.Airtime()*1e3), f("%.3f", c)})
+		return []string{pt.Label, f("%.0f ms", pt.Params.Airtime()*1e3), f("%.3f", c)}, nil
+	})
+	if err != nil {
+		return Report{}, err
 	}
+	r.Rows = rows
 	return r, nil
 }
 
@@ -69,21 +78,26 @@ func Fig2b(cfg RunConfig) (Report, error) {
 	if cfg.Quick {
 		seeds, exch = 2, 50
 	}
-	for _, v := range []float64{10, 20, 30, 40, 50, 60, 80} {
+	speeds := []float64{10, 20, 30, 40, 50, 60, 80}
+	rows, err := parMap(cfg, "fig2b", len(speeds), func(i int, src *rng.Source) ([]string, error) {
 		sc := trace.NewScenario(channel.Urban, channel.V2I)
-		sc.SpeedAKmh = v
-		c, err := avgCorr(sc, seeds, exch, cfg.Seed+200)
+		sc.SpeedAKmh = speeds[i]
+		c, err := avgCorr(sc, seeds, exch, src)
 		if err != nil {
-			return Report{}, err
+			return nil, err
 		}
 		tc := sc.ChannelConfig().CoherenceTime()
-		r.Rows = append(r.Rows, []string{f("%.0f km/h", v), f("%.1f ms", tc*1e3), f("%.3f", c)})
+		return []string{f("%.0f km/h", speeds[i]), f("%.1f ms", tc*1e3), f("%.3f", c)}, nil
+	})
+	if err != nil {
+		return Report{}, err
 	}
+	r.Rows = rows
 	return r, nil
 }
 
 // Fig3 regenerates Fig. 3: pRSSI vs arRSSI correlation in the four
-// scenarios.
+// scenarios, one unit of work per scenario.
 func Fig3(cfg RunConfig) (Report, error) {
 	r := Report{
 		ID:     "fig3",
@@ -95,51 +109,65 @@ func Fig3(cfg RunConfig) (Report, error) {
 	if cfg.Quick {
 		exch = 60
 	}
-	for _, sc := range trace.Scenarios() {
-		col := trace.NewCollector(sc, cfg.Seed+300)
+	scs := trace.Scenarios()
+	rows, err := parMap(cfg, "fig3", len(scs), func(i int, src *rng.Source) ([]string, error) {
+		col := trace.NewCollector(scs[i], src.Int63())
 		ex := col.Run(exch)
 		pa, pb := trace.PRSSI(ex)
 		pc, err := mathx.Pearson(pa, pb)
 		if err != nil {
-			return Report{}, err
+			return nil, err
 		}
 		aa, ab := trace.ArRSSI(ex, trace.DefaultExtract())
 		ac, err := trace.Correlation(aa, ab)
 		if err != nil {
-			return Report{}, err
+			return nil, err
 		}
-		r.Rows = append(r.Rows, []string{sc.Name, f("%.3f", pc), f("%.3f", ac)})
+		return []string{scs[i].Name, f("%.3f", pc), f("%.3f", ac)}, nil
+	})
+	if err != nil {
+		return Report{}, err
 	}
+	r.Rows = rows
 	return r, nil
 }
 
 // Fig4 regenerates Fig. 4: one probe exchange's register-RSSI streams,
-// showing Bob's window ending where Alice's begins.
+// showing Bob's window ending where Alice's begins. A single exchange is
+// one unit of work.
 func Fig4(cfg RunConfig) (Report, error) {
 	r := Report{
 		ID:     "fig4",
 		Title:  "Register RSSI within one probe exchange (packet RSSI vs register RSSI)",
 		Header: []string{"t (s)", "side", "rRSSI (dBm)"},
 	}
-	sc := trace.NewScenario(channel.Urban, channel.V2I)
-	col := trace.NewCollector(sc, cfg.Seed+400)
-	ex := col.Run(1)[0]
-	step := len(ex.BobRx.RRSSI) / 16
-	if step < 1 {
-		step = 1
+	err := forEach(cfg, "fig4", 1, func(_ int, src *rng.Source) error {
+		sc := trace.NewScenario(channel.Urban, channel.V2I)
+		col := trace.NewCollector(sc, src.Int63())
+		ex := col.Run(1)[0]
+		step := len(ex.BobRx.RRSSI) / 16
+		if step < 1 {
+			step = 1
+		}
+		for i := 0; i < len(ex.BobRx.RRSSI); i += step {
+			r.Rows = append(r.Rows, []string{f("%.2f", ex.BobRx.Times[i]), "Bob", f("%.1f", ex.BobRx.RRSSI[i])})
+		}
+		for i := 0; i < len(ex.AlcRx.RRSSI); i += step {
+			r.Rows = append(r.Rows, []string{f("%.2f", ex.AlcRx.Times[i]), "Alice", f("%.1f", ex.AlcRx.RRSSI[i])})
+		}
+		r.Notes = append(r.Notes,
+			f("Bob pRSSI %.1f dBm, Alice pRSSI %.1f dBm — the packet averages differ while the adjacent window edges track each other", ex.BobRx.PRSSI, ex.AlcRx.PRSSI))
+		return nil
+	})
+	if err != nil {
+		return Report{}, err
 	}
-	for i := 0; i < len(ex.BobRx.RRSSI); i += step {
-		r.Rows = append(r.Rows, []string{f("%.2f", ex.BobRx.Times[i]), "Bob", f("%.1f", ex.BobRx.RRSSI[i])})
-	}
-	for i := 0; i < len(ex.AlcRx.RRSSI); i += step {
-		r.Rows = append(r.Rows, []string{f("%.2f", ex.AlcRx.Times[i]), "Alice", f("%.1f", ex.AlcRx.RRSSI[i])})
-	}
-	r.Notes = append(r.Notes,
-		f("Bob pRSSI %.1f dBm, Alice pRSSI %.1f dBm — the packet averages differ while the adjacent window edges track each other", ex.BobRx.PRSSI, ex.AlcRx.PRSSI))
 	return r, nil
 }
 
-// Fig9 regenerates Fig. 9: arRSSI correlation vs window percentage.
+// Fig9 regenerates Fig. 9: arRSSI correlation vs window percentage. The
+// probe exchanges are collected once; the window fractions then fan out
+// over the shared, read-only exchange slice.
 func Fig9(cfg RunConfig) (Report, error) {
 	r := Report{
 		ID:     "fig9",
@@ -151,16 +179,28 @@ func Fig9(cfg RunConfig) (Report, error) {
 	if cfg.Quick {
 		exch = 60
 	}
-	sc := trace.NewScenario(channel.Urban, channel.V2I)
-	col := trace.NewCollector(sc, cfg.Seed+500)
-	ex := col.Run(exch)
-	for _, frac := range []float64{0.02, 0.05, 0.10, 0.15, 0.20, 0.30, 0.40, 0.50, 0.70, 0.90} {
-		a, b := trace.ArRSSI(ex, trace.ExtractConfig{WindowFraction: frac, Blocks: 4})
+	var ex []trace.Exchange
+	err := forEach(cfg, "fig9/collect", 1, func(_ int, src *rng.Source) error {
+		sc := trace.NewScenario(channel.Urban, channel.V2I)
+		col := trace.NewCollector(sc, src.Int63())
+		ex = col.Run(exch)
+		return nil
+	})
+	if err != nil {
+		return Report{}, err
+	}
+	fracs := []float64{0.02, 0.05, 0.10, 0.15, 0.20, 0.30, 0.40, 0.50, 0.70, 0.90}
+	rows, err := parMap(cfg, "fig9/window", len(fracs), func(i int, _ *rng.Source) ([]string, error) {
+		a, b := trace.ArRSSI(ex, trace.ExtractConfig{WindowFraction: fracs[i], Blocks: 4})
 		c, err := trace.Correlation(a, b)
 		if err != nil {
-			return Report{}, err
+			return nil, err
 		}
-		r.Rows = append(r.Rows, []string{pct(frac), f("%.3f", c)})
+		return []string{pct(fracs[i]), f("%.3f", c)}, nil
+	})
+	if err != nil {
+		return Report{}, err
 	}
+	r.Rows = rows
 	return r, nil
 }

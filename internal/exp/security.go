@@ -5,6 +5,7 @@ import (
 	"repro/internal/channel"
 	"repro/internal/core"
 	"repro/internal/nist"
+	"repro/internal/rng"
 	"repro/internal/trace"
 )
 
@@ -15,7 +16,7 @@ func init() {
 }
 
 // Fig15 regenerates Fig. 15: Eve's agreement rate under the eavesdropping
-// and imitating attacks, urban and rural.
+// and imitating attacks, one work unit per environment.
 func Fig15(cfg RunConfig) (Report, error) {
 	r := Report{
 		ID:     "fig15",
@@ -26,29 +27,35 @@ func Fig15(cfg RunConfig) (Report, error) {
 			"our simulated Eve retains partial large-scale correlation, so her rate sits higher, but she never completes a key (see EXPERIMENTS.md)",
 		},
 	}
-	for i, env := range []channel.Environment{channel.Urban, channel.Rural} {
+	envs := []channel.Environment{channel.Urban, channel.Rural}
+	rows, err := parMap(cfg, "fig15", len(envs), func(i int, _ *rng.Source) ([]string, error) {
+		env := envs[i]
 		sc := trace.NewScenario(env, channel.V2V)
-		sys, _, test, err := trainFor(sc, cfg, int64(10000+i*41), core.DefaultConfig())
+		sys, _, test, err := trainFor(sc, cfg, core.DefaultConfig())
 		if err != nil {
-			return Report{}, err
+			return nil, err
 		}
 		legit, err := sys.Evaluate(test, []byte("fig15"))
 		if err != nil {
-			return Report{}, err
+			return nil, err
 		}
 		eaves, err := sys.EvaluateEve(test, false, []byte("fig15"))
 		if err != nil {
-			return Report{}, err
+			return nil, err
 		}
 		imit, err := sys.EvaluateEve(test, true, []byte("fig15"))
 		if err != nil {
-			return Report{}, err
+			return nil, err
 		}
-		r.Rows = append(r.Rows, []string{
+		return []string{
 			env.String(), pct(legit.PostKAR), pct(eaves.PostKAR), pct(imit.PostKAR),
 			f("%.0f%% / %.0f%%", 100*eaves.ExactRate, 100*imit.ExactRate),
-		})
+		}, nil
+	})
+	if err != nil {
+		return Report{}, err
 	}
+	r.Rows = rows
 	return r, nil
 }
 
@@ -60,18 +67,24 @@ func Fig16(cfg RunConfig) (Report, error) {
 		Title:  "arRSSI of Alice, Bob and Eve (imitating)",
 		Header: []string{"idx", "Alice", "Bob", "Eve"},
 	}
-	sc := trace.NewScenario(channel.Urban, channel.V2V)
-	col := trace.NewCollector(sc, cfg.Seed+11000)
-	ex := col.Run(24)
-	alice, bob := trace.ArRSSI(ex, trace.DefaultExtract())
-	eve := trace.EveArRSSI(ex, trace.DefaultExtract(), true)
-	fa, fb, fe := trace.Flatten(alice), trace.Flatten(bob), trace.Flatten(eve)
-	for i := range fa {
-		r.Rows = append(r.Rows, []string{f("%d", i), f("%.1f", fa[i]), f("%.1f", fb[i]), f("%.1f", fe[i])})
+	err := forEach(cfg, "fig16", 1, func(_ int, src *rng.Source) error {
+		sc := trace.NewScenario(channel.Urban, channel.V2V)
+		col := trace.NewCollector(sc, src.Int63())
+		ex := col.Run(24)
+		alice, bob := trace.ArRSSI(ex, trace.DefaultExtract())
+		eve := trace.EveArRSSI(ex, trace.DefaultExtract(), true)
+		fa, fb, fe := trace.Flatten(alice), trace.Flatten(bob), trace.Flatten(eve)
+		for i := range fa {
+			r.Rows = append(r.Rows, []string{f("%d", i), f("%.1f", fa[i]), f("%.1f", fb[i]), f("%.1f", fe[i])})
+		}
+		la, _ := trace.Correlation(alice, bob)
+		le, _ := trace.Correlation(eve, bob)
+		r.Notes = append(r.Notes, f("corr(Alice,Bob)=%.3f corr(Eve,Bob)=%.3f", la, le))
+		return nil
+	})
+	if err != nil {
+		return Report{}, err
 	}
-	la, _ := trace.Correlation(alice, bob)
-	le, _ := trace.Correlation(eve, bob)
-	r.Notes = append(r.Notes, f("corr(Alice,Bob)=%.3f corr(Eve,Bob)=%.3f", la, le))
 	return r, nil
 }
 
@@ -83,38 +96,44 @@ func Table2(cfg RunConfig) (Report, error) {
 		Header: []string{"test", "p-value", "verdict"},
 		Notes:  []string{"randomness is rejected below p = 0.01; the paper's keys pass every test"},
 	}
-	sc := trace.NewScenario(channel.Urban, channel.V2V)
-	sys, _, test, err := trainFor(sc, cfg, 12000, core.DefaultConfig())
-	if err != nil {
-		return Report{}, err
-	}
-	// Concatenate amplified key bits across blocks into one stream.
-	var stream []byte
-	ks := sys.NewKeyStream([]byte("tab2"))
-	for _, smp := range test.Samples {
-		results, err := ks.Push(smp)
+	err := forEach(cfg, "tab2", 1, func(_ int, _ *rng.Source) error {
+		sc := trace.NewScenario(channel.Urban, channel.V2V)
+		sys, _, test, err := trainFor(sc, cfg, core.DefaultConfig())
 		if err != nil {
-			return Report{}, err
+			return err
+		}
+		// Concatenate amplified key bits across blocks into one stream.
+		var stream []byte
+		ks := sys.NewKeyStream([]byte("tab2"))
+		for _, smp := range test.Samples {
+			results, err := ks.Push(smp)
+			if err != nil {
+				return err
+			}
+			for _, res := range results {
+				stream = append(stream, amplify.UnpackBits(res.BobKey, amplify.KeyBits)...)
+			}
+		}
+		if len(stream) < nist.MinBits {
+			return f2err("tab2 needs more key material: got %d bits", len(stream))
+		}
+		results, err := nist.Battery(stream)
+		if err != nil {
+			return err
 		}
 		for _, res := range results {
-			stream = append(stream, amplify.UnpackBits(res.BobKey, amplify.KeyBits)...)
+			verdict := "PASS"
+			if !res.Passed {
+				verdict = "FAIL"
+			}
+			r.Rows = append(r.Rows, []string{res.Name, f("%.6f", res.P), verdict})
 		}
-	}
-	if len(stream) < nist.MinBits {
-		return Report{}, f2err("tab2 needs more key material: got %d bits", len(stream))
-	}
-	results, err := nist.Battery(stream)
+		r.Notes = append(r.Notes, f("stream length: %d bits from %d keys", len(stream), len(stream)/amplify.KeyBits))
+		return nil
+	})
 	if err != nil {
 		return Report{}, err
 	}
-	for _, res := range results {
-		verdict := "PASS"
-		if !res.Passed {
-			verdict = "FAIL"
-		}
-		r.Rows = append(r.Rows, []string{res.Name, f("%.6f", res.P), verdict})
-	}
-	r.Notes = append(r.Notes, f("stream length: %d bits from %d keys", len(stream), len(stream)/amplify.KeyBits))
 	return r, nil
 }
 

@@ -24,23 +24,8 @@ func init() {
 	register("ablate-bloom", AblateBloom)
 }
 
-// trainFor builds and trains a Vehicle-Key system for one scenario.
-func trainFor(sc trace.Scenario, cfg RunConfig, seedOff int64, sysCfg core.Config) (*core.System, *trace.Dataset, *trace.Dataset, error) {
-	ds, err := trace.Build(sc, cfg.Seed+seedOff, cfg.Samples, sysCfg.SeqLen, trace.DefaultExtract())
-	if err != nil {
-		return nil, nil, nil, err
-	}
-	src := rng.New(cfg.Seed + seedOff + 1)
-	train, _, test := ds.Split(0.75, 0.05, src.Derive("split"))
-	sys := core.New(sysCfg, src.Derive("sys"))
-	if _, err := sys.Train(train, cfg.Epochs, src.Derive("train")); err != nil {
-		return nil, nil, nil, err
-	}
-	return sys, train, test, nil
-}
-
 // Fig10 regenerates Fig. 10: key agreement with and without the
-// prediction module, per scenario.
+// prediction module, one work unit per scenario.
 func Fig10(cfg RunConfig) (Report, error) {
 	r := Report{
 		ID:     "fig10",
@@ -48,19 +33,24 @@ func Fig10(cfg RunConfig) (Report, error) {
 		Header: []string{"scenario", "with prediction", "keep", "without", "keep", "gain"},
 		Notes:  []string{"paper: prediction adds +5.48/+11.71/+5.42/+10.34 pp in V2I-U/V2I-R/V2V-U/V2V-R"},
 	}
-	for i, sc := range trace.Scenarios() {
-		sys, _, test, err := trainFor(sc, cfg, int64(1000+i*37), core.DefaultConfig())
+	scs := trace.Scenarios()
+	rows, err := parMap(cfg, "fig10", len(scs), func(i int, _ *rng.Source) ([]string, error) {
+		sys, _, test, err := trainFor(scs[i], cfg, core.DefaultConfig())
 		if err != nil {
-			return Report{}, err
+			return nil, err
 		}
 		withA, withK, woA, woK, err := ablatePrediction(sys, test)
 		if err != nil {
-			return Report{}, err
+			return nil, err
 		}
-		r.Rows = append(r.Rows, []string{
-			sc.Name, pct(withA), f("%.2f", withK), pct(woA), f("%.2f", woK), f("%+.2f pp", 100*(withA-woA)),
-		})
+		return []string{
+			scs[i].Name, pct(withA), f("%.2f", withK), pct(woA), f("%.2f", woK), f("%+.2f pp", 100*(withA-woA)),
+		}, nil
+	})
+	if err != nil {
+		return Report{}, err
 	}
+	r.Rows = rows
 	return r, nil
 }
 
@@ -125,8 +115,46 @@ func intersectInts(a, b []int) []int {
 	return out
 }
 
+// fig11Mismatches are the mismatched-bit counts the reconcilers are
+// evaluated at.
+var fig11Mismatches = [3]int{3, 5, 8}
+
+// fig11Pairs returns the tr-th test pair at k mismatched bits. Pairs are
+// derived from (seed, k, trial) alone, so every reconciliation method is
+// scored on exactly the same keys — a fairer comparison than sequential
+// draws, and independent of which worker evaluates which method.
+func fig11Pairs(cfg RunConfig, k, tr int) (ka, kb []byte) {
+	src := rng.Stream(cfg.Seed, f("fig11/pairs/k%d", k), tr)
+	kb = src.Bits(64)
+	ka = flip(kb, k, src)
+	return ka, kb
+}
+
+type fig11Result struct {
+	agr [3]float64
+	ops int
+}
+
+func fig11Eval(cfg RunConfig, trials int, rec func(a, b []byte) (reconcile.Outcome, error)) (fig11Result, error) {
+	var res fig11Result
+	for ki, k := range fig11Mismatches {
+		for tr := 0; tr < trials; tr++ {
+			ka, kb := fig11Pairs(cfg, k, tr)
+			out, err := rec(ka, kb)
+			if err != nil {
+				return fig11Result{}, err
+			}
+			res.agr[ki] += out.Agreement()
+			res.ops = out.ComputeOps
+		}
+		res.agr[ki] /= float64(trials)
+	}
+	return res, nil
+}
+
 // Fig11 regenerates Fig. 11: the autoencoder reconciler at several
 // decoder widths against CS reconciliation — agreement and compute cost.
+// Each method (four AE widths plus the CS baseline) is one work unit.
 func Fig11(cfg RunConfig) (Report, error) {
 	r := Report{
 		ID:     "fig11",
@@ -142,50 +170,34 @@ func Fig11(cfg RunConfig) (Report, error) {
 	if cfg.Quick {
 		trials, epochs = 30, 6
 	}
-	src := rng.New(cfg.Seed + 2000)
-	eval := func(rec func(a, b []byte) (reconcile.Outcome, error)) ([3]float64, int, error) {
-		var agr [3]float64
-		ops := 0
-		for ki, k := range []int{3, 5, 8} {
-			for tr := 0; tr < trials; tr++ {
-				kb := src.Bits(64)
-				ka := flip(kb, k, src)
-				out, err := rec(ka, kb)
-				if err != nil {
-					return agr, 0, err
-				}
-				agr[ki] += out.Agreement()
-				ops = out.ComputeOps
-			}
-			agr[ki] /= float64(trials)
+	widths := []int{8, 16, 32, 64}
+	// Units 0..len(widths)-1 are the AE variants; the last unit is CS.
+	results, err := parMap(cfg, "fig11", len(widths)+1, func(i int, src *rng.Source) (fig11Result, error) {
+		if i == len(widths) {
+			csCfg := reconcile.DefaultCSConfig()
+			return fig11Eval(cfg, trials, func(a, b []byte) (reconcile.Outcome, error) {
+				return reconcile.CSISTA(a, b, csCfg)
+			})
 		}
-		return agr, ops, nil
-	}
-
-	csCfg := reconcile.DefaultCSConfig()
-	csAgr, csOps, err := eval(func(a, b []byte) (reconcile.Outcome, error) {
-		return reconcile.CSISTA(a, b, csCfg)
+		aeCfg := reconcile.AEConfig{KeyBits: 64, CodeDim: 32, DecoderUnits: widths[i], MaxMismatch: 0.15}
+		ae := reconcile.TrainAE(aeCfg, epochs, 200, src.Derive("train"))
+		return fig11Eval(cfg, trials, func(a, b []byte) (reconcile.Outcome, error) {
+			return ae.Reconcile(a, b, []byte("fig11"))
+		})
 	})
 	if err != nil {
 		return Report{}, err
 	}
-
-	for _, units := range []int{8, 16, 32, 64} {
-		aeCfg := reconcile.AEConfig{KeyBits: 64, CodeDim: 32, DecoderUnits: units, MaxMismatch: 0.15}
-		ae := reconcile.TrainAE(aeCfg, epochs, 200, rng.New(cfg.Seed+int64(units)))
-		agr, ops, err := eval(func(a, b []byte) (reconcile.Outcome, error) {
-			return ae.Reconcile(a, b, []byte("fig11"))
-		})
-		if err != nil {
-			return Report{}, err
-		}
+	cs := results[len(widths)]
+	for i, units := range widths {
+		res := results[i]
 		r.Rows = append(r.Rows, []string{
-			f("AE-%d", units), pct(agr[0]), pct(agr[1]), pct(agr[2]),
-			f("%d", ops), f("%.1fx cheaper", float64(csOps)/float64(ops)),
+			f("AE-%d", units), pct(res.agr[0]), pct(res.agr[1]), pct(res.agr[2]),
+			f("%d", res.ops), f("%.1fx cheaper", float64(cs.ops)/float64(res.ops)),
 		})
 	}
 	r.Rows = append(r.Rows, []string{
-		"CS (ISTA)", pct(csAgr[0]), pct(csAgr[1]), pct(csAgr[2]), f("%d", csOps), "1.0x",
+		"CS (ISTA)", pct(cs.agr[0]), pct(cs.agr[1]), pct(cs.agr[2]), f("%d", cs.ops), "1.0x",
 	})
 	return r, nil
 }
@@ -201,6 +213,7 @@ func flip(key []byte, k int, src *rng.Source) []byte {
 }
 
 // Table1 regenerates Table I: agreement rate per device type and speed.
+// The (device, speed) grid is flattened into independent work units.
 func Table1(cfg RunConfig) (Report, error) {
 	r := Report{
 		ID:     "tab1",
@@ -209,23 +222,32 @@ func Table1(cfg RunConfig) (Report, error) {
 		Notes:  []string{"paper: 98.33%–99.33% across all cells, mean 98.87%"},
 	}
 	speeds := []float64{30, 60, 90}
-	for di, dev := range lora.AllDevices() {
+	devices := lora.AllDevices()
+	kars, err := parMap(cfg, "tab1", len(devices)*len(speeds), func(u int, _ *rng.Source) (float64, error) {
+		dev, v := devices[u/len(speeds)], speeds[u%len(speeds)]
+		sc := trace.NewScenario(channel.Urban, channel.V2I)
+		sc.SpeedAKmh = v
+		sc.Device = dev
+		sys, _, test, err := trainFor(sc, cfg, core.DefaultConfig())
+		if err != nil {
+			return 0, err
+		}
+		m, err := sys.Evaluate(test, []byte("tab1"))
+		if err != nil {
+			return 0, err
+		}
+		return m.PostKAR, nil
+	})
+	if err != nil {
+		return Report{}, err
+	}
+	for di, dev := range devices {
 		row := []string{dev.String()}
 		var mean float64
-		for si, v := range speeds {
-			sc := trace.NewScenario(channel.Urban, channel.V2I)
-			sc.SpeedAKmh = v
-			sc.Device = dev
-			sys, _, test, err := trainFor(sc, cfg, int64(3000+di*97+si*11), core.DefaultConfig())
-			if err != nil {
-				return Report{}, err
-			}
-			m, err := sys.Evaluate(test, []byte("tab1"))
-			if err != nil {
-				return Report{}, err
-			}
-			row = append(row, pct(m.PostKAR))
-			mean += m.PostKAR
+		for si := range speeds {
+			kar := kars[di*len(speeds)+si]
+			row = append(row, pct(kar))
+			mean += kar
 		}
 		row = append(row, pct(mean/float64(len(speeds))))
 		r.Rows = append(r.Rows, row)
@@ -233,47 +255,54 @@ func Table1(cfg RunConfig) (Report, error) {
 	return r, nil
 }
 
-// Fig12 and Fig13 share their per-scenario evaluation.
-func comparisonRows(cfg RunConfig) (vk []core.Metrics, base [][]baselines.Result, err error) {
-	for i, sc := range trace.Scenarios() {
-		sys, _, test, terr := trainFor(sc, cfg, int64(4000+i*13), core.DefaultConfig())
-		if terr != nil {
-			return nil, nil, terr
-		}
-		m, merr := sys.Evaluate(test, []byte("cmp"))
-		if merr != nil {
-			return nil, nil, merr
-		}
-		vk = append(vk, m)
+// comparisonCell is one scenario's slice of the fig12/fig13 sweep.
+type comparisonCell struct {
+	vk   core.Metrics
+	base []baselines.Result
+}
 
-		exch := cfg.Samples * 4
-		if exch > 1200 {
-			exch = 1200
-		}
-		col := trace.NewCollector(sc, cfg.Seed+int64(5000+i))
-		ex := col.Run(exch)
-		src := rng.New(cfg.Seed + int64(6000+i))
-		lk, berr := baselines.LoRaKey(ex)
-		if berr != nil {
-			return nil, nil, berr
-		}
-		han, berr := baselines.Han(ex, src)
-		if berr != nil {
-			return nil, nil, berr
-		}
-		gao, berr := baselines.Gao(ex)
-		if berr != nil {
-			return nil, nil, berr
-		}
-		base = append(base, []baselines.Result{lk, han, gao})
-	}
-	return vk, base, nil
+// comparisonRows runs the Vehicle-Key vs state-of-the-art sweep shared
+// by Fig12 and Fig13: one work unit per scenario, memoized so the two
+// figures pay for it once.
+func comparisonRows(cfg RunConfig) ([]comparisonCell, error) {
+	return memo("comparison", cfg, func() ([]comparisonCell, error) {
+		scs := trace.Scenarios()
+		return parMap(cfg, "comparison", len(scs), func(i int, src *rng.Source) (comparisonCell, error) {
+			sys, _, test, err := trainFor(scs[i], cfg, core.DefaultConfig())
+			if err != nil {
+				return comparisonCell{}, err
+			}
+			m, err := sys.Evaluate(test, []byte("cmp"))
+			if err != nil {
+				return comparisonCell{}, err
+			}
+			exch := cfg.Samples * 4
+			if exch > 1200 {
+				exch = 1200
+			}
+			col := trace.NewCollector(scs[i], src.Int63())
+			ex := col.Run(exch)
+			lk, err := baselines.LoRaKey(ex)
+			if err != nil {
+				return comparisonCell{}, err
+			}
+			han, err := baselines.Han(ex, src.Derive("han"))
+			if err != nil {
+				return comparisonCell{}, err
+			}
+			gao, err := baselines.Gao(ex)
+			if err != nil {
+				return comparisonCell{}, err
+			}
+			return comparisonCell{vk: m, base: []baselines.Result{lk, han, gao}}, nil
+		})
+	})
 }
 
 // Fig12 regenerates Fig. 12: agreement-rate comparison with the
 // state-of-the-art baselines.
 func Fig12(cfg RunConfig) (Report, error) {
-	vk, base, err := comparisonRows(cfg)
+	cells, err := comparisonRows(cfg)
 	if err != nil {
 		return Report{}, err
 	}
@@ -284,8 +313,9 @@ func Fig12(cfg RunConfig) (Report, error) {
 		Notes:  []string{"paper: Vehicle-Key +49.81 pp over LoRa-Key, +20.48 over Han, +15.10 over Gao on average"},
 	}
 	for i, sc := range trace.Scenarios() {
+		c := cells[i]
 		r.Rows = append(r.Rows, []string{
-			sc.Name, pct(vk[i].PostKAR), pct(base[i][0].PostKAR), pct(base[i][1].PostKAR), pct(base[i][2].PostKAR),
+			sc.Name, pct(c.vk.PostKAR), pct(c.base[0].PostKAR), pct(c.base[1].PostKAR), pct(c.base[2].PostKAR),
 		})
 	}
 	return r, nil
@@ -293,7 +323,7 @@ func Fig12(cfg RunConfig) (Report, error) {
 
 // Fig13 regenerates Fig. 13: key generation rate comparison.
 func Fig13(cfg RunConfig) (Report, error) {
-	vk, base, err := comparisonRows(cfg)
+	cells, err := comparisonRows(cfg)
 	if err != nil {
 		return Report{}, err
 	}
@@ -309,18 +339,21 @@ func Fig13(cfg RunConfig) (Report, error) {
 	}
 	cell := func(net, gross float64) string { return f("%.3f (%.3f)", net, gross) }
 	for i, sc := range trace.Scenarios() {
+		c := cells[i]
 		r.Rows = append(r.Rows, []string{
 			sc.Name,
-			cell(vk[i].NetKGR, vk[i].KGR),
-			cell(base[i][0].NetKGR, base[i][0].KGR),
-			cell(base[i][1].NetKGR, base[i][1].KGR),
-			cell(base[i][2].NetKGR, base[i][2].KGR),
+			cell(c.vk.NetKGR, c.vk.KGR),
+			cell(c.base[0].NetKGR, c.base[0].KGR),
+			cell(c.base[1].NetKGR, c.base[1].KGR),
+			cell(c.base[2].NetKGR, c.base[2].KGR),
 		})
 	}
 	return r, nil
 }
 
-// Fig14 regenerates Fig. 14: transfer learning to new environments.
+// Fig14 regenerates Fig. 14: transfer learning to new environments. One
+// work unit per target scenario; each unit obtains its own clone of the
+// shared M1 base model from the training cache.
 func Fig14(cfg RunConfig) (Report, error) {
 	r := Report{
 		ID:     "fig14",
@@ -329,44 +362,57 @@ func Fig14(cfg RunConfig) (Report, error) {
 		Notes:  []string{"paper: transfer-10% reaches traditional training's accuracy with 20 epochs and 10% of the data"},
 	}
 	scenarios := trace.Scenarios()
-	baseSys, _, _, err := trainFor(scenarios[0], cfg, 7000, core.DefaultConfig())
-	if err != nil {
+	// Warm the cache serially so the per-target units share one training.
+	if _, _, _, err := trainFor(scenarios[0], cfg, core.DefaultConfig()); err != nil {
 		return Report{}, err
 	}
 	ftEpochs := 10
 	if cfg.Quick {
 		ftEpochs = 5
 	}
-	for i, target := range scenarios[1:] {
-		ds, err := trace.Build(target, cfg.Seed+int64(7100+i), cfg.Samples, baseSys.Cfg.SeqLen, trace.DefaultExtract())
+	targets := scenarios[1:]
+	unitRows, err := parMap(cfg, "fig14", len(targets), func(i int, src *rng.Source) ([][]string, error) {
+		target := targets[i]
+		baseSys, _, _, err := trainFor(scenarios[0], cfg, core.DefaultConfig())
 		if err != nil {
-			return Report{}, err
+			return nil, err
 		}
-		src := rng.New(cfg.Seed + int64(7200+i))
+		ds, err := trace.Build(target, src.Int63(), cfg.Samples, baseSys.Cfg.SeqLen, trace.DefaultExtract())
+		if err != nil {
+			return nil, err
+		}
 		train, _, test := ds.Split(0.75, 0.05, src.Derive("split"))
 
+		var rows [][]string
 		for _, frac := range []float64{0.10, 0.50, 1.0} {
 			ft := cloneSystem(baseSys, src.Derive(f("clone-%f", frac)))
-			if _, err := ft.FineTune(train.Subset(frac), ftEpochs, src.Derive("ft")); err != nil {
-				return Report{}, err
+			if _, err := ft.FineTune(train.Subset(frac), ftEpochs, src.Derive(f("ft-%f", frac))); err != nil {
+				return nil, err
 			}
 			m, err := ft.Evaluate(test, []byte("fig14"))
 			if err != nil {
-				return Report{}, err
+				return nil, err
 			}
-			r.Rows = append(r.Rows, []string{
+			rows = append(rows, []string{
 				"M1→" + target.Name, f("transfer-%.0f%%", frac*100), f("%d", ftEpochs), pct(m.PostKAR),
 			})
 		}
 		fresh := core.New(core.DefaultConfig(), src.Derive("fresh"))
 		if _, err := fresh.Train(train, ftEpochs, src.Derive("fresh-train")); err != nil {
-			return Report{}, err
+			return nil, err
 		}
 		m, err := fresh.Evaluate(test, []byte("fig14"))
 		if err != nil {
-			return Report{}, err
+			return nil, err
 		}
-		r.Rows = append(r.Rows, []string{"M1→" + target.Name, "traditional", f("%d", ftEpochs), pct(m.PostKAR)})
+		rows = append(rows, []string{"M1→" + target.Name, "traditional", f("%d", ftEpochs), pct(m.PostKAR)})
+		return rows, nil
+	})
+	if err != nil {
+		return Report{}, err
+	}
+	for _, rows := range unitRows {
+		r.Rows = append(r.Rows, rows...)
 	}
 	return r, nil
 }
@@ -385,7 +431,8 @@ func cloneSystem(sys *core.System, src *rng.Source) *core.System {
 	return out
 }
 
-// AblateTheta sweeps the joint-loss weight θ (design-choice ablation).
+// AblateTheta sweeps the joint-loss weight θ (design-choice ablation),
+// one work unit per θ.
 func AblateTheta(cfg RunConfig) (Report, error) {
 	r := Report{
 		ID:     "ablate-theta",
@@ -394,19 +441,24 @@ func AblateTheta(cfg RunConfig) (Report, error) {
 		Notes:  []string{"paper selects θ = 0.9 experimentally"},
 	}
 	sc := trace.NewScenario(channel.Urban, channel.V2I)
-	for _, theta := range []float64{0.5, 0.7, 0.9, 0.99} {
+	thetas := []float64{0.5, 0.7, 0.9, 0.99}
+	rows, err := parMap(cfg, "ablate-theta", len(thetas), func(i int, _ *rng.Source) ([]string, error) {
 		sysCfg := core.DefaultConfig()
-		sysCfg.Theta = theta
-		sys, _, test, err := trainFor(sc, cfg, 8000, sysCfg)
+		sysCfg.Theta = thetas[i]
+		sys, _, test, err := trainFor(sc, cfg, sysCfg)
 		if err != nil {
-			return Report{}, err
+			return nil, err
 		}
 		m, err := sys.Evaluate(test, []byte("theta"))
 		if err != nil {
-			return Report{}, err
+			return nil, err
 		}
-		r.Rows = append(r.Rows, []string{f("%.2f", theta), pct(m.PreKAR), pct(m.PostKAR)})
+		return []string{f("%.2f", thetas[i]), pct(m.PreKAR), pct(m.PostKAR)}, nil
+	})
+	if err != nil {
+		return Report{}, err
 	}
+	r.Rows = rows
 	return r, nil
 }
 
@@ -421,31 +473,36 @@ func AblateBloom(cfg RunConfig) (Report, error) {
 			"with per-session salts, identical key material yields different syndromes across sessions (replay window closed)",
 		},
 	}
-	ae := reconcile.TrainAE(reconcile.AEConfig{KeyBits: 64, CodeDim: 32, DecoderUnits: 16}, 6, 150, rng.New(cfg.Seed+9000))
-	src := rng.New(cfg.Seed + 9001)
-	key := src.Bits(64)
+	err := forEach(cfg, "ablate-bloom", 1, func(_ int, src *rng.Source) error {
+		ae := reconcile.TrainAE(reconcile.AEConfig{KeyBits: 64, CodeDim: 32, DecoderUnits: 16}, 6, 150, src.Derive("ae"))
+		key := src.Derive("key").Bits(64)
 
-	same := 0
-	const trials = 30
-	for i := 0; i < trials; i++ {
-		s1 := []byte(f("session-a-%d", i))
-		s2 := []byte(f("session-b-%d", i))
-		y1 := ae.EncodeBob(reconcile.NewBloomFilter(64, s1).Transform(key))
-		y2 := ae.EncodeBob(reconcile.NewBloomFilter(64, s2).Transform(key))
-		if floatsEqual(y1, y2) {
-			same++
+		same := 0
+		const trials = 30
+		for i := 0; i < trials; i++ {
+			s1 := []byte(f("session-a-%d", i))
+			s2 := []byte(f("session-b-%d", i))
+			y1 := ae.EncodeBob(reconcile.NewBloomFilter(64, s1).Transform(key))
+			y2 := ae.EncodeBob(reconcile.NewBloomFilter(64, s2).Transform(key))
+			if floatsEqual(y1, y2) {
+				same++
+			}
 		}
-	}
-	r.Rows = append(r.Rows, []string{"with Bloom filter (salted)", f("%d/%d", same, trials)})
+		r.Rows = append(r.Rows, []string{"with Bloom filter (salted)", f("%d/%d", same, trials)})
 
-	y := ae.EncodeBob(key)
-	same = 0
-	for i := 0; i < trials; i++ {
-		if floatsEqual(y, ae.EncodeBob(key)) {
-			same++
+		y := ae.EncodeBob(key)
+		same = 0
+		for i := 0; i < trials; i++ {
+			if floatsEqual(y, ae.EncodeBob(key)) {
+				same++
+			}
 		}
+		r.Rows = append(r.Rows, []string{"without Bloom filter", f("%d/%d", same, trials)})
+		return nil
+	})
+	if err != nil {
+		return Report{}, err
 	}
-	r.Rows = append(r.Rows, []string{"without Bloom filter", f("%d/%d", same, trials)})
 	return r, nil
 }
 

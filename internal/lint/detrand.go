@@ -3,6 +3,7 @@ package lint
 import (
 	"go/ast"
 	"go/types"
+	"strings"
 )
 
 // detrandScope is the set of packages whose output must be a pure
@@ -78,9 +79,62 @@ func checkFuncDetrand(pass *Pass, info *types.Info, fn *ast.FuncDecl) {
 			}
 		case *ast.RangeStmt:
 			checkMapRange(pass, info, n, sorted)
+		case *ast.GoStmt:
+			checkGoSharedSource(pass, info, n)
 		}
 		return true
 	})
+}
+
+// checkGoSharedSource flags a goroutine closure that uses a *rng.Source
+// declared outside its own body. A Source is a single mutable stream:
+// two goroutines drawing from it race on its state, and even under a
+// mutex the interleaving of draws — and therefore every downstream
+// value — depends on goroutine scheduling. Each goroutine must own a
+// stream derived purely from the seed (rng.Stream / rng.SubSeed), the
+// way internal/exp's forEach hands every work unit its own sub-stream.
+func checkGoSharedSource(pass *Pass, info *types.Info, g *ast.GoStmt) {
+	lit, ok := ast.Unparen(g.Call.Fun).(*ast.FuncLit)
+	if !ok {
+		return
+	}
+	reported := make(map[types.Object]bool)
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := info.Uses[id]
+		if obj == nil || reported[obj] || !isRNGSourcePtr(obj.Type()) {
+			return true
+		}
+		// Free variable: declared outside the closure literal. Parameters
+		// and locals of the closure have positions inside its range.
+		if obj.Pos() >= lit.Pos() && obj.Pos() <= lit.End() {
+			return true
+		}
+		reported[obj] = true
+		pass.Reportf(id.Pos(),
+			"goroutine captures *rng.Source %q declared outside its body; concurrent draws race and make results depend on scheduling — give each goroutine its own stream via rng.Stream(seed, label, i)",
+			id.Name)
+		return true
+	})
+}
+
+// isRNGSourcePtr reports whether t is *rng.Source from the repository's
+// internal/rng package.
+func isRNGSourcePtr(t types.Type) bool {
+	p, ok := t.Underlying().(*types.Pointer)
+	if !ok {
+		return false
+	}
+	named, ok := p.Elem().(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Source" && obj.Pkg() != nil &&
+		strings.HasSuffix(obj.Pkg().Path(), "internal/rng")
 }
 
 // checkMapRange flags a range over a map whose body feeds ordered output:

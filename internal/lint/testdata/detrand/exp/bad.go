@@ -4,7 +4,10 @@ package exp
 import (
 	"fmt"
 	"sort"
+	"sync"
 	"time"
+
+	"repro/internal/rng"
 )
 
 // stamp leaks wall-clock time into simulation output.
@@ -39,9 +42,70 @@ func dump(m map[string]int) {
 	}
 }
 
+// sharedStream fans work out across goroutines that all draw from one
+// captured stream — a data race, and the draw interleaving depends on
+// scheduling even if it were locked.
+func sharedStream() []float64 {
+	src := rng.New(1)
+	out := make([]float64, 8)
+	var wg sync.WaitGroup
+	for i := range out {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			out[i] = src.Float64() // want "detrand"
+		}()
+	}
+	wg.Wait()
+	return out
+}
+
+// sharedDerive is the subtler variant: Derive consumes the parent
+// stream, so concurrent derivation races exactly like direct draws.
+func sharedDerive(parent *rng.Source) {
+	done := make(chan *rng.Source, 2)
+	for i := 0; i < 2; i++ {
+		go func() {
+			done <- parent.Derive("worker") // want "detrand"
+		}()
+	}
+	<-done
+	<-done
+}
+
+// perUnitStream derives each goroutine's stream purely from the seed
+// before any concurrency — the sanctioned pattern, not flagged.
+func perUnitStream(seed int64) []float64 {
+	out := make([]float64, 8)
+	var wg sync.WaitGroup
+	for i := range out {
+		wg.Add(1)
+		go func(i int, src *rng.Source) {
+			defer wg.Done()
+			out[i] = src.Float64()
+		}(i, rng.Stream(seed, "unit", i))
+	}
+	wg.Wait()
+	return out
+}
+
+// ownStream creates the stream inside the goroutine body — also fine.
+func ownStream(seed int64) {
+	done := make(chan float64, 1)
+	go func() {
+		src := rng.Stream(seed, "solo", 0)
+		done <- src.Float64()
+	}()
+	<-done
+}
+
 var (
 	_ = stamp
 	_ = unorderedIDs
 	_ = sortedIDs
 	_ = dump
+	_ = sharedStream
+	_ = sharedDerive
+	_ = perUnitStream
+	_ = ownStream
 )

@@ -1,6 +1,11 @@
 package exp
 
-import "time"
+import (
+	"sync"
+	"time"
+
+	"repro/internal/rng"
+)
 
 // wallClock measures real elapsed time for a progress meter, which is
 // presentation, not simulation output.
@@ -9,4 +14,25 @@ func wallClock() time.Time {
 	return time.Now()
 }
 
-var _ = wallClock
+// mutexedWarmup shares one stream across goroutines under a lock for a
+// throwaway warm-up whose values never reach a report.
+func mutexedWarmup(src *rng.Source) {
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			mu.Lock()
+			//vklint:ignore detrand -- warm-up draws are discarded, never reported
+			_ = src.Float64()
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+}
+
+var (
+	_ = wallClock
+	_ = mutexedWarmup
+)

@@ -109,6 +109,60 @@ func Profile(sys *core.System, smp trace.Sample, iters int) ([]Measurement, erro
 	}, nil
 }
 
+// ModelProfile produces the same six (side, stage) rows as Profile, but
+// with durations computed from a deterministic operation-count model of
+// the configured architecture scaled to the paper's Raspberry Pi 4
+// throughput, instead of measured on the host. The result is a pure
+// function of the system's Config — bit-identical run to run — which is
+// what the experiment engine's quick/regression mode needs: measured
+// wall-clock times can never reproduce exactly, modeled ones always do.
+//
+// Calibration: the paper's 128-unit BiLSTM predictor takes 3.38 ms on
+// the Pi 4, and its per-timestep cost is dominated by the recurrent
+// multiply-accumulates, giving roughly 0.25 ns per MAC; the remaining
+// stages reuse that constant over their own op counts.
+func ModelProfile(sys *core.System) []Measurement {
+	cfg := sys.Cfg
+	const nsPerOp = 0.25
+
+	dur := func(ops float64) time.Duration {
+		return time.Duration(ops * nsPerOp)
+	}
+
+	// BiLSTM: two directions × SeqLen steps × 4 gates × H×(H+1) MACs,
+	// plus the per-timestep prediction and quantization heads.
+	h := float64(cfg.Hidden)
+	seq := float64(cfg.SeqLen)
+	bits := float64(cfg.BitsPerSample * cfg.SeqLen)
+	predOps := 2*seq*4*h*(h+1) + seq*2*h + bits*2*h
+	// Bob's quantizer: a threshold scan per sample.
+	quantOps := seq * float64(int(1)<<cfg.BitsPerSample) * 4
+	// Autoencoder: encoder KeyBits×CodeDim; decoder adds the per-position
+	// shared units (same expression Profile's encoder share uses).
+	enc := float64(cfg.AE.KeyBits * cfg.AE.CodeDim)
+	dec := enc + float64(cfg.AE.KeyBits*(cfg.AE.DecoderUnits*cfg.AE.DecoderUnits+3*cfg.AE.DecoderUnits))
+	// Privacy amplification: one hash pass over the block.
+	paOps := float64(cfg.KeyBlockBits) * 24
+
+	tAlicePred := dur(predOps)
+	tBobQuant := dur(quantOps)
+	tAliceRec := dur(enc + dec)
+	tBobRec := dur(enc)
+	tPA := dur(paOps)
+
+	mj := func(d time.Duration, draw float64) float64 {
+		return d.Seconds() * 1e3 * draw
+	}
+	return []Measurement{
+		{Side: "Alice", Stage: "Prediction and quantization", Duration: tAlicePred, EnergyMJ: mj(tAlicePred, predictionDrawW)},
+		{Side: "Bob", Stage: "Prediction and quantization", Duration: tBobQuant, EnergyMJ: mj(tBobQuant, quantizeDrawW)},
+		{Side: "Alice", Stage: "Reconciliation", Duration: tAliceRec, EnergyMJ: mj(tAliceRec, reconcileDrawW)},
+		{Side: "Bob", Stage: "Reconciliation", Duration: tBobRec, EnergyMJ: mj(tBobRec, reconcileDrawW)},
+		{Side: "Alice", Stage: "Privacy amplification", Duration: tPA, EnergyMJ: mj(tPA, reconcileDrawW)},
+		{Side: "Bob", Stage: "Privacy amplification", Duration: tPA, EnergyMJ: mj(tPA, reconcileDrawW)},
+	}
+}
+
 // Totals sums the measurements per side.
 func Totals(ms []Measurement) map[string]Measurement {
 	out := make(map[string]Measurement)

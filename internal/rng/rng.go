@@ -22,6 +22,48 @@ func New(seed int64) *Source {
 	return &Source{r: rand.New(rand.NewSource(seed))}
 }
 
+// SubSeed deterministically mixes (seed, label, index) into a derived
+// seed. Unlike Source.Derive, it is a pure function of its arguments: it
+// consumes nothing from any stream, so the derivation is independent of
+// the order in which sub-streams are created. This is the primitive the
+// parallel experiment engine builds on — every unit of work (experiment
+// ID × grid index) gets a stream that depends only on the root seed and
+// the unit's identity, never on which worker ran it first.
+func SubSeed(seed int64, label string, index int) int64 {
+	// FNV-1a over the seed, label and index bytes, then a splitmix64
+	// finalizer so that near-identical tuples (index n vs n+1) land far
+	// apart in seed space.
+	h := uint64(1469598103934665603)
+	step := func(b byte) {
+		h ^= uint64(b)
+		h *= 1099511628211
+	}
+	for i := 0; i < 8; i++ {
+		step(byte(uint64(seed) >> (8 * i)))
+	}
+	for i := 0; i < len(label); i++ {
+		step(label[i])
+	}
+	for i := 0; i < 8; i++ {
+		step(byte(uint64(index) >> (8 * i)))
+	}
+	h ^= h >> 30
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 27
+	h *= 0x94d049bb133111eb
+	h ^= h >> 31
+	return int64(h)
+}
+
+// Stream returns a Source for one unit of parallel work, seeded with
+// SubSeed(seed, label, index). Two calls with the same tuple return
+// sources that produce identical draws; calls with distinct tuples
+// return decoupled streams. The returned Source is owned by the caller
+// and, like every Source, must not be shared across goroutines.
+func Stream(seed int64, label string, index int) *Source {
+	return New(SubSeed(seed, label, index))
+}
+
 // Derive returns a new independent Source whose seed is a deterministic
 // function of this source's seed stream and the given label. Use it to
 // give subsystems (Alice's radio, Bob's radio, the channel process, ...)

@@ -1,0 +1,51 @@
+#!/bin/sh
+# Run the full benchmark suite once (-benchtime=1x) and convert the
+# results to JSON: benchmark name → ns/op, B/op, allocs/op. This seeds
+# the perf trajectory: CI's bench-smoke job uploads the file per PR, so
+# regressions show up as a diffable artifact rather than anecdote.
+#
+#   scripts/bench-json.sh [OUTPUT.json]      (default BENCH.json)
+#
+# Stdlib-only by design: plain `go test -bench` output piped through awk.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+out="${1:-BENCH.json}"
+raw="$(mktemp)"
+trap 'rm -f "$raw"' EXIT
+
+go test -run '^$' -bench . -benchtime=1x -benchmem ./... | tee "$raw"
+
+awk '
+# Benchmark lines look like:
+#   BenchmarkFoo-8   1   123456 ns/op   789 B/op   12 allocs/op
+/^Benchmark/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)   # strip the GOMAXPROCS suffix
+    ns = ""; bytes = ""; allocs = ""
+    for (i = 2; i < NF; i++) {
+        if ($(i + 1) == "ns/op") ns = $i
+        if ($(i + 1) == "B/op") bytes = $i
+        if ($(i + 1) == "allocs/op") allocs = $i
+    }
+    if (ns == "") next
+    if (n++) printf ",\n"
+    printf "    \"%s\": {\"ns_per_op\": %s", name, ns
+    if (bytes != "") printf ", \"bytes_per_op\": %s", bytes
+    if (allocs != "") printf ", \"allocs_per_op\": %s", allocs
+    printf "}"
+}
+END {
+    if (n == 0) { print "no benchmark results parsed" > "/dev/stderr"; exit 1 }
+}
+' "$raw" > "$out.tmp"
+
+{
+    printf '{\n  "benchtime": "1x",\n  "benchmarks": {\n'
+    cat "$out.tmp"
+    printf '\n  }\n}\n'
+} > "$out"
+rm -f "$out.tmp"
+
+echo "wrote $out"

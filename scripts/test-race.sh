@@ -22,4 +22,13 @@ echo "== race: remaining packages (short) =="
 go test -race -short \
 	$(go list ./... | grep -v -e /internal/transport$ -e /internal/secure$ -e /internal/protocol$ -e /internal/attack$)
 
+echo "== race: parallel experiment engine equivalence =="
+# -short skips these, so run them explicitly: the golden equivalence
+# sweep under -race is what proves the engine's workers share no mutable
+# state. VK_EQUIV_FAST shrinks the model/sample sizes — the scheduling
+# and sharing behaviour is what -race must see, not full-size training.
+VK_EQUIV_FAST=1 go test -race -count=1 \
+	-run 'TestParallelEquivalence|TestRunAllMatchesRun|TestTrainCacheServesClones' \
+	./internal/exp/
+
 echo "race suite passed"
