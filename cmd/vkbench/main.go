@@ -9,6 +9,12 @@
 // is byte-comparable across runs — `vkbench -all -j 8 > par.txt` equals
 // `vkbench -all -j 1 > ser.txt` for the same seed (in -quick mode, where
 // even the power profile is modeled deterministically).
+//
+// Observability is opt-in and never touches stdout:
+//
+//	vkbench -exp fig9 -metrics          # Prometheus-text snapshot → stderr
+//	vkbench -all -pprof 127.0.0.1:6060  # live /debug/pprof, /metrics, /vars
+//	vkbench -exp tab3 -cpuprofile cpu.out -memprofile mem.out
 package main
 
 import (
@@ -17,7 +23,9 @@ import (
 	"os"
 	"time"
 
+	vehiclekey "repro"
 	"repro/internal/exp"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -31,6 +39,11 @@ func main() {
 		epochs   = flag.Int("epochs", 0, "override training epochs")
 		markdown = flag.Bool("markdown", false, "emit GitHub-flavored markdown tables")
 		parallel = flag.Int("parallel", 0, "worker count for grid fan-out and cross-experiment concurrency (0 = all cores, 1 = serial)")
+
+		metrics    = flag.Bool("metrics", false, "dump a Prometheus-text metrics snapshot to stderr when done (stdout stays byte-comparable)")
+		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof plus /metrics and /vars on this address (e.g. 127.0.0.1:6060)")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile covering the run to this file")
+		memProfile = flag.String("memprofile", "", "write a heap profile to this file when done")
 	)
 	flag.IntVar(parallel, "j", 0, "shorthand for -parallel")
 	flag.Parse()
@@ -55,6 +68,56 @@ func main() {
 	}
 	cfg.Parallelism = *parallel
 
+	fail := func(err error) {
+		// Best-effort stderr write: the process exits on this error.
+		_, _ = fmt.Fprintf(os.Stderr, "vkbench: %v\n", err)
+		os.Exit(1)
+	}
+
+	// Observability is opt-in: without flags no registry exists and the
+	// engine records into obs.Nop. The registry dump goes to stderr so
+	// stdout stays byte-comparable across instrumented and plain runs.
+	var reg *vehiclekey.MetricsRegistry
+	if *metrics || *pprofAddr != "" {
+		reg = vehiclekey.NewMetricsRegistry()
+		cfg.Obs = reg
+	}
+	var srv *obs.DebugServer
+	if *pprofAddr != "" {
+		var err error
+		srv, err = obs.ServeDebug(*pprofAddr, reg)
+		if err != nil {
+			fail(err)
+		}
+		_, _ = fmt.Fprintf(os.Stderr, "debug server on http://%s/debug/pprof/\n", srv.Addr)
+	}
+	stopCPU := func() error { return nil }
+	if *cpuProfile != "" {
+		stop, err := obs.StartCPUProfile(*cpuProfile)
+		if err != nil {
+			fail(err)
+		}
+		stopCPU = stop
+	}
+	// finish flushes profiles and the metrics snapshot; call before every
+	// successful return (fail exits the process, abandoning profiles).
+	finish := func() {
+		if err := stopCPU(); err != nil {
+			_, _ = fmt.Fprintf(os.Stderr, "vkbench: %v\n", err)
+		}
+		if *memProfile != "" {
+			if err := obs.WriteHeapProfile(*memProfile); err != nil {
+				_, _ = fmt.Fprintf(os.Stderr, "vkbench: %v\n", err)
+			}
+		}
+		if *metrics && reg != nil {
+			_ = reg.WritePrometheus(os.Stderr) // best-effort: stderr may be closed
+		}
+		if srv != nil {
+			_ = srv.Close()
+		}
+	}
+
 	emit := func(rep exp.Report) {
 		if *markdown {
 			fmt.Println(rep.Markdown())
@@ -62,12 +125,6 @@ func main() {
 			fmt.Println(rep)
 		}
 	}
-	fail := func(err error) {
-		// Best-effort stderr write: the process exits on this error.
-		_, _ = fmt.Fprintf(os.Stderr, "vkbench: %v\n", err)
-		os.Exit(1)
-	}
-
 	if *all || *id == "all" {
 		start := time.Now()
 		reps, err := exp.RunAll(nil, cfg)
@@ -79,6 +136,7 @@ func main() {
 		}
 		_, _ = fmt.Fprintf(os.Stderr, "(%d experiments in %v, %d workers)\n",
 			len(reps), time.Since(start).Round(time.Millisecond), workersFor(cfg))
+		finish()
 		return
 	}
 
@@ -89,6 +147,7 @@ func main() {
 	}
 	emit(rep)
 	_, _ = fmt.Fprintf(os.Stderr, "(%s in %v)\n", *id, time.Since(start).Round(time.Millisecond))
+	finish()
 }
 
 // workersFor mirrors the engine's Parallelism resolution for display.

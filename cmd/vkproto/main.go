@@ -20,12 +20,14 @@ package main
 
 import (
 	"encoding/hex"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 	"time"
 
 	vehiclekey "repro"
+	"repro/internal/obs"
 	"repro/internal/protocol"
 	"repro/internal/rng"
 	"repro/internal/transport"
@@ -50,6 +52,11 @@ func main() {
 
 		timeout = flag.Duration("timeout", 500*time.Millisecond, "initial per-message receive timeout")
 		retries = flag.Int("retries", 8, "retransmit attempts before abandoning a round")
+
+		metrics    = flag.Bool("metrics", false, "dump a Prometheus-text metrics snapshot to stderr when done")
+		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof plus /metrics and /vars on this address")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile covering the run to this file")
+		memProfile = flag.String("memprofile", "", "write a heap profile to this file when done")
 	)
 	flag.Parse()
 
@@ -58,12 +65,43 @@ func main() {
 		fatal(fmt.Errorf("-role must be alice or bob"))
 	}
 
+	// Observability is opt-in: without flags every layer records into
+	// obs.Nop. One registry collects the session pipeline, the protocol
+	// node, and the fault injector together.
+	var reg *vehiclekey.MetricsRegistry
+	if *metrics || *pprofAddr != "" {
+		reg = vehiclekey.NewMetricsRegistry()
+	}
+	if *pprofAddr != "" {
+		srv, err := obs.ServeDebug(*pprofAddr, reg)
+		if err != nil {
+			fatal(err)
+		}
+		defer func() { _ = srv.Close() }()
+		fmt.Printf("debug server on http://%s/debug/pprof/\n", srv.Addr)
+	}
+	if *cpuProfile != "" {
+		stop, err := obs.StartCPUProfile(*cpuProfile)
+		if err != nil {
+			fatal(err)
+		}
+		defer func() {
+			if err := stop(); err != nil {
+				_, _ = fmt.Fprintf(os.Stderr, "vkproto: %v\n", err)
+			}
+		}()
+	}
+
 	fmt.Println("building the shared channel simulation and model...")
-	vs, err := vehiclekey.Setup(vehiclekey.Options{
+	opts := vehiclekey.Options{
 		Seed:            *seed,
 		TrainingWindows: 300,
 		TrainingEpochs:  25,
-	})
+	}
+	if reg != nil {
+		opts.Recorder = reg
+	}
+	vs, err := vehiclekey.Setup(opts)
 	if err != nil {
 		fatal(err)
 	}
@@ -105,6 +143,9 @@ func main() {
 	var faulty *transport.FaultyConn
 	if faults.Enabled() {
 		faulty = transport.WrapFaulty(udp, faults, rng.New(*faultSeed))
+		if reg != nil {
+			faulty.SetRecorder(reg)
+		}
 		conn = faulty
 		fmt.Printf("injecting faults on outgoing messages: %+v\n", faults)
 	}
@@ -112,7 +153,11 @@ func main() {
 	policy := protocol.DefaultRetryPolicy()
 	policy.Timeout = *timeout
 	policy.MaxRetries = *retries
-	node := protocol.NewNode(vs.System(), conn, *session, protocol.WithRetryPolicy(policy))
+	nodeOpts := []protocol.Option{protocol.WithRetryPolicy(policy)}
+	if reg != nil {
+		nodeOpts = append(nodeOpts, protocol.WithRecorder(reg))
+	}
+	node := protocol.NewNode(vs.System(), conn, *session, nodeOpts...)
 	var outcomes []protocol.KeyOutcome
 	if *role == "bob" {
 		outcomes, err = node.RunBob(bobWin)
@@ -124,11 +169,16 @@ func main() {
 	}
 	confirmed := 0
 	for i, o := range outcomes {
-		if o.Confirmed {
+		switch {
+		case o.Confirmed:
 			confirmed++
 			fmt.Printf("block %d: key %s\n", i, hex.EncodeToString(o.Key))
-		} else {
+		case errors.Is(o.Err, vehiclekey.ErrPeerTimeout):
+			fmt.Printf("block %d: abandoned (%s)\n", i, failurePhase(o.Err))
+		case errors.Is(o.Err, vehiclekey.ErrConfirmFailed):
 			fmt.Printf("block %d: rejected by confirmation\n", i)
+		default:
+			fmt.Printf("block %d: failed: %v\n", i, o.Err)
 		}
 	}
 	st := node.Stats()
@@ -141,6 +191,25 @@ func main() {
 			fs.Sent, fs.Delivered, fs.Dropped, fs.Duplicated, fs.Reordered, fs.Corrupted, fs.Delayed)
 	}
 	fmt.Printf("%s done: %d/%d blocks confirmed\n", *role, confirmed, len(outcomes))
+
+	if *memProfile != "" {
+		if err := obs.WriteHeapProfile(*memProfile); err != nil {
+			_, _ = fmt.Fprintf(os.Stderr, "vkproto: %v\n", err)
+		}
+	}
+	if *metrics && reg != nil {
+		_ = reg.WritePrometheus(os.Stderr) // best-effort: stderr may be closed
+	}
+}
+
+// failurePhase names the protocol phase a failed round died in, using the
+// typed error's diagnostics when present.
+func failurePhase(err error) string {
+	var re *vehiclekey.RoundError
+	if errors.As(err, &re) {
+		return "peer timed out in " + re.Phase + " phase"
+	}
+	return "peer timed out"
 }
 
 func fatal(err error) {

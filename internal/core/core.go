@@ -17,13 +17,31 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"time"
 
 	"repro/internal/amplify"
 	"repro/internal/nn"
+	"repro/internal/obs"
 	"repro/internal/quantize"
 	"repro/internal/reconcile"
 	"repro/internal/rng"
 	"repro/internal/trace"
+)
+
+// Per-phase metric names, baked once so the hot path never builds label
+// strings (the paper's Table III phase split).
+var (
+	phaseSecProbe     = obs.Labeled(obs.PipelinePhaseSeconds, "phase", obs.PhaseProbe)
+	phaseSecPredict   = obs.Labeled(obs.PipelinePhaseSeconds, "phase", obs.PhasePredict)
+	phaseSecQuantize  = obs.Labeled(obs.PipelinePhaseSeconds, "phase", obs.PhaseQuantize)
+	phaseSecReconcile = obs.Labeled(obs.PipelinePhaseSeconds, "phase", obs.PhaseReconcile)
+	phaseSecAmplify   = obs.Labeled(obs.PipelinePhaseSeconds, "phase", obs.PhaseAmplify)
+
+	phaseBitsProbe     = obs.Labeled(obs.PipelinePhaseBits, "phase", obs.PhaseProbe)
+	phaseBitsPredict   = obs.Labeled(obs.PipelinePhaseBits, "phase", obs.PhasePredict)
+	phaseBitsQuantize  = obs.Labeled(obs.PipelinePhaseBits, "phase", obs.PhaseQuantize)
+	phaseBitsReconcile = obs.Labeled(obs.PipelinePhaseBits, "phase", obs.PhaseReconcile)
+	phaseBitsAmplify   = obs.Labeled(obs.PipelinePhaseBits, "phase", obs.PhaseAmplify)
 )
 
 // Config assembles the pipeline's knobs. The zero value is completed with
@@ -139,6 +157,8 @@ type System struct {
 	Cfg       Config
 	Predictor *nn.Predictor
 	AE        *reconcile.AE
+
+	rec obs.Recorder
 }
 
 // New builds an untrained system.
@@ -149,17 +169,37 @@ func New(cfg Config, src *rng.Source) *System {
 		Cfg:       cfg,
 		Predictor: nn.NewPredictor(pcfg, src.Derive("predictor")),
 		AE:        reconcile.NewAE(cfg.AE, src.Derive("ae")),
+		rec:       obs.Nop,
 	}
+}
+
+// SetRecorder routes the pipeline's per-phase duration and bit-count
+// observations into r. Call it before the system is shared across
+// goroutines (protocol nodes, experiment workers); the field is read-only
+// afterwards. Metrics never feed results, so recording cannot perturb
+// the deterministic outputs.
+func (s *System) SetRecorder(r obs.Recorder) { s.rec = obs.OrNop(r) }
+
+// recorder tolerates zero-value Systems built without New.
+func (s *System) recorder() obs.Recorder {
+	if s.rec == nil {
+		return obs.Nop
+	}
+	return s.rec
 }
 
 // BobQuantize runs Bob's side: the guard-banded multi-bit quantizer over
 // his measured (normalized) arRSSI sequence. It returns his key bits and
 // the kept sample indices he announces publicly.
 func (s *System) BobQuantize(bobSeq []float64) (bits []byte, kept []int, err error) {
+	started := time.Now()
 	res, err := quantize.MultiBit(bobSeq, s.Cfg.quantConfig(s.Cfg.GuardRatio))
 	if err != nil {
 		return nil, nil, fmt.Errorf("core: Bob quantization: %w", err)
 	}
+	rec := s.recorder()
+	rec.Observe(phaseSecQuantize, time.Since(started).Seconds())
+	rec.Observe(phaseBitsQuantize, float64(len(res.Bits)))
 	return res.Bits, res.Kept, nil
 }
 
@@ -191,6 +231,7 @@ type AliceRound struct {
 // AlicePrecompute runs Alice's prediction network and guard-band rule
 // over her measured sequence, independent of anything Bob announces.
 func (s *System) AlicePrecompute(aliceSeq []float64) (*AliceRound, error) {
+	started := time.Now()
 	yHat, zHat := s.Predictor.Forward(aliceSeq)
 	res, err := quantize.MultiBit(yHat, s.Cfg.quantConfig(s.Cfg.PredGuardRatio))
 	if err != nil {
@@ -200,7 +241,11 @@ func (s *System) AlicePrecompute(aliceSeq []float64) (*AliceRound, error) {
 	for _, idx := range res.Kept {
 		mine[idx] = true
 	}
-	return &AliceRound{mine: mine, all: nn.Bits(zHat), b: s.Cfg.BitsPerSample}, nil
+	all := nn.Bits(zHat)
+	rec := s.recorder()
+	rec.Observe(phaseSecPredict, time.Since(started).Seconds())
+	rec.Observe(phaseBitsPredict, float64(len(all)))
+	return &AliceRound{mine: mine, all: all, b: s.Cfg.BitsPerSample}, nil
 }
 
 // Select intersects Bob's announced kept indices with Alice's own
@@ -354,6 +399,11 @@ func (ks *KeyStream) Push(smp trace.Sample) ([]KeyResult, error) {
 	ks.bobBuf = append(ks.bobBuf, bobFinal...)
 	ks.aliceBuf = append(ks.aliceBuf, aliceBits...)
 	ks.duration += smp.Duration
+	// The probe phase's cost is the channel probing time the sample
+	// consumed (modeled, not wall-clock); its yield is the kept bits.
+	rec := ks.sys.recorder()
+	rec.Observe(phaseSecProbe, smp.Duration)
+	rec.Observe(phaseBitsProbe, float64(len(bobFinal)))
 
 	var out []KeyResult
 	block := ks.sys.Cfg.KeyBlockBits
@@ -378,20 +428,27 @@ func (ks *KeyStream) emit(aliceBits, bobBits []byte) (KeyResult, error) {
 		PreAgreement:  agreement(aliceBits, bobBits),
 	}
 	ks.duration = 0
+	rec := ks.sys.recorder()
 
+	started := time.Now()
 	out, err := ks.sys.AE.Reconcile(aliceBits, bobBits, salt)
 	if err != nil {
 		return KeyResult{}, fmt.Errorf("core: reconcile: %w", err)
 	}
+	rec.Observe(phaseSecReconcile, time.Since(started).Seconds())
+	rec.Observe(phaseBitsReconcile, float64(len(bobBits)))
 	res.PostAgreement = out.Agreement()
 	res.Exact = out.Exact()
 	res.LeakedBits = out.LeakedKeyBits
+	started = time.Now()
 	if res.AliceKey, err = amplify.Amplify(out.AliceKey, salt); err != nil {
 		return KeyResult{}, err
 	}
 	if res.BobKey, err = amplify.Amplify(out.BobKey, salt); err != nil {
 		return KeyResult{}, err
 	}
+	rec.Observe(phaseSecAmplify, time.Since(started).Seconds())
+	rec.Observe(phaseBitsAmplify, float64(len(res.BobKey)*8))
 	return res, nil
 }
 

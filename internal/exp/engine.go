@@ -6,8 +6,10 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"time"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/rng"
 	"repro/internal/trace"
 )
@@ -41,13 +43,25 @@ func forEach(cfg RunConfig, label string, n int, fn func(i int, src *rng.Source)
 		return nil
 	}
 	errs := make([]error, n)
+	// Per-unit wall time flows one-way into the recorder; the label is
+	// baked once per fan-out, not per unit.
+	rec := cfg.recorder()
+	unitName := obs.Labeled(obs.ExpUnitSeconds, "exp", label)
+	run := func(i int) error {
+		//vklint:ignore detrand -- wall time feeds only the metrics recorder, never a report
+		started := time.Now()
+		err := fn(i, rng.Stream(cfg.Seed, label, i))
+		//vklint:ignore detrand -- wall time feeds only the metrics recorder, never a report
+		rec.Observe(unitName, time.Since(started).Seconds())
+		return err
+	}
 	w := cfg.workers()
 	if w > n {
 		w = n
 	}
 	if w <= 1 {
 		for i := 0; i < n; i++ {
-			errs[i] = fn(i, rng.Stream(cfg.Seed, label, i))
+			errs[i] = run(i)
 		}
 		return firstError(errs)
 	}
@@ -58,7 +72,7 @@ func forEach(cfg RunConfig, label string, n int, fn func(i int, src *rng.Source)
 		go func() {
 			defer wg.Done()
 			for i := range next {
-				errs[i] = fn(i, rng.Stream(cfg.Seed, label, i))
+				errs[i] = run(i)
 			}
 		}()
 	}
@@ -188,6 +202,10 @@ func trainFor(sc trace.Scenario, cfg RunConfig, sysCfg core.Config) (*core.Syste
 	if err := sys.Load(bytes.NewReader(e.blob)); err != nil {
 		return nil, nil, nil, err
 	}
+	// The clone is private to the calling goroutine, so attaching the run's
+	// recorder here is race-free; phase timings flow one way into it and
+	// never feed back into results.
+	sys.SetRecorder(cfg.recorder())
 	return sys, e.train, e.test, nil
 }
 
@@ -204,7 +222,9 @@ type memoEntry struct {
 }
 
 func memo[T any](key string, cfg RunConfig, compute func() (T, error)) (T, error) {
-	full := fmt.Sprintf("%s|%+v", key, cfg)
+	// cacheKey, not %+v: the config's Obs recorder is an interface whose
+	// rendering would make equal configs miss (and unequal ones collide).
+	full := fmt.Sprintf("%s|%s", key, cfg.cacheKey())
 	v, _ := memoCache.LoadOrStore(full, &memoEntry{})
 	e := v.(*memoEntry)
 	e.once.Do(func() { e.val, e.err = compute() })

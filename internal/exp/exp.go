@@ -10,6 +10,9 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"time"
+
+	"repro/internal/obs"
 )
 
 // RunConfig sizes the experiments.
@@ -27,6 +30,26 @@ type RunConfig struct {
 	// parallel output is bit-identical to the serial one (enforced by
 	// TestParallelEquivalence).
 	Parallelism int
+
+	// Obs receives wall-clock timing observations (whole experiments and
+	// individual work units). It is deliberately one-way: nothing read
+	// from it ever reaches a Report, so instrumenting a run cannot
+	// perturb the deterministic, Seed-only outputs. Nil means no
+	// recording. Obs is excluded from every cache key (see cacheKey).
+	Obs obs.Recorder
+}
+
+// recorder resolves the configured recorder, defaulting to the no-op.
+func (c RunConfig) recorder() obs.Recorder { return obs.OrNop(c.Obs) }
+
+// cacheKey renders the fields that determine an experiment's output —
+// and only those. The Obs recorder must stay out: it is an interface
+// whose rendering would vary by pointer address, and it has no influence
+// on results. Parallelism is included so the equivalence tests comparing
+// worker counts never serve one count's result to the other.
+func (c RunConfig) cacheKey() string {
+	return fmt.Sprintf("seed=%d samples=%d epochs=%d quick=%t par=%d",
+		c.Seed, c.Samples, c.Epochs, c.Quick, c.Parallelism)
 }
 
 // Default returns the full-size configuration; Quick returns a reduced
@@ -116,7 +139,12 @@ func Run(id string, cfg RunConfig) (Report, error) {
 	if !ok {
 		return Report{}, unknownIDError(id)
 	}
-	return r(cfg)
+	//vklint:ignore detrand -- wall time feeds only the metrics recorder, never a report
+	started := time.Now()
+	rep, err := r(cfg)
+	//vklint:ignore detrand -- wall time feeds only the metrics recorder, never a report
+	cfg.recorder().Observe(obs.Labeled(obs.ExpSeconds, "exp", id), time.Since(started).Seconds())
+	return rep, err
 }
 
 // Markdown renders the report as a GitHub-flavored markdown table.

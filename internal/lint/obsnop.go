@@ -1,0 +1,79 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// obsnopScope is the set of hot-path packages that record metrics on
+// every message or pipeline phase. These packages must accept an
+// obs.Recorder from their caller (defaulting to obs.Nop) and never
+// construct a concrete Registry or Tracer themselves: a privately
+// constructed recorder hides its metrics from the binary's exporter,
+// and an accidental always-on registry would put registry map lookups
+// and atomics on paths that are supposed to cost nothing by default.
+var obsnopScope = []string{"protocol", "core", "transport", "exp"}
+
+// obsnopTypes are the concrete recorder types the scope must not build.
+var obsnopTypes = map[string]bool{"Registry": true, "Tracer": true}
+
+// obsnopCtors are the constructor functions for those types.
+var obsnopCtors = map[string]bool{"NewRegistry": true, "NewTracer": true}
+
+func init() {
+	register(&Analyzer{
+		Name:     "obsnop",
+		Doc:      "hot-path packages must accept an obs.Recorder, never construct a concrete Registry or Tracer",
+		Severity: Error,
+		Run:      runObsnop,
+	})
+}
+
+func runObsnop(pass *Pass) {
+	if !pass.InScope(obsnopScope...) {
+		return
+	}
+	obsPath := pass.Module.Path + "/internal/obs"
+	info := pass.Pkg.Info
+	for _, f := range pass.Pkg.Files {
+		if isGenerated(f) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				obj := calleeObject(info, n)
+				if obj != nil && obsnopCtors[obj.Name()] && objectPkgPath(obj) == obsPath {
+					pass.Reportf(n.Pos(),
+						"package %s constructs obs.%s; hot-path code must take an obs.Recorder from the caller (default obs.Nop)",
+						pass.Pkg.Name, obj.Name())
+				}
+			case *ast.CompositeLit:
+				tv, ok := info.Types[ast.Expr(n)]
+				if !ok {
+					return true
+				}
+				if named := namedObsType(tv.Type, obsPath); named != "" {
+					pass.Reportf(n.Pos(),
+						"package %s builds an obs.%s literal; hot-path code must take an obs.Recorder from the caller (default obs.Nop)",
+						pass.Pkg.Name, named)
+				}
+			}
+			return true
+		})
+	}
+}
+
+// namedObsType returns the type name if t is one of the concrete
+// recorder types declared in the obs package, and "" otherwise.
+func namedObsType(t types.Type, obsPath string) string {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return ""
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != obsPath || !obsnopTypes[obj.Name()] {
+		return ""
+	}
+	return obj.Name()
+}

@@ -1,0 +1,132 @@
+package obs
+
+import "strings"
+
+// Metric taxonomy. Every instrumented package records under these names,
+// so operators see one stable schema regardless of which binary wired
+// the registry. Families with a {label} dimension are built with
+// Labeled, once, at package init of the instrumented layer.
+const (
+	// Protocol message-flow counters (per node).
+	ProtocolSent             = "vk_protocol_sent_total"
+	ProtocolRecv             = "vk_protocol_recv_total"
+	ProtocolRetransmits      = "vk_protocol_retransmits_total"
+	ProtocolTimeouts         = "vk_protocol_timeouts_total"
+	ProtocolReplayDrops      = "vk_protocol_replay_drops_total"
+	ProtocolGarbage          = "vk_protocol_garbage_total"
+	ProtocolStale            = "vk_protocol_stale_total"
+	ProtocolAbandonedWindows = "vk_protocol_abandoned_windows_total"
+	ProtocolAbandonedRounds  = "vk_protocol_abandoned_rounds_total"
+	ProtocolConfirmFailures  = "vk_protocol_confirm_failures_total"
+	ProtocolKeysConfirmed    = "vk_protocol_keys_confirmed_total"
+	// ProtocolRoundSeconds is the reconciliation-round latency histogram
+	// (syndrome sent/received → result resolved).
+	ProtocolRoundSeconds = "vk_protocol_round_seconds"
+
+	// Pipeline per-phase families, labeled phase=<PhaseProbe…>. Seconds
+	// mirror the paper's Table III phase split; bits are each phase's
+	// output size.
+	PipelinePhaseSeconds = "vk_pipeline_phase_seconds"
+	PipelinePhaseBits    = "vk_pipeline_phase_bits"
+
+	// TransportFaults counts injected fault outcomes, labeled
+	// kind=<dropped|duplicated|reordered|corrupted|delayed|delivered>.
+	TransportFaults = "vk_transport_faults_total"
+
+	// ExpUnitSeconds is the experiment engine's per-work-unit wall time,
+	// labeled exp=<fan-out label>.
+	ExpUnitSeconds = "vk_exp_unit_seconds"
+	// ExpSeconds is one whole experiment's wall time, labeled exp=<id>.
+	ExpSeconds = "vk_exp_seconds"
+
+	// Session-level counters (public vehiclekey API).
+	SessionKeys       = "vk_session_keys_total"
+	SessionKeysAgreed = "vk_session_keys_agreed_total"
+)
+
+// Pipeline phase labels (the paper's Table III split).
+const (
+	PhaseProbe     = "probe"
+	PhasePredict   = "predict"
+	PhaseQuantize  = "quantize"
+	PhaseReconcile = "reconcile"
+	PhaseAmplify   = "amplify"
+)
+
+// Phases lists the pipeline phases in execution order.
+var Phases = []string{PhaseProbe, PhasePredict, PhaseQuantize, PhaseReconcile, PhaseAmplify}
+
+// Transport fault kinds.
+var FaultKinds = []string{"dropped", "duplicated", "reordered", "corrupted", "delayed", "delivered"}
+
+// Trace-event taxonomy.
+const (
+	// EvRetransmit: the ARQ layer retransmitted a cached message.
+	EvRetransmit = "arq.retransmit"
+	// EvBackoff: a receive deadline expired and the timeout was backed off.
+	EvBackoff = "arq.backoff"
+	// EvAbandon: a window or round exhausted its retries.
+	EvAbandon = "arq.abandon"
+	// EvRound: a reconciliation round resolved (confirmed or failed).
+	EvRound = "round.done"
+	// EvKey: a 128-bit session key was confirmed.
+	EvKey = "round.key"
+)
+
+// Labeled bakes one Prometheus-style label into a family name:
+// Labeled("f", "phase", "probe") == `f{phase="probe"}`. Build these once
+// (package-level vars), not per record call.
+func Labeled(family, key, value string) string {
+	return family + `{` + key + `="` + value + `"}`
+}
+
+// Family strips a baked-in label block, returning the bare family name.
+func Family(name string) string {
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		return name[:i]
+	}
+	return name
+}
+
+// labels returns the inside of a name's label block ("" when unlabeled).
+func labels(name string) string {
+	i := strings.IndexByte(name, '{')
+	if i < 0 || !strings.HasSuffix(name, "}") {
+		return ""
+	}
+	return name[i+1 : len(name)-1]
+}
+
+// DeclareStandard pre-registers the full Vehicle-Key metric schema on a
+// registry, so an exported snapshot always contains every family — the
+// per-phase pipeline histograms, the protocol ARQ counters, the
+// transport fault counters — even for runs that never touched some of
+// them. Binaries call this right after NewRegistry.
+func DeclareStandard(r *Registry) {
+	r.DeclareCounter(ProtocolSent, "envelopes transmitted, including retransmits")
+	r.DeclareCounter(ProtocolRecv, "well-formed envelopes accepted")
+	r.DeclareCounter(ProtocolRetransmits, "cached messages retransmitted after a timeout or stale request")
+	r.DeclareCounter(ProtocolTimeouts, "receive deadlines that expired")
+	r.DeclareCounter(ProtocolReplayDrops, "envelopes rejected by the sliding replay window")
+	r.DeclareCounter(ProtocolGarbage, "undecodable, wrong-session, or otherwise unusable deliveries")
+	r.DeclareCounter(ProtocolStale, "well-formed duplicates of already-handled messages")
+	r.DeclareCounter(ProtocolAbandonedWindows, "probing windows given up after retry exhaustion")
+	r.DeclareCounter(ProtocolAbandonedRounds, "reconciliation rounds given up or never seen")
+	r.DeclareCounter(ProtocolConfirmFailures, "rounds whose key confirmation was rejected")
+	r.DeclareCounter(ProtocolKeysConfirmed, "128-bit session keys confirmed by both sides")
+	r.DeclareHistogram(ProtocolRoundSeconds, "reconciliation round latency in seconds", DefBuckets)
+	for _, ph := range Phases {
+		r.DeclareHistogram(Labeled(PipelinePhaseSeconds, "phase", ph),
+			"pipeline phase duration in seconds (Table III split)", DefBuckets)
+		r.DeclareHistogram(Labeled(PipelinePhaseBits, "phase", ph),
+			"pipeline phase output size in bits", BitBuckets)
+	}
+	for _, kind := range FaultKinds {
+		r.DeclareCounter(Labeled(TransportFaults, "kind", kind),
+			"fault-injection outcomes on the egress path")
+	}
+	r.DeclareCounter(SessionKeys, "keys produced by Session.GenerateKeys")
+	r.DeclareCounter(SessionKeysAgreed, "keys on which both sides agreed exactly")
+	r.DeclareHistogram(ExpUnitSeconds, "experiment-engine per-unit wall time in seconds", DefBuckets)
+	r.DeclareHistogram(ExpSeconds, "whole-experiment wall time in seconds", DefBuckets)
+}

@@ -1,0 +1,101 @@
+// Opt-in profiling endpoints and capture helpers. Nothing here runs
+// unless a binary asks for it: the library never opens sockets or
+// touches the filesystem on its own.
+package obs
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"os"
+	"runtime"
+	rpprof "runtime/pprof"
+	"time"
+)
+
+// DebugServer is a running debug HTTP endpoint: net/http/pprof under
+// /debug/pprof/, the Prometheus text dump at /metrics, and the JSON
+// snapshot at /vars.
+type DebugServer struct {
+	// Addr is the bound address (useful with ":0").
+	Addr string
+
+	srv *http.Server
+	ln  net.Listener
+}
+
+// ServeDebug starts the debug endpoint on addr for the given registry
+// and returns immediately; Close shuts it down. A nil registry serves
+// only the pprof handlers.
+func ServeDebug(addr string, reg *Registry) (*DebugServer, error) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	if reg != nil {
+		mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+			_ = reg.WritePrometheus(w) // a broken scrape connection is the scraper's problem
+		})
+		mux.HandleFunc("/vars", func(w http.ResponseWriter, _ *http.Request) {
+			w.Header().Set("Content-Type", "application/json")
+			_ = reg.WriteJSON(w)
+		})
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: debug server: %w", err)
+	}
+	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	go func() {
+		// Serve always returns a non-nil error on Close; that shutdown
+		// path is the expected exit.
+		_ = srv.Serve(ln)
+	}()
+	return &DebugServer{Addr: ln.Addr().String(), srv: srv, ln: ln}, nil
+}
+
+// Close stops the debug server.
+func (s *DebugServer) Close() error { return s.srv.Close() }
+
+// StartCPUProfile begins writing a CPU profile to path and returns the
+// function that stops profiling and closes the file. Binaries defer the
+// stop around their hot section.
+func StartCPUProfile(path string) (stop func() error, err error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("obs: cpu profile: %w", err)
+	}
+	if err := rpprof.StartCPUProfile(f); err != nil {
+		_ = f.Close() // the create succeeded; the profile error is the one to report
+		return nil, fmt.Errorf("obs: cpu profile: %w", err)
+	}
+	return func() error {
+		rpprof.StopCPUProfile()
+		if err := f.Close(); err != nil {
+			return fmt.Errorf("obs: cpu profile: %w", err)
+		}
+		return nil
+	}, nil
+}
+
+// WriteHeapProfile captures a heap profile to path, running a GC first
+// so the numbers reflect live memory rather than garbage.
+func WriteHeapProfile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("obs: heap profile: %w", err)
+	}
+	runtime.GC()
+	if err := rpprof.WriteHeapProfile(f); err != nil {
+		_ = f.Close()
+		return fmt.Errorf("obs: heap profile: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("obs: heap profile: %w", err)
+	}
+	return nil
+}

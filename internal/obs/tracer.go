@@ -1,0 +1,90 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// DefaultTraceCap is the event ring size NewRegistry uses.
+const DefaultTraceCap = 4096
+
+// TraceEvent is one recorded lifecycle event.
+type TraceEvent struct {
+	// Seq is the event's global sequence number (total events recorded
+	// before it); gaps after a wrap tell the reader how much was lost.
+	Seq uint64
+	// Offset is the monotonic time since the tracer started.
+	Offset time.Duration
+	// Name identifies the event kind (see the Ev* taxonomy in names.go).
+	Name string
+	// Detail is an optional free-form annotation.
+	Detail string
+}
+
+// Tracer is a bounded ring buffer of trace events. Recording is O(1),
+// never allocates beyond the fixed ring, and never blocks on a full
+// buffer — the oldest events are overwritten instead, which is the only
+// behavior a hot path can afford.
+type Tracer struct {
+	start time.Time
+
+	mu    sync.Mutex
+	ring  []TraceEvent
+	total uint64
+}
+
+// NewTracer builds a tracer holding the last capacity events (minimum 1).
+func NewTracer(capacity int) *Tracer {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Tracer{start: time.Now(), ring: make([]TraceEvent, capacity)}
+}
+
+// Record appends one event, overwriting the oldest when full. The
+// timestamp is the monotonic offset from the tracer's start, so event
+// spacing is immune to wall-clock adjustments.
+func (t *Tracer) Record(name, detail string) {
+	off := time.Since(t.start)
+	t.mu.Lock()
+	t.ring[t.total%uint64(len(t.ring))] = TraceEvent{
+		Seq: t.total, Offset: off, Name: name, Detail: detail,
+	}
+	t.total++
+	t.mu.Unlock()
+}
+
+// Events returns the buffered events, oldest first.
+func (t *Tracer) Events() []TraceEvent {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	n := t.total
+	size := uint64(len(t.ring))
+	if n > size {
+		n = size
+	}
+	out := make([]TraceEvent, 0, n)
+	first := t.total - n
+	for i := first; i < t.total; i++ {
+		out = append(out, t.ring[i%size])
+	}
+	return out
+}
+
+// Total returns how many events were ever recorded (including
+// overwritten ones).
+func (t *Tracer) Total() uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.total
+}
+
+// Dropped returns how many events were overwritten by ring wrap-around.
+func (t *Tracer) Dropped() uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if size := uint64(len(t.ring)); t.total > size {
+		return t.total - size
+	}
+	return 0
+}

@@ -1,0 +1,40 @@
+package protocol
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Sentinel errors callers branch on with errors.Is. They classify why a
+// reconciliation round produced no key; KeyOutcome.Err carries them
+// wrapped in a RoundError.
+var (
+	// ErrConfirmFailed reports a round whose key confirmation was
+	// rejected: the peers reconciled to different bits (residual channel
+	// mismatch) or the CONFIRM tag was tampered with.
+	ErrConfirmFailed = errors.New("protocol: key confirmation failed")
+	// ErrPeerTimeout reports a round (or window) the peer never finished:
+	// retries were exhausted waiting for its next message.
+	ErrPeerTimeout = errors.New("protocol: peer timed out")
+)
+
+// RoundError locates a round failure: which round, and in which exchange
+// phase ("final", "syndrome", "confirm", "result") it died. It wraps one
+// of the sentinels above, so errors.Is(err, ErrPeerTimeout) and
+// errors.As(err, &re) both work.
+type RoundError struct {
+	Round int
+	Phase string
+	Err   error
+}
+
+func (e *RoundError) Error() string {
+	return fmt.Sprintf("protocol: round %d (%s): %v", e.Round, e.Phase, e.Err)
+}
+
+func (e *RoundError) Unwrap() error { return e.Err }
+
+// roundErr builds the KeyOutcome.Err value for a failed round.
+func roundErr(round int, phase string, sentinel error) *RoundError {
+	return &RoundError{Round: round, Phase: phase, Err: sentinel}
+}

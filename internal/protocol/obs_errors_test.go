@@ -1,0 +1,107 @@
+package protocol
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/transport"
+)
+
+// TestRoundErrorSemantics pins the typed-error contract callers branch
+// on: errors.Is reaches the sentinel through RoundError, errors.As
+// recovers the round and phase.
+func TestRoundErrorSemantics(t *testing.T) {
+	err := error(roundErr(4, "result", ErrConfirmFailed))
+	if !errors.Is(err, ErrConfirmFailed) {
+		t.Error("errors.Is(err, ErrConfirmFailed) = false")
+	}
+	if errors.Is(err, ErrPeerTimeout) {
+		t.Error("err wrongly matches ErrPeerTimeout")
+	}
+	var re *RoundError
+	if !errors.As(err, &re) {
+		t.Fatal("errors.As failed")
+	}
+	if re.Round != 4 || re.Phase != "result" {
+		t.Errorf("RoundError fields = %+v", re)
+	}
+}
+
+// TestOutcomeErrAndRecorder runs the full protocol once over a clean
+// in-memory link with both nodes recording into one registry, and checks
+// the two additions of this layer together: every outcome's Err
+// classifies correctly, and the recorder's counters agree with the
+// nodes' own Stats.
+func TestOutcomeErrAndRecorder(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains a model")
+	}
+	sys, aliceWin, bobWin := trainSystem(t)
+	a, b := transport.Pair()
+	defer a.Close()
+	defer b.Close()
+
+	reg := obs.NewRegistry()
+	obs.DeclareStandard(reg)
+	sys.SetRecorder(reg)
+	alice := NewNode(sys, a, "sess-obs", WithRecorder(reg))
+	bob := NewNode(sys, b, "sess-obs", WithRecorder(reg))
+	var aliceOut, bobOut []KeyOutcome
+	var aliceErr, bobErr error
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() { defer wg.Done(); bobOut, bobErr = bob.RunBob(bobWin) }()
+	go func() { defer wg.Done(); aliceOut, aliceErr = alice.RunAlice(aliceWin) }()
+	wg.Wait()
+	if aliceErr != nil || bobErr != nil {
+		t.Fatalf("run: alice=%v bob=%v", aliceErr, bobErr)
+	}
+	checkOutcomes(t, aliceOut, bobOut)
+
+	confirmed := 0
+	for _, out := range [][]KeyOutcome{aliceOut, bobOut} {
+		for _, o := range out {
+			if o.Confirmed {
+				confirmed++
+				if o.Err != nil {
+					t.Errorf("round %d confirmed but Err = %v", o.Round, o.Err)
+				}
+				continue
+			}
+			var re *RoundError
+			if !errors.As(o.Err, &re) {
+				t.Errorf("round %d failed without a RoundError: %v", o.Round, o.Err)
+				continue
+			}
+			if !errors.Is(o.Err, ErrPeerTimeout) && !errors.Is(o.Err, ErrConfirmFailed) {
+				t.Errorf("round %d Err wraps neither sentinel: %v", o.Round, o.Err)
+			}
+			if re.Round != o.Round {
+				t.Errorf("RoundError.Round = %d, want %d", re.Round, o.Round)
+			}
+		}
+	}
+
+	s := reg.Snapshot()
+	wantSent := int64(alice.Stats().Sent + bob.Stats().Sent)
+	if got := s.Counters[obs.ProtocolSent]; got != wantSent {
+		t.Errorf("vk_protocol_sent_total = %d, want %d (sum of node Stats)", got, wantSent)
+	}
+	wantRetrans := int64(alice.Stats().Retransmits + bob.Stats().Retransmits)
+	if got := s.Counters[obs.ProtocolRetransmits]; got != wantRetrans {
+		t.Errorf("vk_protocol_retransmits_total = %d, want %d", got, wantRetrans)
+	}
+	if got := s.Counters[obs.ProtocolKeysConfirmed]; got != int64(confirmed) {
+		t.Errorf("vk_protocol_keys_confirmed_total = %d, want %d", got, confirmed)
+	}
+	if s.Histograms[obs.ProtocolRoundSeconds].Count == 0 {
+		t.Error("no round-latency samples recorded")
+	}
+	// Both endpoints share one trained System, so the pipeline phases the
+	// protocol exercises (quantize on Bob, predict on Alice) recorded too.
+	if s.Histograms[`vk_pipeline_phase_seconds{phase="quantize"}`].Count == 0 {
+		t.Error("no quantize-phase samples recorded")
+	}
+}

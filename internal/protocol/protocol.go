@@ -45,6 +45,7 @@ import (
 
 	"repro/internal/amplify"
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/reconcile"
 	"repro/internal/secure"
 	"repro/internal/transport"
@@ -210,6 +211,13 @@ func WithRetryPolicy(p RetryPolicy) Option {
 	return func(n *Node) { n.policy = p.normalize() }
 }
 
+// WithRecorder routes the node's counters, round-latency observations,
+// and ARQ trace events into r. The default is obs.Nop; a node never
+// constructs its own recorder (the obsnop lint contract).
+func WithRecorder(r obs.Recorder) Option {
+	return func(n *Node) { n.rec = obs.OrNop(r) }
+}
+
 // Node is one protocol endpoint.
 type Node struct {
 	Sys     *core.System
@@ -221,6 +229,7 @@ type Node struct {
 	seq    uint64
 	sent   map[msgKey]Envelope // last semantic message per key, for re-replies
 	stats  Stats
+	rec    obs.Recorder
 }
 
 // msgKey identifies a semantic message independent of retransmission:
@@ -246,6 +255,7 @@ func NewNode(sys *core.System, conn transport.Conn, session string, opts ...Opti
 		policy:  DefaultRetryPolicy(),
 		guard:   secure.NewWindowGuard(64),
 		sent:    make(map[msgKey]Envelope),
+		rec:     obs.Nop,
 	}
 	for _, o := range opts {
 		o(n)
@@ -289,6 +299,7 @@ func (n *Node) transmit(e Envelope) error {
 		return err
 	}
 	n.stats.Sent++
+	n.rec.Add(obs.ProtocolSent, 1)
 	return n.Conn.Send(data)
 }
 
@@ -296,6 +307,8 @@ func (n *Node) transmit(e Envelope) error {
 func (n *Node) resend(k msgKey) {
 	if e, ok := n.sent[k]; ok {
 		n.stats.Retransmits++
+		n.rec.Add(obs.ProtocolRetransmits, 1)
+		n.rec.Event(obs.EvRetransmit, fmt.Sprintf("type=%d idx=%d", k.t, k.idx))
 		_ = n.transmit(e)
 	}
 }
@@ -322,16 +335,20 @@ func (n *Node) recvEnvelope(timeout time.Duration) (Envelope, error) {
 	e, err := decode(data)
 	if err != nil {
 		n.stats.Garbage++
+		n.rec.Add(obs.ProtocolGarbage, 1)
 		return Envelope{}, errGarbage
 	}
 	if e.Session != n.Session {
 		n.stats.Garbage++
+		n.rec.Add(obs.ProtocolGarbage, 1)
 		return Envelope{}, errGarbage
 	}
 	if err := n.guard.Check("peer:"+e.Session, e.Seq); err != nil {
 		n.stats.Garbage++
+		n.rec.Add(obs.ProtocolReplayDrops, 1)
 		return Envelope{}, errGarbage
 	}
+	n.rec.Add(obs.ProtocolRecv, 1)
 	return e, nil
 }
 
@@ -348,12 +365,14 @@ func (n *Node) await(want MsgType, idx int, request msgKey) (Envelope, error) {
 		case err == nil:
 		case errors.Is(err, transport.ErrTimeout):
 			n.stats.Timeouts++
+			n.rec.Add(obs.ProtocolTimeouts, 1)
 			timeouts++
 			if timeouts > n.policy.MaxRetries {
 				return Envelope{}, ErrExchangeAbandoned
 			}
 			n.resend(request)
 			timeout = n.policy.next(timeout)
+			n.rec.Event(obs.EvBackoff, timeout.String())
 			continue
 		case errors.Is(err, errGarbage):
 			continue
@@ -373,6 +392,7 @@ func (n *Node) await(want MsgType, idx int, request msgKey) (Envelope, error) {
 // cached reply again; anything else is dropped.
 func (n *Node) answerStale(e Envelope) {
 	n.stats.Stale++
+	n.rec.Add(obs.ProtocolStale, 1)
 	switch e.Type {
 	case MsgConfirm:
 		// Alice never got (or lost) our RESULT for that round.
@@ -389,6 +409,9 @@ type KeyOutcome struct {
 	Key       []byte // 128-bit session key (nil when !Confirmed)
 	Confirmed bool
 	Round     int
+	// Err explains a failed round: a *RoundError wrapping ErrPeerTimeout
+	// or ErrConfirmFailed. Nil when Confirmed.
+	Err error
 }
 
 // sessionSalt derives the round's public salt.
@@ -427,6 +450,8 @@ func (n *Node) RunBob(windows [][]float64) ([]KeyOutcome, error) {
 		if err != nil {
 			if errors.Is(err, ErrExchangeAbandoned) {
 				n.stats.AbandonedWindows++
+				n.rec.Add(obs.ProtocolAbandonedWindows, 1)
+				n.rec.Event(obs.EvAbandon, fmt.Sprintf("window=%d", w))
 				continue
 			}
 			return out, ignoreClosed(err)
@@ -459,6 +484,11 @@ func ignoreClosed(err error) error {
 }
 
 func (n *Node) bobBlock(bits []byte, round int, wins, counts []int) (KeyOutcome, error) {
+	//vklint:ignore norand -- round-latency metric only; never feeds randomness or key material
+	started := time.Now()
+	defer func() {
+		n.rec.Observe(obs.ProtocolRoundSeconds, time.Since(started).Seconds())
+	}()
 	salt := sessionSalt(n.Session, round)
 	bf := reconcile.NewBloomFilter(n.Sys.Cfg.KeyBlockBits, salt)
 	bloomKey := bf.Transform(bits)
@@ -476,10 +506,12 @@ func (n *Node) bobBlock(bits []byte, round int, wins, counts []int) (KeyOutcome,
 	if err != nil {
 		if errors.Is(err, ErrExchangeAbandoned) {
 			n.stats.AbandonedRounds++
+			n.rec.Add(obs.ProtocolAbandonedRounds, 1)
+			n.rec.Event(obs.EvAbandon, fmt.Sprintf("round=%d", round))
 			// Cache a denial so Alice's late CONFIRM retries still get a
 			// definitive answer and both sides record the round failed.
 			n.sent[msgKey{MsgResult, round}] = Envelope{Type: MsgResult, Round: round}
-			return KeyOutcome{Round: round}, nil
+			return KeyOutcome{Round: round, Err: roundErr(round, "confirm", ErrPeerTimeout)}, nil
 		}
 		return KeyOutcome{Round: round}, err
 	}
@@ -491,12 +523,16 @@ func (n *Node) bobBlock(bits []byte, round int, wins, counts []int) (KeyOutcome,
 		return KeyOutcome{Round: round}, err
 	}
 	if !accepted {
-		return KeyOutcome{Round: round}, nil
+		n.rec.Add(obs.ProtocolConfirmFailures, 1)
+		n.rec.Event(obs.EvRound, fmt.Sprintf("round=%d rejected", round))
+		return KeyOutcome{Round: round, Err: roundErr(round, "result", ErrConfirmFailed)}, nil
 	}
 	key, err := amplify.Amplify(bits, salt)
 	if err != nil {
 		return KeyOutcome{Round: round}, err
 	}
+	n.rec.Add(obs.ProtocolKeysConfirmed, 1)
+	n.rec.Event(obs.EvKey, fmt.Sprintf("round=%d", round))
 	return KeyOutcome{Key: key, Confirmed: true, Round: round}, nil
 }
 
@@ -552,8 +588,9 @@ func (n *Node) RunAlice(windows [][]float64) ([]KeyOutcome, error) {
 	}
 
 	type pendingRound struct {
-		final []byte
-		macOK bool
+		final   []byte
+		macOK   bool
+		started time.Time // syndrome receipt, for round-latency observation
 	}
 	winBits := make(map[int][]byte)
 	pending := make(map[int]*pendingRound)
@@ -577,8 +614,10 @@ func (n *Node) RunAlice(windows [][]float64) ([]KeyOutcome, error) {
 
 	fail := func(r int) {
 		if _, seen := outcomes[r]; !seen {
-			outcomes[r] = KeyOutcome{Round: r}
+			outcomes[r] = KeyOutcome{Round: r, Err: roundErr(r, "syndrome", ErrPeerTimeout)}
 			n.stats.AbandonedRounds++
+			n.rec.Add(obs.ProtocolAbandonedRounds, 1)
+			n.rec.Event(obs.EvAbandon, fmt.Sprintf("round=%d", r))
 		}
 	}
 
@@ -593,6 +632,7 @@ loop:
 		case err == nil:
 		case errors.Is(err, transport.ErrTimeout):
 			n.stats.Timeouts++
+			n.rec.Add(obs.ProtocolTimeouts, 1)
 			strikes++
 			if strikes > n.policy.MaxRetries {
 				break loop // the peer has gone quiet; keep what we have
@@ -609,6 +649,7 @@ loop:
 				n.resend(msgKey{MsgConfirm, lowest})
 			}
 			timeout = n.policy.next(timeout)
+			n.rec.Event(obs.EvBackoff, timeout.String())
 			continue
 		case errors.Is(err, errGarbage):
 			continue
@@ -623,16 +664,19 @@ loop:
 			w := e.Window
 			if w < 0 || w >= len(windows) {
 				n.stats.Garbage++
+				n.rec.Add(obs.ProtocolGarbage, 1)
 				continue
 			}
 			if _, done := winBits[w]; done {
 				n.stats.Stale++
+				n.rec.Add(obs.ProtocolStale, 1)
 				n.resend(msgKey{MsgFinal, w})
 				continue
 			}
 			bits, final, ok := pre[w].Select(e.Indices)
 			if !ok {
 				n.stats.Garbage++ // corrupted announcement; Bob will retry
+				n.rec.Add(obs.ProtocolGarbage, 1)
 				continue
 			}
 			winBits[w] = bits
@@ -644,6 +688,7 @@ loop:
 			r := e.Round
 			if r < nextRound {
 				n.stats.Stale++
+				n.rec.Add(obs.ProtocolStale, 1)
 				n.resend(msgKey{MsgConfirm, r})
 				continue
 			}
@@ -673,21 +718,30 @@ loop:
 				fail(r)
 				return aliceOutcomes(outcomes, nextRound, totalRounds), ignoreClosed(err)
 			}
-			pending[r] = &pendingRound{final: final, macOK: macOK}
+			//vklint:ignore norand -- round-latency metric only; never feeds randomness or key material
+			pending[r] = &pendingRound{final: final, macOK: macOK, started: time.Now()}
 
 		case MsgResult:
 			r := e.Round
 			p, ok := pending[r]
 			if !ok {
 				n.stats.Stale++
+				n.rec.Add(obs.ProtocolStale, 1)
 				continue
 			}
 			delete(pending, r)
-			o := KeyOutcome{Round: r}
+			n.rec.Observe(obs.ProtocolRoundSeconds, time.Since(p.started).Seconds())
+			o := KeyOutcome{Round: r, Err: roundErr(r, "result", ErrConfirmFailed)}
 			if e.Accepted && p.macOK {
 				if key, err := amplify.Amplify(p.final, sessionSalt(n.Session, r)); err == nil {
 					o = KeyOutcome{Key: key, Confirmed: true, Round: r}
+					n.rec.Add(obs.ProtocolKeysConfirmed, 1)
+					n.rec.Event(obs.EvKey, fmt.Sprintf("round=%d", r))
 				}
+			}
+			if !o.Confirmed {
+				n.rec.Add(obs.ProtocolConfirmFailures, 1)
+				n.rec.Event(obs.EvRound, fmt.Sprintf("round=%d rejected", r))
 			}
 			// The round is resolved either way: its reconciled bits are an
 			// expired round key and must not outlive the resolution.
@@ -732,7 +786,7 @@ func aliceOutcomes(outcomes map[int]KeyOutcome, nextRound, totalRounds int) []Ke
 	}
 	out := make([]KeyOutcome, total)
 	for i := range out {
-		out[i] = KeyOutcome{Round: i}
+		out[i] = KeyOutcome{Round: i, Err: roundErr(i, "syndrome", ErrPeerTimeout)}
 	}
 	for r, o := range outcomes {
 		if r >= 0 && r < total {

@@ -13,7 +13,18 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/rng"
+)
+
+// Fault-outcome metric names, baked once per kind (see obs.FaultKinds).
+var (
+	faultDropped    = obs.Labeled(obs.TransportFaults, "kind", "dropped")
+	faultDuplicated = obs.Labeled(obs.TransportFaults, "kind", "duplicated")
+	faultReordered  = obs.Labeled(obs.TransportFaults, "kind", "reordered")
+	faultCorrupted  = obs.Labeled(obs.TransportFaults, "kind", "corrupted")
+	faultDelayed    = obs.Labeled(obs.TransportFaults, "kind", "delayed")
+	faultDelivered  = obs.Labeled(obs.TransportFaults, "kind", "delivered")
 )
 
 // FaultConfig sets independent per-message fault probabilities. The zero
@@ -64,6 +75,16 @@ type FaultyConn struct {
 	src   *rng.Source
 	held  []byte // message deferred by a reorder fault
 	stats FaultStats
+	rec   obs.Recorder
+}
+
+// SetRecorder routes the injector's fault outcomes into r as
+// vk_transport_faults_total{kind=...} counters. Call it before traffic
+// flows; the field is then read under the same mutex as the schedule.
+func (c *FaultyConn) SetRecorder(r obs.Recorder) {
+	c.mu.Lock()
+	c.rec = obs.OrNop(r)
+	c.mu.Unlock()
 }
 
 // WrapFaulty wraps conn with the given fault model. The source must be
@@ -95,6 +116,10 @@ func (c *FaultyConn) Stats() FaultStats {
 // sender gets a fully deterministic schedule from the seed.
 func (c *FaultyConn) Send(msg []byte) error {
 	c.mu.Lock()
+	rec := c.rec
+	if rec == nil {
+		rec = obs.Nop
+	}
 	c.stats.Sent++
 	// Take any message held by an earlier reorder fault: it is released
 	// on this transmission event, after the current message.
@@ -105,11 +130,13 @@ func (c *FaultyConn) Send(msg []byte) error {
 	var delay time.Duration
 	if c.src.Bernoulli(c.cfg.Drop) {
 		c.stats.Dropped++
+		rec.Add(faultDropped, 1)
 	} else {
 		cp := make([]byte, len(msg))
 		copy(cp, msg)
 		if len(cp) > 0 && c.src.Bernoulli(c.cfg.Corrupt) {
 			c.stats.Corrupted++
+			rec.Add(faultCorrupted, 1)
 			// Flip a burst of 1-4 bytes at a random offset.
 			n := 1 + c.src.Intn(4)
 			at := c.src.Intn(len(cp))
@@ -119,11 +146,13 @@ func (c *FaultyConn) Send(msg []byte) error {
 		}
 		if c.src.Bernoulli(c.cfg.Reorder) && prev == nil {
 			c.stats.Reordered++
+			rec.Add(faultReordered, 1)
 			c.held = cp
 		} else {
 			now = append(now, cp)
 			if c.src.Bernoulli(c.cfg.Duplicate) {
 				c.stats.Duplicated++
+				rec.Add(faultDuplicated, 1)
 				dup := make([]byte, len(cp))
 				copy(dup, cp)
 				now = append(now, dup)
@@ -131,6 +160,7 @@ func (c *FaultyConn) Send(msg []byte) error {
 		}
 		if len(now) > 0 && c.src.Bernoulli(c.cfg.Delay) {
 			c.stats.Delayed++
+			rec.Add(faultDelayed, 1)
 			delay = time.Duration(c.src.Uniform(0, float64(c.cfg.MaxDelay))) + time.Microsecond
 		}
 	}
@@ -138,6 +168,7 @@ func (c *FaultyConn) Send(msg []byte) error {
 		now = append(now, prev)
 	}
 	c.stats.Delivered += len(now)
+	rec.Add(faultDelivered, int64(len(now)))
 	c.mu.Unlock()
 
 	if delay > 0 {

@@ -1,0 +1,140 @@
+package vehiclekey
+
+import (
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/protocol"
+)
+
+// Recorder is the observability hook every layer records into: counters,
+// gauges, histogram observations, and trace events, addressed by metric
+// name. The default everywhere is a no-op; pass a *MetricsRegistry (or
+// any implementation) via WithRecorder to collect.
+type Recorder = obs.Recorder
+
+// MetricsRegistry is the concrete Recorder: lock-cheap instruments plus
+// a bounded event trace, exportable as a JSON snapshot (WriteJSON) or in
+// the Prometheus text format (WritePrometheus).
+type MetricsRegistry = obs.Registry
+
+// NewMetricsRegistry builds a registry with the full Vehicle-Key metric
+// schema pre-declared, so exports always contain every family — protocol
+// ARQ counters, per-phase pipeline histograms, transport fault counts —
+// even before (or without) traffic.
+func NewMetricsRegistry() *MetricsRegistry {
+	r := obs.NewRegistry()
+	obs.DeclareStandard(r)
+	return r
+}
+
+// SystemConfig re-exports the pipeline configuration (Options.System).
+type SystemConfig = core.Config
+
+// Sentinel errors re-exported from the protocol layer. A failed round's
+// KeyOutcome.Err wraps one of these in a *RoundError; branch with
+// errors.Is / errors.As.
+var (
+	// ErrConfirmFailed: the peers reconciled to different bits, or the
+	// confirmation tag was tampered with.
+	ErrConfirmFailed = protocol.ErrConfirmFailed
+	// ErrPeerTimeout: the peer stopped responding and retries ran out.
+	ErrPeerTimeout = protocol.ErrPeerTimeout
+)
+
+// RoundError locates a protocol round failure (round index plus the
+// exchange phase that died), wrapping one of the sentinels above.
+type RoundError = protocol.RoundError
+
+// SessionObserver receives session lifecycle callbacks. Callbacks run
+// synchronously on the calling goroutine; implementations must be quick
+// or hand off.
+type SessionObserver interface {
+	// SessionTrained fires once Setup's model training completes.
+	SessionTrained(seed int64, epochs int)
+	// KeyGenerated fires for every key GenerateKeys produces, confirmed
+	// or not.
+	KeyGenerated(key Key)
+}
+
+// ObserverFuncs adapts plain functions to SessionObserver; nil fields
+// are skipped.
+type ObserverFuncs struct {
+	OnTrained func(seed int64, epochs int)
+	OnKey     func(key Key)
+}
+
+// SessionTrained implements SessionObserver.
+func (o ObserverFuncs) SessionTrained(seed int64, epochs int) {
+	if o.OnTrained != nil {
+		o.OnTrained(seed, epochs)
+	}
+}
+
+// KeyGenerated implements SessionObserver.
+func (o ObserverFuncs) KeyGenerated(key Key) {
+	if o.OnKey != nil {
+		o.OnKey(key)
+	}
+}
+
+// Option mutates an Options value; pass options to SetupWith. The struct
+// path (Setup with a filled Options) and the functional path are
+// equivalent — an Option is sugar over the corresponding field.
+type Option func(*Options)
+
+// WithEnvironment selects the propagation preset (Urban or Rural).
+func WithEnvironment(e Environment) Option {
+	return func(o *Options) { o.Environment = e }
+}
+
+// WithLink selects the link type (V2I or V2V).
+func WithLink(l LinkType) Option {
+	return func(o *Options) { o.Link = l }
+}
+
+// WithSpeed sets the vehicle speed in km/h.
+func WithSpeed(kmh float64) Option {
+	return func(o *Options) { o.SpeedKmh = kmh }
+}
+
+// WithSeed sets the deterministic seed.
+func WithSeed(seed int64) Option {
+	return func(o *Options) { o.Seed = seed }
+}
+
+// WithTrainingWindows sets the number of probing windows used for
+// training.
+func WithTrainingWindows(n int) Option {
+	return func(o *Options) { o.TrainingWindows = n }
+}
+
+// WithTrainingEpochs sets the predictor training epochs.
+func WithTrainingEpochs(n int) Option {
+	return func(o *Options) { o.TrainingEpochs = n }
+}
+
+// WithSystemConfig replaces the advanced pipeline configuration.
+func WithSystemConfig(cfg SystemConfig) Option {
+	return func(o *Options) { o.System = cfg }
+}
+
+// WithRecorder routes the session's metrics — pipeline phase timings,
+// key counters — into r. Recording is one-way: nothing read from the
+// recorder influences results, so an instrumented run stays bit-identical
+// to an uninstrumented one with the same seed.
+func WithRecorder(r Recorder) Option {
+	return func(o *Options) { o.Recorder = r }
+}
+
+// WithLogger sets a logger for coarse progress lines (training done,
+// keys generated). Nil keeps the session silent.
+func WithLogger(l *log.Logger) Option {
+	return func(o *Options) { o.Logger = l }
+}
+
+// WithObserver registers a lifecycle callback receiver.
+func WithObserver(obs SessionObserver) Option {
+	return func(o *Options) { o.Observer = obs }
+}

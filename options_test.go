@@ -1,0 +1,136 @@
+package vehiclekey
+
+import (
+	"bytes"
+	"errors"
+	"log"
+	"strings"
+	"testing"
+)
+
+// TestOptionsEquivalence is the API-compat contract: the functional-
+// options path must produce a session indistinguishable from the legacy
+// struct path for the same effective configuration — identical keys from
+// the same seed.
+func TestOptionsEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains two models")
+	}
+	legacy, err := Setup(Options{Seed: 7, TrainingWindows: 160, TrainingEpochs: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fluent, err := SetupWith(Options{},
+		WithSeed(7), WithTrainingWindows(160), WithTrainingEpochs(12))
+	if err != nil {
+		t.Fatal(err)
+	}
+	k1, m1, err := legacy.GenerateKeys(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k2, m2, err := fluent.GenerateKeys(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(k1) != len(k2) {
+		t.Fatalf("key counts differ: %d vs %d", len(k1), len(k2))
+	}
+	for i := range k1 {
+		if !bytes.Equal(k1[i].Bits, k2[i].Bits) || k1[i].Agreed != k2[i].Agreed {
+			t.Errorf("key %d differs between struct and options paths", i)
+		}
+	}
+	if m1 != m2 {
+		t.Errorf("metrics differ: %+v vs %+v", m1, m2)
+	}
+}
+
+// TestOptionSetters pins each Option to its Options field.
+func TestOptionSetters(t *testing.T) {
+	var o Options
+	reg := NewMetricsRegistry()
+	logger := log.New(&bytes.Buffer{}, "", 0)
+	obsv := ObserverFuncs{}
+	for _, opt := range []Option{
+		WithEnvironment(Rural), WithLink(V2V), WithSpeed(80), WithSeed(9),
+		WithTrainingWindows(100), WithTrainingEpochs(5),
+		WithSystemConfig(SystemConfig{SeqLen: 16}),
+		WithRecorder(reg), WithLogger(logger), WithObserver(obsv),
+	} {
+		opt(&o)
+	}
+	if o.Environment != Rural || o.Link != V2V || o.SpeedKmh != 80 || o.Seed != 9 {
+		t.Errorf("scenario options not applied: %+v", o)
+	}
+	if o.TrainingWindows != 100 || o.TrainingEpochs != 5 || o.System.SeqLen != 16 {
+		t.Errorf("training options not applied: %+v", o)
+	}
+	if o.Recorder != Recorder(reg) || o.Logger != logger || o.Observer == nil {
+		t.Error("hook options not applied")
+	}
+}
+
+// TestRecorderObserverLogger wires every hook through a real session and
+// checks each fired: metrics counters advanced, the observer saw the
+// lifecycle, the logger wrote progress lines.
+func TestRecorderObserverLogger(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains a model")
+	}
+	reg := NewMetricsRegistry()
+	var logBuf bytes.Buffer
+	trained := 0
+	var seen []Key
+	session, err := SetupWith(quickOptions(5),
+		WithRecorder(reg),
+		WithLogger(log.New(&logBuf, "", 0)),
+		WithObserver(ObserverFuncs{
+			OnTrained: func(seed int64, epochs int) { trained++ },
+			OnKey:     func(k Key) { seen = append(seen, k) },
+		}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if trained != 1 {
+		t.Errorf("SessionTrained fired %d times, want 1", trained)
+	}
+	keys, _, err := session.GenerateKeys(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != len(keys) {
+		t.Errorf("observer saw %d keys, session returned %d", len(seen), len(keys))
+	}
+	s := reg.Snapshot()
+	if got := s.Counters["vk_session_keys_total"]; got != int64(len(keys)) {
+		t.Errorf("vk_session_keys_total = %d, want %d", got, len(keys))
+	}
+	// The pipeline ran through the instrumented System, so phase
+	// histograms must hold samples.
+	if s.Histograms[`vk_pipeline_phase_seconds{phase="quantize"}`].Count == 0 {
+		t.Error("no quantize-phase samples recorded")
+	}
+	if !strings.Contains(logBuf.String(), "trained") || !strings.Contains(logBuf.String(), "key(s)") {
+		t.Errorf("logger missed progress lines:\n%s", logBuf.String())
+	}
+}
+
+// TestErrorReexports proves the public sentinels and RoundError work with
+// errors.Is / errors.As through the re-exported names.
+func TestErrorReexports(t *testing.T) {
+	err := error(&RoundError{Round: 3, Phase: "confirm", Err: ErrPeerTimeout})
+	if !errors.Is(err, ErrPeerTimeout) {
+		t.Error("errors.Is(RoundError, ErrPeerTimeout) = false")
+	}
+	if errors.Is(err, ErrConfirmFailed) {
+		t.Error("RoundError wrongly matches ErrConfirmFailed")
+	}
+	var re *RoundError
+	if !errors.As(err, &re) || re.Round != 3 || re.Phase != "confirm" {
+		t.Errorf("errors.As lost fields: %+v", re)
+	}
+	if !strings.Contains(err.Error(), "round 3") {
+		t.Errorf("message lacks round: %q", err.Error())
+	}
+}

@@ -32,10 +32,12 @@ package vehiclekey
 import (
 	"fmt"
 	"io"
+	"log"
 
 	"repro/internal/channel"
 	"repro/internal/core"
 	"repro/internal/nist"
+	"repro/internal/obs"
 	"repro/internal/rng"
 	"repro/internal/trace"
 )
@@ -76,6 +78,14 @@ type Options struct {
 	TrainingEpochs  int // predictor epochs, default 30
 
 	System core.Config // advanced pipeline knobs; zero values take defaults
+
+	// Recorder receives the session's metrics (nil: no recording). See
+	// WithRecorder; recording never influences results.
+	Recorder Recorder
+	// Logger receives coarse progress lines (nil: silent).
+	Logger *log.Logger
+	// Observer receives lifecycle callbacks (nil: none).
+	Observer SessionObserver
 }
 
 // Session is a trained Vehicle-Key deployment bound to one simulated
@@ -87,11 +97,24 @@ type Session struct {
 	test   *trace.Dataset
 	src    *rng.Source
 	cursor int
+	rec    obs.Recorder
 }
 
 // Setup builds the simulated link, collects training data, and trains the
-// prediction and reconciliation models.
-func Setup(opts Options) (*Session, error) {
+// prediction and reconciliation models. It is the struct-options path;
+// SetupWith layers functional options on top and behaves identically for
+// equal effective configurations.
+func Setup(opts Options) (*Session, error) { return SetupWith(opts) }
+
+// SetupWith is Setup with functional options applied over the base
+// struct, in order. SetupWith(Options{}, WithSeed(7)) is equivalent to
+// Setup(Options{Seed: 7}).
+func SetupWith(opts Options, extra ...Option) (*Session, error) {
+	for _, o := range extra {
+		if o != nil {
+			o(&opts)
+		}
+	}
 	if opts.Environment == 0 {
 		opts.Environment = Urban
 	}
@@ -121,10 +144,19 @@ func Setup(opts Options) (*Session, error) {
 	src := rng.New(opts.Seed + 1)
 	train, _, test := ds.Split(0.75, 0.05, src.Derive("split"))
 	sys := core.New(opts.System, src.Derive("sys"))
+	rec := obs.OrNop(opts.Recorder)
+	sys.SetRecorder(rec)
 	if _, err := sys.Train(train, opts.TrainingEpochs, src.Derive("train")); err != nil {
 		return nil, fmt.Errorf("vehiclekey: train: %w", err)
 	}
-	return &Session{opts: opts, sys: sys, test: test, src: src}, nil
+	if opts.Logger != nil {
+		opts.Logger.Printf("vehiclekey: trained (seed=%d epochs=%d windows=%d)",
+			opts.Seed, opts.TrainingEpochs, opts.TrainingWindows)
+	}
+	if opts.Observer != nil {
+		opts.Observer.SessionTrained(opts.Seed, opts.TrainingEpochs)
+	}
+	return &Session{opts: opts, sys: sys, test: test, src: src, rec: rec}, nil
 }
 
 // System exposes the trained pipeline for advanced use (protocol nodes,
@@ -158,9 +190,20 @@ func (s *Session) GenerateKeys(n int) ([]Key, Metrics, error) {
 			return nil, Metrics{}, fmt.Errorf("vehiclekey: %w", err)
 		}
 		for _, r := range rs {
-			keys = append(keys, Key{Bits: r.BobKey, Agreed: r.Exact, Agreement: r.PostAgreement})
+			k := Key{Bits: r.BobKey, Agreed: r.Exact, Agreement: r.PostAgreement}
+			keys = append(keys, k)
 			results = append(results, r)
+			s.rec.Add(obs.SessionKeys, 1)
+			if k.Agreed {
+				s.rec.Add(obs.SessionKeysAgreed, 1)
+			}
+			if s.opts.Observer != nil {
+				s.opts.Observer.KeyGenerated(k)
+			}
 		}
+	}
+	if s.opts.Logger != nil {
+		s.opts.Logger.Printf("vehiclekey: generated %d key(s)", len(keys))
 	}
 	return keys, core.Aggregate(results, probed), nil
 }
