@@ -20,6 +20,7 @@ import (
 	"repro/internal/exp"
 	"repro/internal/lora"
 	"repro/internal/nn"
+	"repro/internal/pipeline"
 	"repro/internal/protocol"
 	"repro/internal/reconcile"
 	"repro/internal/rng"
@@ -259,6 +260,39 @@ func BenchmarkProtocolRound(b *testing.B) {
 
 func BenchmarkProtocolRoundLossy(b *testing.B) {
 	runProtoBench(b, transport.FaultConfig{Drop: 0.10, Reorder: 0.10})
+}
+
+// BenchmarkScheme runs every registered scheme — Vehicle-Key and the
+// three baselines — through the same stream evaluation over one shared
+// collected trace, so per-scheme quantize+reconcile cost is directly
+// comparable. CI's bench-smoke job tracks the BenchmarkScheme/* rows
+// across PRs as the cross-scheme perf trajectory.
+func BenchmarkScheme(b *testing.B) {
+	col := trace.NewCollector(trace.NewScenario(channel.Urban, channel.V2I), 12)
+	ex := col.Run(640)
+	aliceS, bobS := trace.PRSSI(ex)
+	var dur float64
+	for _, e := range ex {
+		dur += e.Duration
+	}
+	for _, name := range Schemes() {
+		b.Run(name, func(b *testing.B) {
+			sys, err := core.NewScheme(name, core.DefaultConfig(), rng.New(13))
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sr, err := pipeline.EvaluateStream(sys.Stages, aliceS, bobS, dur)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if sr.Blocks == 0 {
+					b.Fatal("stream evaluation produced no blocks")
+				}
+			}
+		})
+	}
 }
 
 func BenchmarkKeyStreamPush(b *testing.B) {

@@ -38,6 +38,7 @@ func main() {
 		samples  = flag.Int("samples", 0, "override dataset windows per scenario")
 		epochs   = flag.Int("epochs", 0, "override training epochs")
 		markdown = flag.Bool("markdown", false, "emit GitHub-flavored markdown tables")
+		scheme   = flag.String("scheme", "", "restrict the 'schemes' experiment to one registered scheme (empty = all)")
 		parallel = flag.Int("parallel", 0, "worker count for grid fan-out and cross-experiment concurrency (0 = all cores, 1 = serial)")
 
 		metrics    = flag.Bool("metrics", false, "dump a Prometheus-text metrics snapshot to stderr when done (stdout stays byte-comparable)")
@@ -67,6 +68,7 @@ func main() {
 		cfg.Epochs = *epochs
 	}
 	cfg.Parallelism = *parallel
+	cfg.Scheme = *scheme
 
 	fail := func(err error) {
 		// Best-effort stderr write: the process exits on this error.

@@ -41,6 +41,8 @@ func main() {
 		seed    = flag.Int64("seed", 21, "shared deterministic seed")
 		windows = flag.Int("windows", 16, "probing windows to run")
 		session = flag.String("session", "vkproto", "session identifier")
+		scheme  = flag.String("scheme", "", "key-generation scheme (default vehicle-key; see -list-schemes)")
+		list    = flag.Bool("list-schemes", false, "print the registered scheme names and exit")
 
 		loss      = flag.Float64("loss", 0, "probability of dropping an outgoing message")
 		dup       = flag.Float64("dup", 0, "probability of duplicating an outgoing message")
@@ -59,6 +61,13 @@ func main() {
 		memProfile = flag.String("memprofile", "", "write a heap profile to this file when done")
 	)
 	flag.Parse()
+
+	if *list {
+		for _, name := range vehiclekey.Schemes() {
+			fmt.Println(name)
+		}
+		return
+	}
 
 	// Validate cheap inputs before paying for model training.
 	if *role != "alice" && *role != "bob" {
@@ -95,6 +104,7 @@ func main() {
 	fmt.Println("building the shared channel simulation and model...")
 	opts := vehiclekey.Options{
 		Seed:            *seed,
+		Scheme:          *scheme,
 		TrainingWindows: 300,
 		TrainingEpochs:  25,
 	}

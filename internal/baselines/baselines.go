@@ -14,18 +14,145 @@
 // All three consume the per-packet pRSSI series, the measurement every
 // pre-Vehicle-Key scheme uses; their low key rates relative to
 // Vehicle-Key's register-RSSI stream are the paper's Fig. 13.
+//
+// Each scheme is expressed as a pipeline.Stages slot assignment and
+// registered with core's scheme registry (importing this package,
+// possibly blank, makes "lora-key", "han" and "gao" constructible via
+// core.NewScheme), so the protocol, experiment and NIST layers drive
+// them through exactly the code path Vehicle-Key runs. The LoRaKey/
+// Han/Gao functions below keep the historical stream-evaluation API
+// used by the Fig. 12/13 regeneration.
 package baselines
 
 import (
 	"fmt"
-	"math"
 
-	"repro/internal/mathx"
+	"repro/internal/core"
+	"repro/internal/pipeline"
 	"repro/internal/quantize"
-	"repro/internal/reconcile"
 	"repro/internal/rng"
 	"repro/internal/trace"
 )
+
+// blockSize is the reconciliation unit all baselines use, matching the
+// paper's 20×64 CS matrix.
+const blockSize = 64
+
+// loRaKeyQuant is LoRa-Key's quantizer: 1 bit per packet RSSI with the
+// paper's α = 0.8 guard band, per-32-sample adaptive blocks.
+func loRaKeyQuant() quantize.MultiBitConfig {
+	return quantize.MultiBitConfig{
+		BitsPerSample: 1,
+		GuardRatio:    0.8, // the paper tunes LoRa-Key's α to 0.8
+		BlockSize:     32,
+	}
+}
+
+// hanQuant is Han et al.'s quantizer: the multi-bit quantizer pushed to
+// 3 bits per packet RSSI to compensate for LoRa's low probing rate; at
+// vehicular pRSSI correlations that depth costs substantial
+// disagreement, which Cascade's four passes only partly repair — the
+// paper's Fig. 12.
+func hanQuant() quantize.MultiBitConfig {
+	return quantize.MultiBitConfig{
+		BitsPerSample: 3,
+		GuardRatio:    0,
+		BlockSize:     32,
+	}
+}
+
+// Gao et al.'s model-based filtering: interval smoothing with a bounded
+// number of rounds per batch (the paper sets interval 20, rounds 50
+// over raw RSSI samples; scaled here to the per-packet series: one bit
+// per two-packet interval).
+const gaoInterval, gaoRounds = 3, 50
+
+// noGuard strips the guard band from a multi-bit config, producing the
+// full (every-sample) bit head an identity predictor announces.
+func noGuard(qc quantize.MultiBitConfig) quantize.MultiBitConfig {
+	qc.GuardRatio = 0
+	return qc
+}
+
+// multiBitHead builds an identity-predictor head function: the full
+// un-guarded bit string of the scheme's quantizer over a sequence.
+func multiBitHead(qc quantize.MultiBitConfig) func([]float64) ([]byte, error) {
+	return func(seq []float64) ([]byte, error) {
+		res, err := quantize.MultiBit(seq, qc)
+		if err != nil {
+			return nil, err
+		}
+		return res.Bits, nil
+	}
+}
+
+// loRaKeyStages assembles LoRa-Key's slot assignment.
+//
+// LoRa-Key's published protocol has no kept-index exchange: each side
+// censors its own guard-band samples silently (the scheme was designed
+// for static links, where both sides drop nearly identical indices). In
+// a vehicular channel the two kept-index sets diverge, the order-aligned
+// bit streams lose synchronization, and agreement collapses toward
+// chance — this is precisely why the paper measures LoRa-Key lowest in
+// Fig. 12. The stream-evaluation path preserves that misalignment; the
+// unified protocol path necessarily adds the index exchange (it cannot
+// run unaligned), which is marked by IndexExchange.
+func loRaKeyStages() pipeline.Stages {
+	qc := loRaKeyQuant()
+	return pipeline.Stages{
+		Scheme:        "lora-key",
+		Predictor:     pipeline.NewIdentityPredictor(multiBitHead(noGuard(qc))),
+		Quantizer:     pipeline.NewMultiBit(qc, qc),
+		Reconciler:    pipeline.NewCS(pipeline.DefaultCSConfig(), blockSize),
+		Amplifier:     pipeline.NewSHAAmplifier(),
+		IndexExchange: true,
+	}
+}
+
+// hanStages assembles Han et al.'s slot assignment. src feeds the
+// interactive Cascade permutations of the local-evaluation path (one
+// Derive("cascade") per reconciled block, matching the paper's
+// comparison); the wire path derives permutations from the session salt
+// instead and never touches it.
+func hanStages(src *rng.Source) pipeline.Stages {
+	qc := hanQuant()
+	return pipeline.Stages{
+		Scheme:        "han",
+		Predictor:     pipeline.NewIdentityPredictor(multiBitHead(qc)),
+		Quantizer:     pipeline.NewMultiBit(qc, qc),
+		Reconciler:    pipeline.NewCascade(pipeline.DefaultCascadeConfig(), blockSize, src),
+		Amplifier:     pipeline.NewSHAAmplifier(),
+		IndexExchange: false,
+	}
+}
+
+// gaoStages assembles Gao et al.'s slot assignment.
+func gaoStages() pipeline.Stages {
+	return pipeline.Stages{
+		Scheme:        "gao",
+		Predictor:     pipeline.NewIdentityPredictor(gaoHead),
+		Quantizer:     pipeline.NewInterval(gaoInterval, gaoRounds),
+		Reconciler:    pipeline.NewCS(pipeline.DefaultCSConfig(), blockSize),
+		Amplifier:     pipeline.NewSHAAmplifier(),
+		IndexExchange: false,
+	}
+}
+
+func gaoHead(seq []float64) ([]byte, error) {
+	return quantize.Interval(seq, gaoInterval, gaoRounds), nil
+}
+
+func init() {
+	core.RegisterScheme("lora-key", func(_ core.Config, _ *rng.Source) (pipeline.Stages, error) {
+		return loRaKeyStages(), nil
+	})
+	core.RegisterScheme("han", func(_ core.Config, src *rng.Source) (pipeline.Stages, error) {
+		return hanStages(src), nil
+	})
+	core.RegisterScheme("gao", func(_ core.Config, _ *rng.Source) (pipeline.Stages, error) {
+		return gaoStages(), nil
+	})
+}
 
 // Result aggregates one baseline evaluation, mirroring core.Metrics.
 type Result struct {
@@ -45,68 +172,18 @@ func (r Result) String() string {
 		r.Name, r.Blocks, 100*r.PreKAR, 100*r.PreKARStd, 100*r.PostKAR, 100*r.PostKARStd, r.KGR, r.NetKGR)
 }
 
-// blockSize is the reconciliation unit all baselines use, matching the
-// paper's 20×64 CS matrix.
-const blockSize = 64
-
-// reconciler abstracts the per-scheme block reconciliation.
-type reconciler func(alice, bob []byte) (reconcile.Outcome, error)
-
-// evaluate aligns two bit streams, reconciles 64-bit blocks, and
-// aggregates metrics. totalTime is the probing time that produced the
-// streams.
-func evaluate(name string, alice, bob []byte, totalTime float64, rec reconciler) (Result, error) {
-	n := len(alice)
-	if len(bob) < n {
-		n = len(bob)
+// fromStream attaches a display name to a stream evaluation.
+func fromStream(name string, sr pipeline.StreamResult) Result {
+	return Result{
+		Name:       name,
+		Blocks:     sr.Blocks,
+		PreKAR:     sr.PreKAR,
+		PreKARStd:  sr.PreKARStd,
+		PostKAR:    sr.PostKAR,
+		PostKARStd: sr.PostKARStd,
+		KGR:        sr.KGR,
+		NetKGR:     sr.NetKGR,
 	}
-	res := Result{Name: name}
-	var pre, post []float64
-	var agreedBits, netBits float64
-	for lo := 0; lo+blockSize <= n; lo += blockSize {
-		a := alice[lo : lo+blockSize]
-		b := bob[lo : lo+blockSize]
-		p, err := mathx.BitAgreement(a, b)
-		if err != nil {
-			return Result{}, err
-		}
-		out, err := rec(a, b)
-		if err != nil {
-			return Result{}, err
-		}
-		pre = append(pre, p)
-		post = append(post, out.Agreement())
-		agreedBits += out.Agreement() * blockSize
-		if nb := out.Agreement()*blockSize - float64(out.LeakedKeyBits); nb > 0 {
-			netBits += nb
-		}
-		res.Blocks++
-	}
-	if res.Blocks == 0 {
-		return res, nil
-	}
-	res.PreKAR, res.PreKARStd = meanStd(pre)
-	res.PostKAR, res.PostKARStd = meanStd(post)
-	if totalTime > 0 {
-		res.KGR = agreedBits / totalTime
-		res.NetKGR = netBits / totalTime
-	}
-	return res, nil
-}
-
-func meanStd(xs []float64) (mean, std float64) {
-	if len(xs) == 0 {
-		return 0, 0
-	}
-	for _, x := range xs {
-		mean += x
-	}
-	mean /= float64(len(xs))
-	var v float64
-	for _, x := range xs {
-		v += (x - mean) * (x - mean)
-	}
-	return mean, math.Sqrt(v / float64(len(xs)))
 }
 
 // totalDuration sums the probing time of the exchanges.
@@ -119,33 +196,13 @@ func totalDuration(ex []trace.Exchange) float64 {
 }
 
 // LoRaKey evaluates the LoRa-Key scheme over the exchanges.
-//
-// LoRa-Key's published protocol has no kept-index exchange: each side
-// censors its own guard-band samples silently (the scheme was designed
-// for static links, where both sides drop nearly identical indices). In
-// a vehicular channel the two kept-index sets diverge, the order-aligned
-// bit streams lose synchronization, and agreement collapses toward
-// chance — this is precisely why the paper measures LoRa-Key lowest in
-// Fig. 12.
 func LoRaKey(ex []trace.Exchange) (Result, error) {
 	alice, bob := trace.PRSSI(ex)
-	qc := quantize.MultiBitConfig{
-		BitsPerSample: 1,
-		GuardRatio:    0.8, // the paper tunes LoRa-Key's α to 0.8
-		BlockSize:     32,
-	}
-	ra, err := quantize.MultiBit(alice, qc)
+	sr, err := pipeline.EvaluateStream(loRaKeyStages(), alice, bob, totalDuration(ex))
 	if err != nil {
 		return Result{}, err
 	}
-	rb, err := quantize.MultiBit(bob, qc)
-	if err != nil {
-		return Result{}, err
-	}
-	rec := func(a, b []byte) (reconcile.Outcome, error) {
-		return reconcile.CSISTA(a, b, reconcile.DefaultCSConfig())
-	}
-	return evaluate("LoRa-Key", ra.Bits, rb.Bits, totalDuration(ex), rec)
+	return fromStream("LoRa-Key", sr), nil
 }
 
 // Han evaluates the Han et al. scheme over the exchanges: plain Jana
@@ -153,42 +210,19 @@ func LoRaKey(ex []trace.Exchange) (Result, error) {
 // at the paper's parameters (group length 3, 4 iterations).
 func Han(ex []trace.Exchange, src *rng.Source) (Result, error) {
 	alice, bob := trace.PRSSI(ex)
-	// Han et al. push the multi-bit quantizer to 3 bits per packet RSSI
-	// to compensate for LoRa's low probing rate; at vehicular pRSSI
-	// correlations that depth costs substantial disagreement, which
-	// Cascade's four passes only partly repair — the paper's Fig. 12.
-	qc := quantize.MultiBitConfig{
-		BitsPerSample: 3,
-		GuardRatio:    0,
-		BlockSize:     32,
-	}
-	ra, err := quantize.MultiBit(alice, qc)
+	sr, err := pipeline.EvaluateStream(hanStages(src), alice, bob, totalDuration(ex))
 	if err != nil {
 		return Result{}, err
 	}
-	rb, err := quantize.MultiBit(bob, qc)
-	if err != nil {
-		return Result{}, err
-	}
-	cas := reconcile.DefaultCascadeConfig() // k = 3, 4 iterations
-	rec := func(a, b []byte) (reconcile.Outcome, error) {
-		return reconcile.Cascade(a, b, cas, src.Derive("cascade"))
-	}
-	return evaluate("Han et al.", ra.Bits, rb.Bits, totalDuration(ex), rec)
+	return fromStream("Han et al.", sr), nil
 }
 
 // Gao evaluates the Gao et al. model-based scheme over the exchanges.
 func Gao(ex []trace.Exchange) (Result, error) {
 	alice, bob := trace.PRSSI(ex)
-	// Model-based filtering: interval smoothing with a bounded number of
-	// rounds per batch (the paper sets interval 20, rounds 50 over raw
-	// RSSI samples; scaled here to the per-packet series: one bit per
-	// two-packet interval).
-	const interval, rounds = 3, 50
-	ba := quantize.Interval(alice, interval, rounds)
-	bb := quantize.Interval(bob, interval, rounds)
-	rec := func(a, b []byte) (reconcile.Outcome, error) {
-		return reconcile.CSISTA(a, b, reconcile.DefaultCSConfig())
+	sr, err := pipeline.EvaluateStream(gaoStages(), alice, bob, totalDuration(ex))
+	if err != nil {
+		return Result{}, err
 	}
-	return evaluate("Gao et al.", ba, bb, totalDuration(ex), rec)
+	return fromStream("Gao et al.", sr), nil
 }

@@ -11,17 +11,26 @@
 // sequence and selects the predicted bit pairs at Bob's kept indices.
 // Kept bits accumulate in a stream; every KeyBlockBits of aligned material
 // is reconciled with the autoencoder and hashed into a 128-bit key.
+//
+// Since the stage refactor, System is a composition of the pluggable
+// pipeline interfaces (pipeline.Predictor/Quantizer/Reconciler/
+// Amplifier) rather than a hardwired chain: New builds the Vehicle-Key
+// slot assignment, NewScheme (scheme.go) builds any registered scheme,
+// and every System — Vehicle-Key or baseline — satisfies
+// pipeline.Scheme, so the protocol, experiment, and NIST layers drive
+// all of them through one code path.
 package core
 
 import (
+	"bytes"
 	"errors"
 	"fmt"
 	"io"
 	"time"
 
-	"repro/internal/amplify"
 	"repro/internal/nn"
 	"repro/internal/obs"
+	"repro/internal/pipeline"
 	"repro/internal/quantize"
 	"repro/internal/reconcile"
 	"repro/internal/rng"
@@ -150,27 +159,84 @@ func (c Config) quantConfig(guard float64) quantize.MultiBitConfig {
 	}
 }
 
-// System is a trained Vehicle-Key instance: the prediction+quantization
-// model (run by Alice, or by the power-rich side) and the trained
-// reconciler shared by both parties.
+// System is one scheme instance: the four pipeline stages composed
+// behind the scheme-agnostic operations the protocol and experiment
+// layers drive. New builds the Vehicle-Key slot assignment; NewScheme
+// builds any registered scheme. System implements pipeline.Scheme.
 type System struct {
-	Cfg       Config
-	Predictor *nn.Predictor
-	AE        *reconcile.AE
+	Cfg    Config
+	Stages pipeline.Stages
 
 	rec obs.Recorder
 }
 
-// New builds an untrained system.
+// nnPredictor is the Vehicle-Key predictor stage: the BiLSTM prediction
+// + quantization network, run by Alice (or the power-rich side).
+type nnPredictor struct {
+	cfg nn.PredictorConfig
+	net *nn.Predictor
+}
+
+func (p *nnPredictor) Name() string { return "bilstm" }
+
+func (p *nnPredictor) Predict(aliceSeq []float64) ([]float64, []byte, error) {
+	yHat, zHat := p.net.Forward(aliceSeq)
+	return yHat, nn.Bits(zHat), nil
+}
+
+func (p *nnPredictor) Fit(samples []nn.TrainSample, epochs int, learnRate, weightDecay float64, src *rng.Source) []float64 {
+	tr := nn.NewTrainer(p.net, learnRate, src)
+	tr.Opt.WeightDecay = weightDecay
+	return tr.Fit(samples, epochs)
+}
+
+// Clone deep-copies the network through an in-memory Save/Load
+// round-trip; the initialization seed is irrelevant because Load
+// overwrites every parameter.
+func (p *nnPredictor) Clone() pipeline.Predictor {
+	out := &nnPredictor{cfg: p.cfg, net: nn.NewPredictor(p.cfg, rng.New(1))}
+	var buf bytes.Buffer
+	if err := nn.SaveParams(&buf, p.net.Params()); err != nil {
+		panic("core: predictor clone save: " + err.Error())
+	}
+	if err := nn.LoadParams(&buf, out.net.Params()); err != nil {
+		panic("core: predictor clone load: " + err.Error())
+	}
+	return out
+}
+
+func (p *nnPredictor) Save(w io.Writer) error { return nn.SaveParams(w, p.net.Params()) }
+func (p *nnPredictor) Load(r io.Reader) error { return nn.LoadParams(r, p.net.Params()) }
+
+// New builds an untrained Vehicle-Key system: BiLSTM predictor,
+// guard-banded multi-bit quantizer, Bloom+autoencoder reconciler,
+// SHA-based amplification.
 func New(cfg Config, src *rng.Source) *System {
 	cfg.Normalize()
 	pcfg := nn.PredictorConfig{SeqLen: cfg.SeqLen, Hidden: cfg.Hidden, Bits: cfg.bits(), Theta: cfg.Theta}
+	pred := &nnPredictor{cfg: pcfg, net: nn.NewPredictor(pcfg, src.Derive("predictor"))}
+	ae := reconcile.NewAE(cfg.AE, src.Derive("ae"))
 	return &System{
-		Cfg:       cfg,
-		Predictor: nn.NewPredictor(pcfg, src.Derive("predictor")),
-		AE:        reconcile.NewAE(cfg.AE, src.Derive("ae")),
-		rec:       obs.Nop,
+		Cfg: cfg,
+		Stages: pipeline.Stages{
+			Scheme:        DefaultScheme,
+			Predictor:     pred,
+			Quantizer:     pipeline.NewMultiBit(cfg.quantConfig(cfg.GuardRatio), cfg.quantConfig(cfg.PredGuardRatio)),
+			Reconciler:    pipeline.NewAEStage(ae, cfg.AE, cfg.AEEpochs, cfg.AESamples),
+			Amplifier:     pipeline.NewSHAAmplifier(),
+			IndexExchange: true,
+		},
+		rec: obs.Nop,
 	}
+}
+
+// predictorNet exposes the concrete BiLSTM for same-package diagnostics
+// and tests; it is nil for schemes without a network predictor.
+func (s *System) predictorNet() *nn.Predictor {
+	if p, ok := s.Stages.Predictor.(*nnPredictor); ok {
+		return p.net
+	}
+	return nil
 }
 
 // SetRecorder routes the pipeline's per-phase duration and bit-count
@@ -188,27 +254,53 @@ func (s *System) recorder() obs.Recorder {
 	return s.rec
 }
 
-// BobQuantize runs Bob's side: the guard-banded multi-bit quantizer over
-// his measured (normalized) arRSSI sequence. It returns his key bits and
+// SchemeName identifies the registered scheme this system composes.
+func (s *System) SchemeName() string {
+	if s.Stages.Scheme == "" {
+		return DefaultScheme
+	}
+	return s.Stages.Scheme
+}
+
+// BlockBits is the reconciliation unit in key bits.
+func (s *System) BlockBits() int { return s.Stages.Reconciler.BlockBits() }
+
+// SampleBits is the quantizer depth in bits per kept sample.
+func (s *System) SampleBits() int { return s.Stages.Quantizer.BitsPerSample() }
+
+// Clone returns an independent deep copy: predictor and reconciler
+// state duplicated (equivalent to a Save/Load round-trip into a fresh
+// same-config System), stateless stages shared, the recorder inherited.
+func (s *System) Clone() *System {
+	out := &System{Cfg: s.Cfg, Stages: s.Stages, rec: s.rec}
+	out.Stages.Predictor = s.Stages.Predictor.Clone()
+	out.Stages.Reconciler = s.Stages.Reconciler.Clone()
+	return out
+}
+
+// BobQuantize runs Bob's side: the scheme's measurement-rule quantizer
+// over his measured (normalized) sequence. It returns his key bits and
 // the kept sample indices he announces publicly.
 func (s *System) BobQuantize(bobSeq []float64) (bits []byte, kept []int, err error) {
 	started := time.Now()
-	res, err := quantize.MultiBit(bobSeq, s.Cfg.quantConfig(s.Cfg.GuardRatio))
+	bits, kept, err = s.Stages.Quantizer.Quantize(bobSeq)
 	if err != nil {
 		return nil, nil, fmt.Errorf("core: Bob quantization: %w", err)
 	}
 	rec := s.recorder()
 	rec.Observe(phaseSecQuantize, time.Since(started).Seconds())
-	rec.Observe(phaseBitsQuantize, float64(len(res.Bits)))
-	return res.Bits, res.Kept, nil
+	rec.Observe(phaseBitsQuantize, float64(len(bits)))
+	return bits, kept, nil
 }
 
-// AliceBitsAt runs Alice's prediction network over her sequence and
-// returns her bit pairs at the given sample indices.
+// AliceBitsAt runs Alice's predictor over her sequence and returns her
+// bit groups at the given sample indices.
 func (s *System) AliceBitsAt(aliceSeq []float64, kept []int) []byte {
-	_, zHat := s.Predictor.Forward(aliceSeq)
-	all := nn.Bits(zHat)
-	b := s.Cfg.BitsPerSample
+	_, all, err := s.Stages.Predictor.Predict(aliceSeq)
+	if err != nil {
+		return nil
+	}
+	b := s.SampleBits()
 	out := make([]byte, 0, len(kept)*b)
 	for _, idx := range kept {
 		out = append(out, all[idx*b:(idx+1)*b]...)
@@ -216,63 +308,30 @@ func (s *System) AliceBitsAt(aliceSeq []float64, kept []int) []byte {
 	return out
 }
 
-// AliceRound is Alice's precomputed per-window prediction state: the
-// expensive network forward pass and guard-band pass run once, after
-// which Select answers Bob's announcement (possibly several times, under
-// retransmission) with a cheap set intersection. The protocol layer
-// precomputes one per window so its receive-loop latency stays far below
-// the retransmit timeout.
-type AliceRound struct {
-	mine map[int]bool
-	all  []byte
-	b    int
-}
-
-// AlicePrecompute runs Alice's prediction network and guard-band rule
+// AlicePrecompute runs Alice's predictor and prediction-side guard rule
 // over her measured sequence, independent of anything Bob announces.
-func (s *System) AlicePrecompute(aliceSeq []float64) (*AliceRound, error) {
+// The returned Round answers Bob's announcement (possibly several
+// times, under retransmission) with a cheap set intersection.
+func (s *System) AlicePrecompute(aliceSeq []float64) (pipeline.Round, error) {
 	started := time.Now()
-	yHat, zHat := s.Predictor.Forward(aliceSeq)
-	res, err := quantize.MultiBit(yHat, s.Cfg.quantConfig(s.Cfg.PredGuardRatio))
+	yHat, all, err := s.Stages.Predictor.Predict(aliceSeq)
+	if err != nil {
+		return nil, fmt.Errorf("core: Alice prediction: %w", err)
+	}
+	_, mine, err := s.Stages.Quantizer.QuantizePredicted(yHat)
 	if err != nil {
 		return nil, fmt.Errorf("core: Alice quantization: %w", err)
 	}
-	mine := make(map[int]bool, len(res.Kept))
-	for _, idx := range res.Kept {
-		mine[idx] = true
-	}
-	all := nn.Bits(zHat)
 	rec := s.recorder()
 	rec.Observe(phaseSecPredict, time.Since(started).Seconds())
 	rec.Observe(phaseBitsPredict, float64(len(all)))
-	return &AliceRound{mine: mine, all: all, b: s.Cfg.BitsPerSample}, nil
+	return pipeline.NewRound(all, mine, s.SampleBits()), nil
 }
 
-// Select intersects Bob's announced kept indices with Alice's own
-// guard-band survivors and returns her bits plus the final index list.
-// Out-of-range announcements (possible with a corrupted envelope) are
-// rejected with ok=false rather than panicking.
-func (r *AliceRound) Select(bobKept []int) (bits []byte, kept []int, ok bool) {
-	n := len(r.all) / r.b
-	for _, idx := range bobKept {
-		if idx < 0 || idx >= n {
-			return nil, nil, false
-		}
-	}
-	for _, idx := range bobKept {
-		if !r.mine[idx] {
-			continue
-		}
-		kept = append(kept, idx)
-		bits = append(bits, r.all[idx*r.b:(idx+1)*r.b]...)
-	}
-	return bits, kept, true
-}
-
-// AliceSelect runs Alice's full round: the prediction network, then the
-// guard-band rule over her predicted sequence, restricted to Bob's
-// announced kept indices. It returns her bits (from the quantization
-// head) and the final index list she announces back to Bob.
+// AliceSelect runs Alice's full round: the predictor, then the
+// prediction-side guard rule, restricted to Bob's announced kept
+// indices. It returns her bits and the final index list she announces
+// back to Bob.
 func (s *System) AliceSelect(aliceSeq []float64, bobKept []int) (bits []byte, kept []int) {
 	r, err := s.AlicePrecompute(aliceSeq)
 	if err != nil {
@@ -285,20 +344,29 @@ func (s *System) AliceSelect(aliceSeq []float64, bobKept []int) (bits []byte, ke
 	return bits, kept
 }
 
-// SelectAt picks the bit pairs of a quantizer result at the given final
+// BobEncode derives the public reconciliation code for one of Bob's key
+// blocks; keyImage is the MAC-keying image the caller must wipe.
+func (s *System) BobEncode(block, salt []byte) (code []float64, keyImage []byte, err error) {
+	return s.Stages.Reconciler.BobEncode(block, salt)
+}
+
+// AliceCorrect reconciles Alice's block against Bob's public code;
+// keyImage is the MAC-verification image the caller must wipe.
+func (s *System) AliceCorrect(block []byte, code []float64, salt []byte) (final, keyImage []byte, err error) {
+	return s.Stages.Reconciler.AliceCorrect(block, code, salt)
+}
+
+// Amplify runs the scheme's privacy amplification.
+func (s *System) Amplify(bits, salt []byte) ([]byte, error) {
+	return s.Stages.Amplifier.Amplify(bits, salt)
+}
+
+var _ pipeline.Scheme = (*System)(nil)
+
+// SelectAt picks the bit groups of a quantizer result at the given final
 // indices (Bob's step after Alice's announcement).
 func SelectAt(bits []byte, kept []int, final []int, bitsPerSample int) []byte {
-	pos := make(map[int]int, len(kept))
-	for i, idx := range kept {
-		pos[idx] = i
-	}
-	out := make([]byte, 0, len(final)*bitsPerSample)
-	for _, idx := range final {
-		if i, ok := pos[idx]; ok {
-			out = append(out, bits[i*bitsPerSample:(i+1)*bitsPerSample]...)
-		}
-	}
-	return out
+	return pipeline.SelectAt(bits, kept, final, bitsPerSample)
 }
 
 // TrainSamples converts a dataset into predictor training samples: input
@@ -308,14 +376,14 @@ func (s *System) TrainSamples(ds *trace.Dataset) ([]nn.TrainSample, error) {
 	b := s.Cfg.BitsPerSample
 	out := make([]nn.TrainSample, 0, len(ds.Samples))
 	for _, smp := range ds.Samples {
-		res, err := quantize.MultiBit(smp.Bob, s.Cfg.quantConfig(s.Cfg.GuardRatio))
+		resBits, resKept, err := s.Stages.Quantizer.Quantize(smp.Bob)
 		if err != nil {
 			return nil, err
 		}
 		bits := make([]byte, s.Cfg.bits())
 		mask := make([]bool, s.Cfg.bits())
-		for i, idx := range res.Kept {
-			copy(bits[idx*b:(idx+1)*b], res.Bits[i*b:(i+1)*b])
+		for i, idx := range resKept {
+			copy(bits[idx*b:(idx+1)*b], resBits[i*b:(i+1)*b])
 			for k := 0; k < b; k++ {
 				mask[idx*b+k] = true
 			}
@@ -325,8 +393,9 @@ func (s *System) TrainSamples(ds *trace.Dataset) ([]nn.TrainSample, error) {
 	return out, nil
 }
 
-// Train fits the predictor on the dataset for the given epochs and trains
-// the reconciler, returning per-epoch losses.
+// Train fits the trainable stages on the dataset for the given epochs,
+// returning the predictor's per-epoch losses. Stages without trainable
+// parameters (every baseline) are left untouched.
 func (s *System) Train(ds *trace.Dataset, epochs int, src *rng.Source) ([]float64, error) {
 	samples, err := s.TrainSamples(ds)
 	if err != nil {
@@ -335,10 +404,13 @@ func (s *System) Train(ds *trace.Dataset, epochs int, src *rng.Source) ([]float6
 	if len(samples) == 0 {
 		return nil, errors.New("core: empty training set")
 	}
-	tr := nn.NewTrainer(s.Predictor, s.Cfg.LearnRate, src.Derive("fit"))
-	tr.Opt.WeightDecay = s.Cfg.WeightDecay
-	losses := tr.Fit(samples, epochs)
-	s.AE = reconcile.TrainAE(s.Cfg.AE, s.Cfg.AEEpochs, s.Cfg.AESamples, src.Derive("ae-fit"))
+	var losses []float64
+	if tp, ok := s.Stages.Predictor.(pipeline.TrainablePredictor); ok {
+		losses = tp.Fit(samples, epochs, s.Cfg.LearnRate, s.Cfg.WeightDecay, src.Derive("fit"))
+	}
+	if tr, ok := s.Stages.Reconciler.(pipeline.TrainableReconciler); ok {
+		tr.Fit(src.Derive("ae-fit"))
+	}
 	return losses, nil
 }
 
@@ -349,9 +421,11 @@ func (s *System) FineTune(ds *trace.Dataset, epochs int, src *rng.Source) ([]flo
 	if err != nil {
 		return nil, err
 	}
-	tr := nn.NewTrainer(s.Predictor, s.Cfg.LearnRate, src.Derive("finetune"))
-	tr.Opt.WeightDecay = s.Cfg.WeightDecay
-	return tr.Fit(samples, epochs), nil
+	tp, ok := s.Stages.Predictor.(pipeline.TrainablePredictor)
+	if !ok {
+		return nil, errors.New("core: scheme has no trainable predictor")
+	}
+	return tp.Fit(samples, epochs, s.Cfg.LearnRate, s.Cfg.WeightDecay, src.Derive("finetune")), nil
 }
 
 // KeyResult reports one completed key block.
@@ -395,7 +469,7 @@ func (ks *KeyStream) Push(smp trace.Sample) ([]KeyResult, error) {
 		return nil, err
 	}
 	aliceBits, finalKept := ks.sys.AliceSelect(smp.Alice, bobKept)
-	bobFinal := SelectAt(bobBits, bobKept, finalKept, ks.sys.Cfg.BitsPerSample)
+	bobFinal := SelectAt(bobBits, bobKept, finalKept, ks.sys.SampleBits())
 	ks.bobBuf = append(ks.bobBuf, bobFinal...)
 	ks.aliceBuf = append(ks.aliceBuf, aliceBits...)
 	ks.duration += smp.Duration
@@ -406,7 +480,7 @@ func (ks *KeyStream) Push(smp trace.Sample) ([]KeyResult, error) {
 	rec.Observe(phaseBitsProbe, float64(len(bobFinal)))
 
 	var out []KeyResult
-	block := ks.sys.Cfg.KeyBlockBits
+	block := ks.sys.BlockBits()
 	for len(ks.bobBuf) >= block {
 		res, err := ks.emit(ks.aliceBuf[:block], ks.bobBuf[:block])
 		if err != nil {
@@ -431,7 +505,7 @@ func (ks *KeyStream) emit(aliceBits, bobBits []byte) (KeyResult, error) {
 	rec := ks.sys.recorder()
 
 	started := time.Now()
-	out, err := ks.sys.AE.Reconcile(aliceBits, bobBits, salt)
+	out, err := ks.sys.Stages.Reconciler.Reconcile(aliceBits, bobBits, salt)
 	if err != nil {
 		return KeyResult{}, fmt.Errorf("core: reconcile: %w", err)
 	}
@@ -441,10 +515,10 @@ func (ks *KeyStream) emit(aliceBits, bobBits []byte) (KeyResult, error) {
 	res.Exact = out.Exact()
 	res.LeakedBits = out.LeakedKeyBits
 	started = time.Now()
-	if res.AliceKey, err = amplify.Amplify(out.AliceKey, salt); err != nil {
+	if res.AliceKey, err = ks.sys.Amplify(out.AliceKey, salt); err != nil {
 		return KeyResult{}, err
 	}
-	if res.BobKey, err = amplify.Amplify(out.BobKey, salt); err != nil {
+	if res.BobKey, err = ks.sys.Amplify(out.BobKey, salt); err != nil {
 		return KeyResult{}, err
 	}
 	rec.Observe(phaseSecAmplify, time.Since(started).Seconds())
@@ -465,18 +539,27 @@ func agreement(a, b []byte) float64 {
 	return float64(same) / float64(len(a))
 }
 
-// Save serializes the trained predictor and reconciler.
+// Save serializes the trained stages (predictor, then reconciler; only
+// stages with persistent state write anything).
 func (s *System) Save(w io.Writer) error {
-	if err := nn.SaveParams(w, s.Predictor.Params()); err != nil {
-		return err
+	for _, st := range []any{s.Stages.Predictor, s.Stages.Reconciler} {
+		if p, ok := st.(pipeline.Persistent); ok {
+			if err := p.Save(w); err != nil {
+				return err
+			}
+		}
 	}
-	return s.AE.Save(w)
+	return nil
 }
 
 // Load restores a system saved by Save into a same-config System.
 func (s *System) Load(r io.Reader) error {
-	if err := nn.LoadParams(r, s.Predictor.Params()); err != nil {
-		return err
+	for _, st := range []any{s.Stages.Predictor, s.Stages.Reconciler} {
+		if p, ok := st.(pipeline.Persistent); ok {
+			if err := p.Load(r); err != nil {
+				return err
+			}
+		}
 	}
-	return s.AE.Load(r)
+	return nil
 }

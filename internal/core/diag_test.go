@@ -39,7 +39,7 @@ func TestDiagTraining(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	tr := nn.NewTrainer(sys.Predictor, sys.Cfg.LearnRate, src.Derive("fit"))
+	tr := nn.NewTrainer(sys.predictorNet(), sys.Cfg.LearnRate, src.Derive("fit"))
 	tr.Opt.WeightDecay = sys.Cfg.WeightDecay
 	acc := func(ds *trace.Dataset) float64 {
 		var a float64

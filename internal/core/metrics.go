@@ -63,7 +63,7 @@ func (s *System) EvaluateEve(ds *trace.Dataset, imitate bool, salt []byte) (Metr
 	var eveBuf, bobBuf []byte
 	var results []KeyResult
 	emitted := 0
-	block := s.Cfg.KeyBlockBits
+	block := s.BlockBits()
 	for _, smp := range ds.Samples {
 		bobBits, bobKept, err := s.BobQuantize(smp.Bob)
 		if err != nil {
@@ -77,7 +77,7 @@ func (s *System) EvaluateEve(ds *trace.Dataset, imitate bool, salt []byte) (Metr
 		// confidence gating Alice would apply.
 		eveBits, finalKept := s.AliceSelect(eveSeq, bobKept)
 		eveBuf = append(eveBuf, eveBits...)
-		bobBuf = append(bobBuf, SelectAt(bobBits, bobKept, finalKept, s.Cfg.BitsPerSample)...)
+		bobBuf = append(bobBuf, SelectAt(bobBits, bobKept, finalKept, s.SampleBits())...)
 		for len(bobBuf) >= block {
 			emitted++
 			roundSalt := append(append([]byte{}, salt...), byte(emitted), byte(emitted>>8))
@@ -85,7 +85,7 @@ func (s *System) EvaluateEve(ds *trace.Dataset, imitate bool, salt []byte) (Metr
 				BitsGenerated: block,
 				PreAgreement:  agreement(eveBuf[:block], bobBuf[:block]),
 			}
-			out, err := s.AE.Reconcile(eveBuf[:block], bobBuf[:block], roundSalt)
+			out, err := s.Stages.Reconciler.Reconcile(eveBuf[:block], bobBuf[:block], roundSalt)
 			if err != nil {
 				return Metrics{}, err
 			}

@@ -1,7 +1,6 @@
 package exp
 
 import (
-	"bytes"
 	"fmt"
 	"runtime"
 	"sort"
@@ -136,10 +135,10 @@ func RunAll(ids []string, cfg RunConfig) ([]Report, error) {
 // the four canonical scenarios at the default config. Training dominates
 // their cost, so RunAll would otherwise retrain identical predictors up
 // to seven times. The cache trains each distinct key once and hands out
-// clones — forward passes mutate LSTM caches, so the trained weights are
-// serialized and every caller Loads them into a private System it can
-// use without synchronization. The train/test datasets are shared
-// read-only.
+// clones — forward passes mutate LSTM caches, so every caller gets a
+// private System.Clone() it can use without synchronization; the cached
+// original is only ever cloned, never run. The train/test datasets are
+// shared read-only.
 //
 // Determinism: the training seed chain is derived from the key alone
 // (root seed, scenario/config fingerprint) — never from which figure
@@ -150,7 +149,7 @@ func RunAll(ids []string, cfg RunConfig) ([]Report, error) {
 type trainedEntry struct {
 	once  sync.Once
 	err   error
-	blob  []byte
+	sys   *core.System
 	train *trace.Dataset
 	test  *trace.Dataset
 }
@@ -185,23 +184,16 @@ func trainFor(sc trace.Scenario, cfg RunConfig, sysCfg core.Config) (*core.Syste
 			e.err = err
 			return
 		}
-		var buf bytes.Buffer
-		if err := sys.Save(&buf); err != nil {
-			e.err = err
-			return
-		}
-		e.blob = buf.Bytes()
+		e.sys = sys
 		e.train, e.test = train, test
 	})
 	if e.err != nil {
 		return nil, nil, nil, e.err
 	}
-	// Load overwrites every trained parameter, so the clone seed only has
-	// to be deterministic, not meaningful.
-	sys := core.New(sysCfg, rng.Stream(cfg.Seed, "train-clone/"+fp, 0))
-	if err := sys.Load(bytes.NewReader(e.blob)); err != nil {
-		return nil, nil, nil, err
-	}
+	// Clone serializes the trained stages and loads them into a fresh
+	// System (verified equivalent to an explicit Save/Load round-trip),
+	// so concurrent callers never share mutable predictor state.
+	sys := e.sys.Clone()
 	// The clone is private to the calling goroutine, so attaching the run's
 	// recorder here is race-free; phase timings flow one way into it and
 	// never feed back into results.

@@ -22,6 +22,12 @@ type RunConfig struct {
 	Epochs  int // predictor training epochs
 	Quick   bool
 
+	// Scheme restricts the cross-scheme comparison experiment
+	// ("schemes") to one registered scheme name. Empty runs every
+	// registered scheme. Figure runners ignore it: each figure fixes the
+	// scheme set the paper compares.
+	Scheme string
+
 	// Parallelism is the worker count used to fan out each experiment's
 	// grid points and RunAll's cross-experiment scheduling. 0 means one
 	// worker per CPU; 1 forces serial execution. Reports are a pure
@@ -48,8 +54,8 @@ func (c RunConfig) recorder() obs.Recorder { return obs.OrNop(c.Obs) }
 // on results. Parallelism is included so the equivalence tests comparing
 // worker counts never serve one count's result to the other.
 func (c RunConfig) cacheKey() string {
-	return fmt.Sprintf("seed=%d samples=%d epochs=%d quick=%t par=%d",
-		c.Seed, c.Samples, c.Epochs, c.Quick, c.Parallelism)
+	return fmt.Sprintf("seed=%d samples=%d epochs=%d quick=%t par=%d scheme=%q",
+		c.Seed, c.Samples, c.Epochs, c.Quick, c.Parallelism, c.Scheme)
 }
 
 // Default returns the full-size configuration; Quick returns a reduced

@@ -1,14 +1,15 @@
 package exp
 
 import (
-	"bytes"
-
-	"repro/internal/baselines"
+	// Blank import: registers the lora-key/han/gao builders with core's
+	// scheme registry. The experiments below reach every baseline through
+	// core.NewScheme and the pipeline interfaces — the same code path the
+	// protocol drives — never through baseline-specific entry points.
+	_ "repro/internal/baselines"
 	"repro/internal/channel"
 	"repro/internal/core"
 	"repro/internal/lora"
-	"repro/internal/quantize"
-	"repro/internal/reconcile"
+	"repro/internal/pipeline"
 	"repro/internal/rng"
 	"repro/internal/trace"
 )
@@ -65,23 +66,19 @@ func ablatePrediction(sys *core.System, test *trace.Dataset) (withA, withK, woA,
 			return 0, 0, 0, 0, qerr
 		}
 		aliceBits, finalKept := sys.AliceSelect(smp.Alice, bobKept)
-		bobFinal := core.SelectAt(bobBits, bobKept, finalKept, b)
+		bobFinal := pipeline.SelectAt(bobBits, bobKept, finalKept, b)
 		withA += bitAgree(aliceBits, bobFinal)
 		withK += float64(len(finalKept)) / float64(sys.Cfg.SeqLen)
 
-		res, qerr := quantize.MultiBit(smp.Alice, quantize.MultiBitConfig{
-			BitsPerSample: b,
-			GuardRatio:    sys.Cfg.PredGuardRatio,
-			BlockSize:     sys.Cfg.SeqLen,
-			Thresholds:    quantize.GaussianThresholds(b),
-			NaturalCoding: true,
-		})
+		// The "without prediction" arm feeds Alice's raw sequence through
+		// the scheme's own predicted-side quantizer rule.
+		rawAll, keptAll, qerr := sys.Stages.Quantizer.QuantizePredicted(smp.Alice)
 		if qerr != nil {
 			return 0, 0, 0, 0, qerr
 		}
-		rawKept := intersectInts(res.Kept, bobKept)
-		rawBits := core.SelectAt(res.Bits, res.Kept, rawKept, b)
-		bobRaw := core.SelectAt(bobBits, bobKept, rawKept, b)
+		rawKept := intersectInts(keptAll, bobKept)
+		rawBits := pipeline.SelectAt(rawAll, keptAll, rawKept, b)
+		bobRaw := pipeline.SelectAt(bobBits, bobKept, rawKept, b)
 		woA += bitAgree(rawBits, bobRaw)
 		woK += float64(len(rawKept)) / float64(sys.Cfg.SeqLen)
 	}
@@ -135,7 +132,7 @@ type fig11Result struct {
 	ops int
 }
 
-func fig11Eval(cfg RunConfig, trials int, rec func(a, b []byte) (reconcile.Outcome, error)) (fig11Result, error) {
+func fig11Eval(cfg RunConfig, trials int, rec func(a, b []byte) (pipeline.Outcome, error)) (fig11Result, error) {
 	var res fig11Result
 	for ki, k := range fig11Mismatches {
 		for tr := 0; tr < trials; tr++ {
@@ -174,14 +171,14 @@ func Fig11(cfg RunConfig) (Report, error) {
 	// Units 0..len(widths)-1 are the AE variants; the last unit is CS.
 	results, err := parMap(cfg, "fig11", len(widths)+1, func(i int, src *rng.Source) (fig11Result, error) {
 		if i == len(widths) {
-			csCfg := reconcile.DefaultCSConfig()
-			return fig11Eval(cfg, trials, func(a, b []byte) (reconcile.Outcome, error) {
-				return reconcile.CSISTA(a, b, csCfg)
+			cs := pipeline.NewCS(pipeline.DefaultCSConfig(), 64)
+			return fig11Eval(cfg, trials, func(a, b []byte) (pipeline.Outcome, error) {
+				return cs.Reconcile(a, b, nil)
 			})
 		}
-		aeCfg := reconcile.AEConfig{KeyBits: 64, CodeDim: 32, DecoderUnits: widths[i], MaxMismatch: 0.15}
-		ae := reconcile.TrainAE(aeCfg, epochs, 200, src.Derive("train"))
-		return fig11Eval(cfg, trials, func(a, b []byte) (reconcile.Outcome, error) {
+		aeCfg := pipeline.AEConfig{KeyBits: 64, CodeDim: 32, DecoderUnits: widths[i], MaxMismatch: 0.15}
+		ae := pipeline.TrainAE(aeCfg, epochs, 200, src.Derive("train"))
+		return fig11Eval(cfg, trials, func(a, b []byte) (pipeline.Outcome, error) {
 			return ae.Reconcile(a, b, []byte("fig11"))
 		})
 	})
@@ -258,7 +255,23 @@ func Table1(cfg RunConfig) (Report, error) {
 // comparisonCell is one scenario's slice of the fig12/fig13 sweep.
 type comparisonCell struct {
 	vk   core.Metrics
-	base []baselines.Result
+	base []pipeline.StreamResult
+}
+
+// evalBaseline builds the named scheme from core's registry and streams
+// the pRSSI series through its quantizer/reconciler slots — the unified
+// path every baseline shares with Vehicle-Key's own stages.
+func evalBaseline(name string, src *rng.Source, ex []trace.Exchange) (pipeline.StreamResult, error) {
+	sys, err := core.NewScheme(name, core.DefaultConfig(), src)
+	if err != nil {
+		return pipeline.StreamResult{}, err
+	}
+	alice, bob := trace.PRSSI(ex)
+	var total float64
+	for _, e := range ex {
+		total += e.Duration
+	}
+	return pipeline.EvaluateStream(sys.Stages, alice, bob, total)
 }
 
 // comparisonRows runs the Vehicle-Key vs state-of-the-art sweep shared
@@ -282,19 +295,19 @@ func comparisonRows(cfg RunConfig) ([]comparisonCell, error) {
 			}
 			col := trace.NewCollector(scs[i], src.Int63())
 			ex := col.Run(exch)
-			lk, err := baselines.LoRaKey(ex)
+			lk, err := evalBaseline("lora-key", nil, ex)
 			if err != nil {
 				return comparisonCell{}, err
 			}
-			han, err := baselines.Han(ex, src.Derive("han"))
+			han, err := evalBaseline("han", src.Derive("han"), ex)
 			if err != nil {
 				return comparisonCell{}, err
 			}
-			gao, err := baselines.Gao(ex)
+			gao, err := evalBaseline("gao", nil, ex)
 			if err != nil {
 				return comparisonCell{}, err
 			}
-			return comparisonCell{vk: m, base: []baselines.Result{lk, han, gao}}, nil
+			return comparisonCell{vk: m, base: []pipeline.StreamResult{lk, han, gao}}, nil
 		})
 	})
 }
@@ -385,7 +398,11 @@ func Fig14(cfg RunConfig) (Report, error) {
 
 		var rows [][]string
 		for _, frac := range []float64{0.10, 0.50, 1.0} {
-			ft := cloneSystem(baseSys, src.Derive(f("clone-%f", frac)))
+			// The pre-Clone() implementation drew a clone seed here; the
+			// draw stays so the unit's derive chain (and every golden
+			// report downstream of it) is unchanged.
+			_ = src.Derive(f("clone-%f", frac))
+			ft := baseSys.Clone()
 			if _, err := ft.FineTune(train.Subset(frac), ftEpochs, src.Derive(f("ft-%f", frac))); err != nil {
 				return nil, err
 			}
@@ -415,20 +432,6 @@ func Fig14(cfg RunConfig) (Report, error) {
 		r.Rows = append(r.Rows, rows...)
 	}
 	return r, nil
-}
-
-// cloneSystem deep-copies a trained system so fine-tuning variants do not
-// interfere.
-func cloneSystem(sys *core.System, src *rng.Source) *core.System {
-	out := core.New(sys.Cfg, src)
-	var buf bytes.Buffer
-	if err := sys.Save(&buf); err != nil {
-		panic(err)
-	}
-	if err := out.Load(&buf); err != nil {
-		panic(err)
-	}
-	return out
 }
 
 // AblateTheta sweeps the joint-loss weight θ (design-choice ablation),
@@ -474,26 +477,30 @@ func AblateBloom(cfg RunConfig) (Report, error) {
 		},
 	}
 	err := forEach(cfg, "ablate-bloom", 1, func(_ int, src *rng.Source) error {
-		ae := reconcile.TrainAE(reconcile.AEConfig{KeyBits: 64, CodeDim: 32, DecoderUnits: 16}, 6, 150, src.Derive("ae"))
+		ae := pipeline.TrainAE(pipeline.AEConfig{KeyBits: 64, CodeDim: 32, DecoderUnits: 16}, 6, 150, src.Derive("ae"))
 		key := src.Derive("key").Bits(64)
 
 		same := 0
 		const trials = 30
 		for i := 0; i < trials; i++ {
-			s1 := []byte(f("session-a-%d", i))
-			s2 := []byte(f("session-b-%d", i))
-			y1 := ae.EncodeBob(reconcile.NewBloomFilter(64, s1).Transform(key))
-			y2 := ae.EncodeBob(reconcile.NewBloomFilter(64, s2).Transform(key))
+			y1, _, err := ae.BobEncode(key, []byte(f("session-a-%d", i)))
+			if err != nil {
+				return err
+			}
+			y2, _, err := ae.BobEncode(key, []byte(f("session-b-%d", i)))
+			if err != nil {
+				return err
+			}
 			if floatsEqual(y1, y2) {
 				same++
 			}
 		}
 		r.Rows = append(r.Rows, []string{"with Bloom filter (salted)", f("%d/%d", same, trials)})
 
-		y := ae.EncodeBob(key)
+		y := ae.EncodeRaw(key)
 		same = 0
 		for i := 0; i < trials; i++ {
-			if floatsEqual(y, ae.EncodeBob(key)) {
+			if floatsEqual(y, ae.EncodeRaw(key)) {
 				same++
 			}
 		}

@@ -53,7 +53,7 @@ func TestSelect(t *testing.T) {
 }
 
 func TestRegistryComplete(t *testing.T) {
-	want := []string{"consttime", "detrand", "errcheck", "locksafe", "norand", "obsnop", "zeroize"}
+	want := []string{"consttime", "detrand", "errcheck", "locksafe", "norand", "obsnop", "stageiface", "zeroize"}
 	got := names(Analyzers())
 	if !reflect.DeepEqual(got, want) {
 		t.Fatalf("registered analyzers = %v, want %v", got, want)

@@ -1,0 +1,61 @@
+package lint
+
+import (
+	"strconv"
+	"strings"
+)
+
+// stageifaceScope is the set of scheme-driving packages: they run key
+// establishment end to end for whatever scheme they are handed, so they
+// must see schemes only through the pipeline stage interfaces. A direct
+// dependency on a concrete stage package re-welds the driver to one
+// scheme's internals and silently breaks every other registered scheme.
+var stageifaceScope = []string{"protocol", "exp"}
+
+// stageifaceBanned are the concrete stage-implementation packages
+// (relative to <module>/internal/) the scope must not reference.
+// Blank imports are exempt: they only register schemes with core's
+// registry (the database/sql driver pattern) and cannot name a type.
+var stageifaceBanned = map[string]bool{
+	"nn":        true,
+	"reconcile": true,
+	"quantize":  true,
+	"baselines": true,
+}
+
+func init() {
+	register(&Analyzer{
+		Name:     "stageiface",
+		Doc:      "scheme drivers (protocol, exp) must use pipeline stage interfaces, never concrete stage packages",
+		Severity: Error,
+		Run:      runStageiface,
+	})
+}
+
+func runStageiface(pass *Pass) {
+	if !pass.InScope(stageifaceScope...) {
+		return
+	}
+	prefix := pass.Module.Path + "/internal/"
+	for _, f := range pass.Pkg.Files {
+		if isGenerated(f) {
+			continue
+		}
+		for _, imp := range f.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			rest, ok := strings.CutPrefix(path, prefix)
+			if !ok || !stageifaceBanned[rest] {
+				continue
+			}
+			if imp.Name != nil && imp.Name.Name == "_" {
+				continue // registration-only import; no types reachable
+			}
+			pass.Reportf(imp.Pos(),
+				"package %s imports concrete stage package %s; drive schemes through pipeline interfaces (core.NewScheme + pipeline.Stages)",
+				pass.Pkg.Name, path)
+		}
+	}
+}

@@ -1,0 +1,30 @@
+// Package exp is a golden-file fixture for the stageiface analyzer: an
+// experiment runner reaching past the pipeline stage interfaces into
+// concrete stage packages, plus the compliant shapes (blank scheme
+// registration and the pipeline package itself).
+package exp
+
+import (
+	"repro/internal/quantize"            // want "stageiface"
+	reconcile "repro/internal/reconcile" // want "stageiface"
+
+	"repro/internal/pipeline"
+
+	_ "repro/internal/baselines"
+)
+
+// defaultQuant hard-wires one scheme's quantizer parameters into the
+// driver — exactly the coupling the analyzer exists to break.
+var defaultQuant = quantize.DefaultMultiBit()
+
+var cascadeCfg = reconcile.DefaultCascadeConfig()
+
+// stages is the compliant shape: the driver holds stage interfaces and
+// lets the registry fill them.
+var stages pipeline.Stages
+
+var (
+	_ = defaultQuant
+	_ = cascadeCfg
+	_ = stages
+)

@@ -1,0 +1,9 @@
+package exp
+
+// selfContained shows the suppression escape hatch: the directive names
+// the check and carries a rationale, and the import below it is dropped.
+
+//vklint:ignore stageiface -- fixture exercising justified suppression
+import "repro/internal/nn"
+
+var _ *nn.Predictor

@@ -7,7 +7,7 @@ import (
 )
 
 // zeroizeScope is the set of packages that handle live key material.
-var zeroizeScope = []string{"secure", "protocol", "amplify", "group"}
+var zeroizeScope = []string{"secure", "protocol", "amplify", "group", "pipeline"}
 
 func init() {
 	register(&Analyzer{

@@ -1,0 +1,16 @@
+package pipeline
+
+import "repro/internal/amplify"
+
+// shaAmplifier is SHA-256-based privacy amplification into 128-bit
+// session keys, the final stage every scheme shares.
+type shaAmplifier struct{}
+
+// NewSHAAmplifier returns the standard privacy-amplification stage.
+func NewSHAAmplifier() Amplifier { return shaAmplifier{} }
+
+func (shaAmplifier) Name() string { return "sha-128" }
+
+func (shaAmplifier) Amplify(bits, salt []byte) ([]byte, error) {
+	return amplify.Amplify(bits, salt)
+}

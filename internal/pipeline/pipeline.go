@@ -1,0 +1,214 @@
+// Package pipeline defines the pluggable stage interfaces a key
+// establishment scheme is composed of — Predictor, Quantizer,
+// Reconciler, Amplifier — plus the runtime Scheme contract the protocol
+// and experiment layers drive schemes through. Vehicle-Key and every
+// baseline (LoRa-Key, Han, Gao) implement the same four slots, so the
+// protocol/ARQ layer, the experiment engine, and the NIST battery
+// exercise identical code paths no matter which scheme is selected.
+//
+// Determinism contract: every stage must be a pure function of its
+// inputs and its construction-time state. Stages that need randomness
+// (training, interactive reconciliation) receive an *rng.Source at
+// construction or through an explicit Fit call; nothing may read wall
+// clocks or global randomness. Under that discipline a scheme's keys
+// are a function of (trace, seed, salt) alone.
+package pipeline
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/nn"
+	"repro/internal/reconcile"
+	"repro/internal/rng"
+)
+
+// Predictor is Alice's side of the channel-reciprocity gap: it maps her
+// measured sequence to (an estimate of) Bob's, plus the full bit head
+// her quantization would produce. Vehicle-Key's BiLSTM predicts Bob's
+// sequence; baseline schemes use an identity predictor (Alice quantizes
+// her own measurements directly).
+type Predictor interface {
+	Name() string
+	// Predict returns Alice's estimate of Bob's sequence and the full
+	// (un-guarded) bit head over every sample position.
+	Predict(aliceSeq []float64) (yHat []float64, headBits []byte, err error)
+	// Clone returns an independent deep copy; mutating one side's
+	// internal caches or weights must not affect the other.
+	Clone() Predictor
+}
+
+// TrainablePredictor is implemented by predictors with fittable
+// parameters (Vehicle-Key's BiLSTM). Fit returns per-epoch losses.
+type TrainablePredictor interface {
+	Predictor
+	Fit(samples []nn.TrainSample, epochs int, learnRate, weightDecay float64, src *rng.Source) []float64
+}
+
+// Quantizer turns a (normalized) RSSI sequence into key bits.
+// Quantize applies the measurement-side rule (Bob: guard-banded);
+// QuantizePredicted applies the prediction-side rule (Alice: possibly a
+// wider guard, or the same rule for schemes without prediction). Both
+// return the kept sample indices alongside the bits; for schemes
+// without guard bands every index is kept.
+type Quantizer interface {
+	Name() string
+	BitsPerSample() int
+	Quantize(seq []float64) (bits []byte, kept []int, err error)
+	QuantizePredicted(seq []float64) (bits []byte, kept []int, err error)
+}
+
+// Reconciler corrects the residual bit mismatch between the two sides'
+// key blocks. Reconcile is the local/evaluation entry point (both
+// blocks in hand). BobEncode/AliceCorrect split the same correction
+// across the wire for the protocol layer: Bob derives a public code
+// from his block, Alice corrects her block against it. keyImage is the
+// reconciliation-domain image of the block (e.g. the Bloom-domain key
+// for the autoencoder) used to key the integrity MAC; callers must
+// wipe it after use. Schemes whose reconciliation works directly on raw
+// bits return the block itself.
+type Reconciler interface {
+	Name() string
+	// BlockBits is the reconciliation unit in bits.
+	BlockBits() int
+	Reconcile(alice, bob, salt []byte) (reconcile.Outcome, error)
+	BobEncode(block, salt []byte) (code []float64, keyImage []byte, err error)
+	AliceCorrect(block []byte, code []float64, salt []byte) (final, keyImage []byte, err error)
+	Clone() Reconciler
+}
+
+// TrainableReconciler is implemented by reconcilers with fittable
+// parameters (the autoencoder). Fit trains in place with the knobs the
+// stage was constructed with.
+type TrainableReconciler interface {
+	Reconciler
+	Fit(src *rng.Source)
+}
+
+// Amplifier compresses reconciled material into a uniform session key.
+type Amplifier interface {
+	Name() string
+	Amplify(bits, salt []byte) ([]byte, error)
+}
+
+// Persistent is implemented by stages with trained state worth
+// serializing. Save/Load must round-trip to an equivalent stage.
+type Persistent interface {
+	Save(w io.Writer) error
+	Load(r io.Reader) error
+}
+
+// Stages is one scheme's slot assignment. The zero value is not usable;
+// construct through a scheme builder (core.NewScheme).
+type Stages struct {
+	// Scheme is the registry name ("vehicle-key", "lora-key", ...).
+	Scheme string
+
+	Predictor  Predictor
+	Quantizer  Quantizer
+	Reconciler Reconciler
+	Amplifier  Amplifier
+
+	// IndexExchange marks schemes that publicly announce kept sample
+	// indices and intersect them (guard-banded quantizers). Schemes
+	// without it keep every sample, so the announcement is a no-op —
+	// the unified protocol path still exchanges the (full) index lists,
+	// which reveal nothing about values either way.
+	IndexExchange bool
+}
+
+// Round is Alice's precomputed per-window state: the expensive forward
+// pass and guard-band rule run once, after which Select answers Bob's
+// announcement (possibly several times, under retransmission) with a
+// cheap set intersection.
+type Round interface {
+	// Select intersects Bob's announced kept indices with Alice's own
+	// survivors and returns her bits plus the final index list.
+	// Out-of-range announcements (possible with a corrupted envelope)
+	// are rejected with ok=false rather than panicking.
+	Select(bobKept []int) (bits []byte, kept []int, ok bool)
+}
+
+// Scheme is the runtime contract the protocol layer drives: the four
+// stages composed behind scheme-agnostic operations. core.System is the
+// canonical implementation for every registered scheme.
+type Scheme interface {
+	SchemeName() string
+	// BlockBits is the reconciliation block length in key bits.
+	BlockBits() int
+	// SampleBits is the quantizer depth (bits per kept sample).
+	SampleBits() int
+	BobQuantize(bobSeq []float64) (bits []byte, kept []int, err error)
+	AlicePrecompute(aliceSeq []float64) (Round, error)
+	BobEncode(block, salt []byte) (code []float64, keyImage []byte, err error)
+	AliceCorrect(block []byte, code []float64, salt []byte) (final, keyImage []byte, err error)
+	Amplify(bits, salt []byte) ([]byte, error)
+}
+
+// indexRound is the standard Round implementation: Alice's full bit
+// head plus her own kept-index set.
+type indexRound struct {
+	mine map[int]bool
+	all  []byte
+	b    int
+}
+
+// NewRound builds the standard Round from Alice's full bit head, her
+// own guard-band survivors, and the quantizer depth.
+func NewRound(all []byte, mine []int, bitsPerSample int) Round {
+	m := make(map[int]bool, len(mine))
+	for _, idx := range mine {
+		m[idx] = true
+	}
+	return &indexRound{mine: m, all: all, b: bitsPerSample}
+}
+
+func (r *indexRound) Select(bobKept []int) (bits []byte, kept []int, ok bool) {
+	n := len(r.all) / r.b
+	for _, idx := range bobKept {
+		if idx < 0 || idx >= n {
+			return nil, nil, false
+		}
+	}
+	for _, idx := range bobKept {
+		if !r.mine[idx] {
+			continue
+		}
+		kept = append(kept, idx)
+		bits = append(bits, r.all[idx*r.b:(idx+1)*r.b]...)
+	}
+	return bits, kept, true
+}
+
+// SelectAt picks the bit groups of a quantizer result at the given
+// final indices (Bob's step after Alice's announcement).
+func SelectAt(bits []byte, kept []int, final []int, bitsPerSample int) []byte {
+	pos := make(map[int]int, len(kept))
+	for i, idx := range kept {
+		pos[idx] = i
+	}
+	out := make([]byte, 0, len(final)*bitsPerSample)
+	for _, idx := range final {
+		if i, ok := pos[idx]; ok {
+			out = append(out, bits[i*bitsPerSample:(i+1)*bitsPerSample]...)
+		}
+	}
+	return out
+}
+
+// StageError identifies which stage of which scheme failed, so protocol
+// and experiment errors name the slot rather than a concrete type.
+type StageError struct {
+	Scheme string // registry name, when known
+	Stage  string // "predictor", "quantizer", "reconciler", "amplifier"
+	Err    error
+}
+
+func (e *StageError) Error() string {
+	if e.Scheme == "" {
+		return fmt.Sprintf("pipeline: %s stage: %v", e.Stage, e.Err)
+	}
+	return fmt.Sprintf("pipeline: %s/%s stage: %v", e.Scheme, e.Stage, e.Err)
+}
+
+func (e *StageError) Unwrap() error { return e.Err }

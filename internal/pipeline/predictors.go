@@ -1,0 +1,29 @@
+package pipeline
+
+// identityPredictor is the no-prediction slot filler used by schemes
+// where Alice quantizes her own measurements directly (every baseline):
+// yHat is the measured sequence itself, and the bit head is produced by
+// the scheme's own un-guarded quantization rule.
+type identityPredictor struct {
+	head func(seq []float64) ([]byte, error)
+}
+
+// NewIdentityPredictor builds a pass-through predictor. head maps
+// Alice's raw sequence to her full (un-guarded) bit head; it is
+// typically the scheme's quantizer with the guard band disabled.
+func NewIdentityPredictor(head func(seq []float64) ([]byte, error)) Predictor {
+	return &identityPredictor{head: head}
+}
+
+func (p *identityPredictor) Name() string { return "identity" }
+
+func (p *identityPredictor) Predict(aliceSeq []float64) ([]float64, []byte, error) {
+	bits, err := p.head(aliceSeq)
+	if err != nil {
+		return nil, nil, err
+	}
+	return aliceSeq, bits, nil
+}
+
+// Clone returns the receiver: an identity predictor is stateless.
+func (p *identityPredictor) Clone() Predictor { return p }

@@ -1,0 +1,69 @@
+package pipeline
+
+import (
+	"repro/internal/quantize"
+)
+
+// multiBitQuantizer wraps the Jana et al. multi-bit quantizer with
+// separate measurement-side and prediction-side configurations (they
+// differ only in guard ratio for Vehicle-Key; baselines use one rule
+// for both sides).
+type multiBitQuantizer struct {
+	meas quantize.MultiBitConfig
+	pred quantize.MultiBitConfig
+}
+
+// NewMultiBit builds a quantizer stage from a measurement-side and a
+// prediction-side multi-bit configuration. Both must share the same
+// BitsPerSample.
+func NewMultiBit(meas, pred quantize.MultiBitConfig) Quantizer {
+	return &multiBitQuantizer{meas: meas, pred: pred}
+}
+
+func (q *multiBitQuantizer) Name() string       { return "multi-bit" }
+func (q *multiBitQuantizer) BitsPerSample() int { return q.meas.BitsPerSample }
+
+func (q *multiBitQuantizer) Quantize(seq []float64) ([]byte, []int, error) {
+	res, err := quantize.MultiBit(seq, q.meas)
+	if err != nil {
+		return nil, nil, err
+	}
+	return res.Bits, res.Kept, nil
+}
+
+func (q *multiBitQuantizer) QuantizePredicted(seq []float64) ([]byte, []int, error) {
+	res, err := quantize.MultiBit(seq, q.pred)
+	if err != nil {
+		return nil, nil, err
+	}
+	return res.Bits, res.Kept, nil
+}
+
+// intervalQuantizer wraps Gao's chunked interval quantizer. It has no
+// guard band: every repetition index is kept, and both sides apply the
+// same rule.
+type intervalQuantizer struct {
+	interval int
+	rounds   int
+}
+
+// NewInterval builds Gao's interval quantizer stage.
+func NewInterval(interval, rounds int) Quantizer {
+	return &intervalQuantizer{interval: interval, rounds: rounds}
+}
+
+func (q *intervalQuantizer) Name() string       { return "interval" }
+func (q *intervalQuantizer) BitsPerSample() int { return 1 }
+
+func (q *intervalQuantizer) Quantize(seq []float64) ([]byte, []int, error) {
+	bits := quantize.Interval(seq, q.interval, q.rounds)
+	kept := make([]int, len(bits))
+	for i := range kept {
+		kept[i] = i
+	}
+	return bits, kept, nil
+}
+
+func (q *intervalQuantizer) QuantizePredicted(seq []float64) ([]byte, []int, error) {
+	return q.Quantize(seq)
+}

@@ -80,7 +80,7 @@ func Profile(sys *core.System, smp trace.Sample, iters int) ([]Measurement, erro
 
 	// Bob: reconciliation encode.
 	tBobRec := timeIt(func() {
-		out, _ := sys.AE.Reconcile(a64, b64, salt)
+		out, _ := sys.Stages.Reconciler.Reconcile(a64, b64, salt)
 		_ = out
 	})
 	// Alice: full reconciliation (encode + decode). Measure her cost via

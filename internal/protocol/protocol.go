@@ -43,10 +43,8 @@ import (
 	"hash/crc32"
 	"time"
 
-	"repro/internal/amplify"
-	"repro/internal/core"
 	"repro/internal/obs"
-	"repro/internal/reconcile"
+	"repro/internal/pipeline"
 	"repro/internal/secure"
 	"repro/internal/transport"
 )
@@ -218,9 +216,12 @@ func WithRecorder(r obs.Recorder) Option {
 	return func(n *Node) { n.rec = obs.OrNop(r) }
 }
 
-// Node is one protocol endpoint.
+// Node is one protocol endpoint. It drives any pipeline.Scheme — the
+// trained Vehicle-Key system or a registered baseline — through the
+// identical message flow; nothing below this struct knows which scheme
+// is running.
 type Node struct {
-	Sys     *core.System
+	Sys     pipeline.Scheme
 	Conn    transport.Conn
 	Session string
 
@@ -246,8 +247,9 @@ func keyOf(e Envelope) msgKey {
 	return msgKey{e.Type, e.Round}
 }
 
-// NewNode wraps a trained system and a connection into an endpoint.
-func NewNode(sys *core.System, conn transport.Conn, session string, opts ...Option) *Node {
+// NewNode wraps a scheme (a trained *core.System, or any other
+// pipeline.Scheme) and a connection into an endpoint.
+func NewNode(sys pipeline.Scheme, conn transport.Conn, session string, opts ...Option) *Node {
 	n := &Node{
 		Sys:     sys,
 		Conn:    conn,
@@ -426,8 +428,8 @@ func sessionSalt(session string, round int) []byte {
 // (quantization) failures. A closed transport ends the run gracefully
 // with the outcomes so far.
 func (n *Node) RunBob(windows [][]float64) ([]KeyOutcome, error) {
-	block := n.Sys.Cfg.KeyBlockBits
-	bps := n.Sys.Cfg.BitsPerSample
+	block := n.Sys.BlockBits()
+	bps := n.Sys.SampleBits()
 	var buf []byte
 	var contributed, counts []int
 	var out []KeyOutcome
@@ -456,7 +458,7 @@ func (n *Node) RunBob(windows [][]float64) ([]KeyOutcome, error) {
 			}
 			return out, ignoreClosed(err)
 		}
-		sel := core.SelectAt(bits, kept, fin.Indices, bps)
+		sel := pipeline.SelectAt(bits, kept, fin.Indices, bps)
 		buf = append(buf, sel...)
 		contributed = append(contributed, w)
 		counts = append(counts, len(sel))
@@ -490,11 +492,12 @@ func (n *Node) bobBlock(bits []byte, round int, wins, counts []int) (KeyOutcome,
 		n.rec.Observe(obs.ProtocolRoundSeconds, time.Since(started).Seconds())
 	}()
 	salt := sessionSalt(n.Session, round)
-	bf := reconcile.NewBloomFilter(n.Sys.Cfg.KeyBlockBits, salt)
-	bloomKey := bf.Transform(bits)
-	code := n.Sys.AE.EncodeBob(bloomKey)
-	mac := secure.MAC(bloomKey, floatsToBytes(code))
-	secure.Wipe(bloomKey) // the Bloom-domain key image is dead once coded and MACed
+	code, keyImage, err := n.Sys.BobEncode(bits, salt)
+	if err != nil {
+		return KeyOutcome{Round: round}, err
+	}
+	mac := secure.MAC(keyImage, floatsToBytes(code))
+	secure.Wipe(keyImage) // the scheme's key image is dead once coded and MACed
 	env := Envelope{
 		Type: MsgSyndrome, Code: code, MAC: mac, Round: round,
 		Windows: append([]int(nil), wins...), Counts: append([]int(nil), counts...),
@@ -527,7 +530,7 @@ func (n *Node) bobBlock(bits []byte, round int, wins, counts []int) (KeyOutcome,
 		n.rec.Event(obs.EvRound, fmt.Sprintf("round=%d rejected", round))
 		return KeyOutcome{Round: round, Err: roundErr(round, "result", ErrConfirmFailed)}, nil
 	}
-	key, err := amplify.Amplify(bits, salt)
+	key, err := n.Sys.Amplify(bits, salt)
 	if err != nil {
 		return KeyOutcome{Round: round}, err
 	}
@@ -575,10 +578,10 @@ func (n *Node) finish(totalRounds int) {
 // deduplicates retransmits, fast-forwards past rounds the peer abandoned,
 // and finishes on the DONE handshake (or after a run of idle timeouts).
 func (n *Node) RunAlice(windows [][]float64) ([]KeyOutcome, error) {
-	block := n.Sys.Cfg.KeyBlockBits
+	block := n.Sys.BlockBits()
 	// Precompute the network pass per window up front: replies inside the
 	// receive loop must be cheap relative to the peer's retransmit timer.
-	pre := make([]*core.AliceRound, len(windows))
+	pre := make([]pipeline.Round, len(windows))
 	for i, w := range windows {
 		r, err := n.Sys.AlicePrecompute(w)
 		if err != nil {
@@ -704,16 +707,22 @@ loop:
 				continue
 			}
 			salt := sessionSalt(n.Session, r)
-			bf := reconcile.NewBloomFilter(block, salt)
-			bloomKey := bf.Transform(bits)
-			corrected := n.Sys.AE.Correct(bloomKey, e.Code)
-			secure.Wipe(bloomKey) // dead after correction; see zeroize invariant
+			final, keyImage, err := n.Sys.AliceCorrect(bits, e.Code, salt)
+			if err != nil {
+				// The scheme rejected the code vector (hostile or
+				// wrong-length within the wire caps): the round cannot be
+				// reconciled. Bob's CONFIRM retries expire on their own.
+				n.stats.Garbage++
+				n.rec.Add(obs.ProtocolGarbage, 1)
+				fail(r)
+				continue
+			}
 			// MAC check: if our corrected key equals Bob's, his MAC
-			// verifies under it. A failed MAC means residual mismatch or
-			// tampering; both end in rejection (Sec. IV-C).
-			macOK := secure.VerifyMAC(corrected, floatsToBytes(e.Code), e.MAC)
-			final := bf.Inverse(corrected)
-			secure.Wipe(corrected) // bloom-domain image is dead once inverted
+			// verifies under the scheme's key image. A failed MAC means
+			// residual mismatch or tampering; both end in rejection
+			// (Sec. IV-C).
+			macOK := secure.VerifyMAC(keyImage, floatsToBytes(e.Code), e.MAC)
+			secure.Wipe(keyImage) // dead once verified; see zeroize invariant
 			if err := n.send(Envelope{Type: MsgConfirm, MAC: secure.MAC(final, salt), Round: r}); err != nil {
 				fail(r)
 				return aliceOutcomes(outcomes, nextRound, totalRounds), ignoreClosed(err)
@@ -733,7 +742,7 @@ loop:
 			n.rec.Observe(obs.ProtocolRoundSeconds, time.Since(p.started).Seconds())
 			o := KeyOutcome{Round: r, Err: roundErr(r, "result", ErrConfirmFailed)}
 			if e.Accepted && p.macOK {
-				if key, err := amplify.Amplify(p.final, sessionSalt(n.Session, r)); err == nil {
+				if key, err := n.Sys.Amplify(p.final, sessionSalt(n.Session, r)); err == nil {
 					o = KeyOutcome{Key: key, Confirmed: true, Round: r}
 					n.rec.Add(obs.ProtocolKeysConfirmed, 1)
 					n.rec.Event(obs.EvKey, fmt.Sprintf("round=%d", r))

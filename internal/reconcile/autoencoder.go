@@ -1,6 +1,7 @@
 package reconcile
 
 import (
+	"bytes"
 	"errors"
 	"io"
 	"math"
@@ -120,6 +121,23 @@ func (ae *AE) Save(w io.Writer) error { return nn.SaveParams(w, ae.Params()) }
 // Load restores weights saved by Save into a model built with the same
 // AEConfig.
 func (ae *AE) Load(r io.Reader) error { return nn.LoadParams(r, ae.Params()) }
+
+// Clone returns an independent deep copy of the reconciler: same fixed
+// encoder projection (it is derived from Cfg.EncoderSeed), decoder
+// weights copied through the Save/Load round-trip so the two copies
+// share no parameter storage. The initialization seed is irrelevant —
+// Load overwrites every trained parameter.
+func (ae *AE) Clone() *AE {
+	out := NewAE(ae.Cfg, rng.New(1))
+	var buf bytes.Buffer
+	if err := ae.Save(&buf); err != nil {
+		panic("reconcile: AE clone save: " + err.Error())
+	}
+	if err := out.Load(&buf); err != nil {
+		panic("reconcile: AE clone load: " + err.Error())
+	}
+	return out
+}
 
 // encode projects a ±1-mapped key through the fixed encoder.
 func (ae *AE) encode(bits []byte) []float64 {

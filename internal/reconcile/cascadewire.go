@@ -1,0 +1,163 @@
+package reconcile
+
+import (
+	"errors"
+	"hash/fnv"
+
+	"repro/internal/rng"
+)
+
+// This file is the one-shot wire form of Cascade. The interactive
+// protocol (Cascade in cascade.go) alternates parity queries with
+// binary-search replies; over a lossy half-duplex LoRa link that
+// chattiness is exactly what the paper's baselines suffer from. For the
+// unified protocol path Bob instead publishes, per pass and block, the
+// parity of the block and of every left child in its bisection tree —
+// the complete set of answers the interactive search could ever request
+// (a right half's parity is the node parity XOR the left half's, so
+// only left children are sent). Alice then replays Cascade's correction
+// locally against that table. Pass permutations are derived from the
+// public session salt, so both sides compute identical block layouts
+// without interaction. The published parities leak ~n bits per pass,
+// the honest upper bound the interactive protocol also pays in the
+// worst case.
+
+// cascadePerm derives pass p's shuffle of n positions from the salt.
+func cascadePerm(salt []byte, pass, n int) []int {
+	h := fnv.New64a()
+	h.Write(salt)
+	seed := int64(h.Sum64() & 0x7fffffffffffffff)
+	return rng.New(rng.SubSeed(seed, "cascade-pass", pass)).Perm(n)
+}
+
+// forEachCascadeNode enumerates one block's parity announcements in
+// canonical order — the whole block first, then the left child of every
+// internal bisection node, pre-order — as (lo, hi) spans over the
+// block's index slice. Both wire halves walk this exact order.
+func forEachCascadeNode(n int, emit func(lo, hi int) error) error {
+	if err := emit(0, n); err != nil {
+		return err
+	}
+	var walk func(lo, hi int) error
+	walk = func(lo, hi int) error {
+		if hi-lo <= 1 {
+			return nil
+		}
+		mid := (lo + hi) / 2
+		if err := emit(lo, mid); err != nil {
+			return err
+		}
+		if err := walk(lo, mid); err != nil {
+			return err
+		}
+		return walk(mid, hi)
+	}
+	return walk(0, n)
+}
+
+// CascadeSyndromeEncode is Bob's half: every parity Alice's replayed
+// binary search could query, flattened into one code vector.
+func CascadeSyndromeEncode(keyBob, salt []byte, cfg CascadeConfig) []float64 {
+	if cfg.InitialBlock <= 0 {
+		cfg.InitialBlock = 3
+	}
+	if cfg.Passes <= 0 {
+		cfg.Passes = 4
+	}
+	n := len(keyBob)
+	var code []float64
+	block := cfg.InitialBlock
+	for pass := 0; pass < cfg.Passes; pass++ {
+		perm := cascadePerm(salt, pass, n)
+		for lo := 0; lo < n; lo += block {
+			hi := lo + block
+			if hi > n {
+				hi = n
+			}
+			idx := perm[lo:hi]
+			_ = forEachCascadeNode(len(idx), func(a, b int) error {
+				code = append(code, float64(parity(keyBob, idx[a:b])))
+				return nil
+			})
+		}
+		block *= 2
+	}
+	return code
+}
+
+// CascadeSyndromeCorrect is Alice's half: Cascade's per-pass correction
+// replayed against Bob's published parity table. Malformed codes (wrong
+// length, non-bit values) are rejected with an error, never a panic.
+func CascadeSyndromeCorrect(keyAlice []byte, code []float64, salt []byte, cfg CascadeConfig) ([]byte, error) {
+	if cfg.InitialBlock <= 0 {
+		cfg.InitialBlock = 3
+	}
+	if cfg.Passes <= 0 {
+		cfg.Passes = 4
+	}
+	n := len(keyAlice)
+	alice := make([]byte, n)
+	copy(alice, keyAlice)
+
+	pos := 0
+	next := func() (byte, error) {
+		if pos >= len(code) {
+			return 0, errors.New("reconcile: cascade syndrome truncated")
+		}
+		v := code[pos]
+		pos++
+		if v != 0 && v != 1 {
+			return 0, errors.New("reconcile: cascade syndrome is not a bit vector")
+		}
+		return byte(v), nil
+	}
+
+	block := cfg.InitialBlock
+	for pass := 0; pass < cfg.Passes; pass++ {
+		perm := cascadePerm(salt, pass, n)
+		for lo := 0; lo < n; lo += block {
+			hi := lo + block
+			if hi > n {
+				hi = n
+			}
+			idx := perm[lo:hi]
+			// Consume this block's parities in canonical order: the root
+			// first, then the left-child parities keyed by their span.
+			var root byte
+			left := make(map[[2]int]byte)
+			first := true
+			err := forEachCascadeNode(len(idx), func(a, b int) error {
+				p, err := next()
+				if err != nil {
+					return err
+				}
+				if first {
+					root, first = p, false
+				} else {
+					left[[2]int{a, b}] = p
+				}
+				return nil
+			})
+			if err != nil {
+				return nil, err
+			}
+			if parity(alice, idx) != root {
+				lo2, hi2 := 0, len(idx)
+				for hi2-lo2 > 1 {
+					mid := (lo2 + hi2) / 2
+					if parity(alice, idx[lo2:mid]) != left[[2]int{lo2, mid}] {
+						hi2 = mid
+					} else {
+						lo2 = mid
+					}
+				}
+				alice[idx[lo2]] ^= 1
+			}
+		}
+		block *= 2
+	}
+	if pos != len(code) {
+		return nil, errors.New("reconcile: cascade syndrome length mismatch")
+	}
+	return alice, nil
+}

@@ -1,0 +1,95 @@
+package reconcile
+
+import (
+	"errors"
+	"math"
+)
+
+// This file splits the compressed-sensing reconciler into its two wire
+// halves, so the protocol layer can run LoRa-Key/Gao reconciliation as
+// a one-message exchange: Bob transmits the public syndrome y = Φ·k_B,
+// Alice decodes the sparse mismatch from her own projection. CSISTA is
+// the local (both-keys-in-hand) composition of the same two halves.
+
+// CSEncode is Bob's half: the public syndrome y = Φ·k_B over the shared
+// sensing matrix derived from cfg.MatrixSeed.
+func CSEncode(keyBob []byte, cfg CSConfig) []float64 {
+	if cfg.Rows <= 0 {
+		cfg.Rows = 20
+	}
+	n := len(keyBob)
+	phi := sensingMatrix(cfg.Rows, n, cfg.MatrixSeed)
+	return matVecBits(phi, keyBob, cfg.Rows, n)
+}
+
+// CSISTACorrect is Alice's half: she forms Φ·k_A − y = Φ·e and recovers
+// the sparse mismatch e with the same ISTA decode CSISTA runs, flipping
+// the recovered positions in a copy of her key. A syndrome whose length
+// does not match cfg.Rows (possible with a corrupted or hostile
+// envelope) is rejected with an error, never a panic.
+func CSISTACorrect(keyAlice []byte, yBob []float64, cfg CSConfig) ([]byte, error) {
+	if cfg.Rows <= 0 {
+		cfg.Rows = 20
+	}
+	m := cfg.Rows
+	if len(yBob) != m {
+		return nil, errors.New("reconcile: cs syndrome length mismatch")
+	}
+	iters := cfg.ISTAIterations
+	if iters <= 0 {
+		iters = 200
+	}
+	n := len(keyAlice)
+	phi := sensingMatrix(m, n, cfg.MatrixSeed)
+	yA := matVecBits(phi, keyAlice, m, n)
+	b := make([]float64, m)
+	for i := range b {
+		b[i] = yA[i] - yBob[i]
+	}
+
+	// ISTA, identical to CSISTA's decode: x ← shrink(x + (1/L)·Φᵀ(b − Φx), λ/L).
+	x := make([]float64, n)
+	l := float64(n) / float64(m)
+	step := 1 / l
+	lambda := 0.2
+	resid := make([]float64, m)
+	grad := make([]float64, n)
+	for it := 0; it < iters; it++ {
+		for r := 0; r < m; r++ {
+			s := b[r]
+			row := phi[r*n : (r+1)*n]
+			for c := 0; c < n; c++ {
+				s -= row[c] * x[c]
+			}
+			resid[r] = s
+		}
+		for c := 0; c < n; c++ {
+			var s float64
+			for r := 0; r < m; r++ {
+				s += phi[r*n+c] * resid[r]
+			}
+			grad[c] = s
+		}
+		for c := 0; c < n; c++ {
+			v := x[c] + step*grad[c]
+			switch {
+			case v > lambda*step:
+				v -= lambda * step
+			case v < -lambda*step:
+				v += lambda * step
+			default:
+				v = 0
+			}
+			x[c] = v
+		}
+	}
+
+	alice := make([]byte, n)
+	copy(alice, keyAlice)
+	for c := 0; c < n; c++ {
+		if math.Abs(x[c]) > 0.5 {
+			alice[c] ^= 1
+		}
+	}
+	return alice, nil
+}

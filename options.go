@@ -47,6 +47,10 @@ var (
 // exchange phase that died), wrapping one of the sentinels above.
 type RoundError = protocol.RoundError
 
+// ErrUnknownScheme reports an Options.Scheme name no registered scheme
+// answers to; its Known field lists the valid names.
+type ErrUnknownScheme = core.ErrUnknownScheme
+
 // SessionObserver receives session lifecycle callbacks. Callbacks run
 // synchronously on the calling goroutine; implementations must be quick
 // or hand off.
@@ -118,6 +122,13 @@ func WithTrainingEpochs(n int) Option {
 // WithSystemConfig replaces the advanced pipeline configuration.
 func WithSystemConfig(cfg SystemConfig) Option {
 	return func(o *Options) { o.System = cfg }
+}
+
+// WithScheme selects the key-generation scheme by registry name —
+// "vehicle-key" (the default), "lora-key", "han", or "gao"; see
+// Schemes(). Setup fails with ErrUnknownScheme for anything else.
+func WithScheme(name string) Option {
+	return func(o *Options) { o.Scheme = name }
 }
 
 // WithRecorder routes the session's metrics — pipeline phase timings,

@@ -34,6 +34,9 @@ import (
 	"io"
 	"log"
 
+	// Blank import: registers the lora-key/han/gao scheme builders so
+	// Options.Scheme / WithScheme can name them.
+	_ "repro/internal/baselines"
 	"repro/internal/channel"
 	"repro/internal/core"
 	"repro/internal/nist"
@@ -76,6 +79,13 @@ type Options struct {
 
 	TrainingWindows int // probing windows used for training, default 500
 	TrainingEpochs  int // predictor epochs, default 30
+
+	// Scheme selects the registered key-generation scheme driving the
+	// session's pipeline stages: "vehicle-key" (default when empty) or
+	// any name in Schemes() ("lora-key", "han", "gao"). Every scheme runs
+	// through the same quantize→reconcile→amplify path; only the stage
+	// implementations differ.
+	Scheme string
 
 	System core.Config // advanced pipeline knobs; zero values take defaults
 
@@ -143,7 +153,10 @@ func SetupWith(opts Options, extra ...Option) (*Session, error) {
 	}
 	src := rng.New(opts.Seed + 1)
 	train, _, test := ds.Split(0.75, 0.05, src.Derive("split"))
-	sys := core.New(opts.System, src.Derive("sys"))
+	sys, err := core.NewScheme(opts.Scheme, opts.System, src.Derive("sys"))
+	if err != nil {
+		return nil, fmt.Errorf("vehiclekey: %w", err)
+	}
 	rec := obs.OrNop(opts.Recorder)
 	sys.SetRecorder(rec)
 	if _, err := sys.Train(train, opts.TrainingEpochs, src.Derive("train")); err != nil {
@@ -162,6 +175,10 @@ func SetupWith(opts Options, extra ...Option) (*Session, error) {
 // System exposes the trained pipeline for advanced use (protocol nodes,
 // profiling).
 func (s *Session) System() *core.System { return s.sys }
+
+// Schemes lists the registered scheme names accepted by Options.Scheme
+// and WithScheme, sorted.
+func Schemes() []string { return core.SchemeNames() }
 
 // Windows returns up to n held-out aligned measurement windows
 // (Alice side, Bob side) for driving the interactive protocol.
