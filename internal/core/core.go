@@ -373,15 +373,19 @@ func SelectAt(bits []byte, kept []int, final []int, bitsPerSample int) []byte {
 // Alice's sequence; targets Bob's sequence plus Bob's guard-banded bits,
 // with the BCE loss masked to the kept positions.
 func (s *System) TrainSamples(ds *trace.Dataset) ([]nn.TrainSample, error) {
-	b := s.Cfg.BitsPerSample
+	// Stride by the scheme quantizer's depth, not Cfg.BitsPerSample: the
+	// two differ for baseline quantizers (han: 3, lora-key/gao: 1), and
+	// striding by the config depth would interleave wrong bit groups.
+	b := s.SampleBits()
+	width := b * s.Cfg.SeqLen
 	out := make([]nn.TrainSample, 0, len(ds.Samples))
 	for _, smp := range ds.Samples {
 		resBits, resKept, err := s.Stages.Quantizer.Quantize(smp.Bob)
 		if err != nil {
 			return nil, err
 		}
-		bits := make([]byte, s.Cfg.bits())
-		mask := make([]bool, s.Cfg.bits())
+		bits := make([]byte, width)
+		mask := make([]bool, width)
 		for i, idx := range resKept {
 			copy(bits[idx*b:(idx+1)*b], resBits[i*b:(i+1)*b])
 			for k := 0; k < b; k++ {
@@ -397,6 +401,13 @@ func (s *System) TrainSamples(ds *trace.Dataset) ([]nn.TrainSample, error) {
 // returning the predictor's per-epoch losses. Stages without trainable
 // parameters (every baseline) are left untouched.
 func (s *System) Train(ds *trace.Dataset, epochs int, src *rng.Source) ([]float64, error) {
+	tp, trainPred := s.Stages.Predictor.(pipeline.TrainablePredictor)
+	tr, trainRec := s.Stages.Reconciler.(pipeline.TrainableReconciler)
+	if !trainPred && !trainRec {
+		// Nothing to fit (every baseline): skip sample assembly rather
+		// than build predictor targets no stage will consume.
+		return nil, nil
+	}
 	samples, err := s.TrainSamples(ds)
 	if err != nil {
 		return nil, err
@@ -405,10 +416,10 @@ func (s *System) Train(ds *trace.Dataset, epochs int, src *rng.Source) ([]float6
 		return nil, errors.New("core: empty training set")
 	}
 	var losses []float64
-	if tp, ok := s.Stages.Predictor.(pipeline.TrainablePredictor); ok {
+	if trainPred {
 		losses = tp.Fit(samples, epochs, s.Cfg.LearnRate, s.Cfg.WeightDecay, src.Derive("fit"))
 	}
-	if tr, ok := s.Stages.Reconciler.(pipeline.TrainableReconciler); ok {
+	if trainRec {
 		tr.Fit(src.Derive("ae-fit"))
 	}
 	return losses, nil

@@ -49,6 +49,20 @@ func SchemeNames() []string {
 	return out
 }
 
+// SchemeRegistered reports whether name resolves in the registry (""
+// means DefaultScheme and always resolves). It consumes no randomness,
+// so callers can fail fast on a bad name before paying for dataset or
+// model construction.
+func SchemeRegistered(name string) bool {
+	if name == "" {
+		return true
+	}
+	schemeMu.RLock()
+	defer schemeMu.RUnlock()
+	_, ok := schemeRegistry[name]
+	return ok
+}
+
 // ErrUnknownScheme wraps scheme lookup failures.
 type ErrUnknownScheme struct {
 	Name  string

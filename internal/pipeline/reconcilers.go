@@ -135,19 +135,22 @@ func (s *CSStage) Reconcile(alice, bob, _ []byte) (Outcome, error) {
 	return reconcile.CSISTA(alice, bob, s.cfg)
 }
 
-func (s *CSStage) BobEncode(block, _ []byte) ([]float64, []byte, error) {
+// BobEncode publishes the CS syndrome. The MAC-keying image is the
+// salted one-way BlockImage of the block, never the raw bits: the
+// syndrome already hands an eavesdropper cfg.Rows linear equations over
+// the block, and a raw-bit MAC key on top would give a cheap offline
+// verification oracle for the remaining search space.
+func (s *CSStage) BobEncode(block, salt []byte) ([]float64, []byte, error) {
 	code := reconcile.CSEncode(block, s.cfg)
-	keyImage := append([]byte(nil), block...)
-	return code, keyImage, nil
+	return code, secure.BlockImage(block, salt), nil
 }
 
-func (s *CSStage) AliceCorrect(block []byte, code []float64, _ []byte) ([]byte, []byte, error) {
+func (s *CSStage) AliceCorrect(block []byte, code []float64, salt []byte) ([]byte, []byte, error) {
 	final, err := reconcile.CSISTACorrect(block, code, s.cfg)
 	if err != nil {
 		return nil, nil, &StageError{Stage: "reconciler", Err: err}
 	}
-	keyImage := append([]byte(nil), final...)
-	return final, keyImage, nil
+	return final, secure.BlockImage(final, salt), nil
 }
 
 // Clone returns the receiver: a CS stage is stateless.
@@ -160,12 +163,15 @@ func (s *CSStage) Clone() Reconciler { return s }
 // CascadeStage reconciles with Brassard–Salvail Cascade. The local
 // path simulates the interactive protocol with permutations drawn from
 // the stage's rng source (one Derive per block, matching the paper's
-// evaluation); the wire path uses the one-shot dyadic-parity syndrome
-// with permutations derived from the public salt.
+// evaluation); the wire path publishes the one-shot per-pass block
+// parities with permutations derived from the public salt, refusing
+// any configuration whose published parity count would reach the block
+// size (each parity is one linear equation over the key bits).
 type CascadeStage struct {
-	cfg   reconcile.CascadeConfig
-	block int
-	src   *rng.Source
+	cfg    reconcile.CascadeConfig
+	block  int
+	src    *rng.Source
+	cloned bool
 }
 
 // NewCascade builds a Cascade reconciler stage over blockBits-bit
@@ -180,30 +186,51 @@ func (s *CascadeStage) BlockBits() int { return s.block }
 
 func (s *CascadeStage) Reconcile(alice, bob, _ []byte) (Outcome, error) {
 	if s.src == nil {
+		if s.cloned {
+			return Outcome{}, &StageError{Stage: "reconciler",
+				Err: fmt.Errorf("cascade clones carry no interactive rng source (it is mutable state of the original); local reconciliation is unavailable on clones, the wire path derives from the session salt")}
+		}
 		return Outcome{}, &StageError{Stage: "reconciler",
 			Err: fmt.Errorf("cascade stage built without an rng source; local reconciliation unavailable")}
 	}
 	return reconcile.Cascade(alice, bob, s.cfg, s.src.Derive("cascade"))
 }
 
+// leakGuard rejects Cascade configurations whose one-shot syndrome
+// would publish at least as many parity equations as the block has
+// bits, i.e. hand a passive eavesdropper the whole key.
+func (s *CascadeStage) leakGuard(n int) error {
+	if leak := reconcile.CascadeSyndromeBits(n, s.cfg); leak >= n {
+		return &StageError{Stage: "reconciler",
+			Err: fmt.Errorf("cascade wire syndrome would publish %d parities over a %d-bit block; refusing to leak the key", leak, n)}
+	}
+	return nil
+}
+
 func (s *CascadeStage) BobEncode(block, salt []byte) ([]float64, []byte, error) {
+	if err := s.leakGuard(len(block)); err != nil {
+		return nil, nil, err
+	}
 	code := reconcile.CascadeSyndromeEncode(block, salt, s.cfg)
-	keyImage := append([]byte(nil), block...)
-	return code, keyImage, nil
+	return code, secure.BlockImage(block, salt), nil
 }
 
 func (s *CascadeStage) AliceCorrect(block []byte, code []float64, salt []byte) ([]byte, []byte, error) {
+	if err := s.leakGuard(len(block)); err != nil {
+		return nil, nil, err
+	}
 	final, err := reconcile.CascadeSyndromeCorrect(block, code, salt, s.cfg)
 	if err != nil {
 		return nil, nil, &StageError{Stage: "reconciler", Err: err}
 	}
-	keyImage := append([]byte(nil), final...)
-	return final, keyImage, nil
+	return final, secure.BlockImage(final, salt), nil
 }
 
-// Clone shares the receiver's interactive rng source: cascade clones
-// are only used on the wire path, which derives all randomness from the
-// public salt instead.
+// Clone drops the interactive rng source rather than share it: the
+// source is mutable state, and deriving a child would itself consume a
+// draw from the original, so either choice silently couples clone and
+// original. Clones keep the full wire path (its randomness derives from
+// the public salt); the local Reconcile path reports a tailored error.
 func (s *CascadeStage) Clone() Reconciler {
-	return &CascadeStage{cfg: s.cfg, block: s.block, src: s.src}
+	return &CascadeStage{cfg: s.cfg, block: s.block, cloned: true}
 }

@@ -1,0 +1,103 @@
+package pipeline
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+// TestRawBitSchemesKeyImageIsOneWay is the MAC-oracle regression: the
+// reconcilers that work directly on raw bits (CS, Cascade) must hand
+// the protocol a salted one-way image of the block, never the block
+// itself — a raw-bit MAC key plus the public syndrome equations would
+// give an eavesdropper a cheap offline verification oracle.
+func TestRawBitSchemesKeyImageIsOneWay(t *testing.T) {
+	block := rng.New(5).Bits(64)
+	stages := map[string]Reconciler{
+		"cs-ista": NewCS(DefaultCSConfig(), 64),
+		"cascade": NewCascade(DefaultCascadeConfig(), 64, rng.New(6)),
+	}
+	for name, st := range stages {
+		code, img, err := st.BobEncode(block, []byte("salt-a"))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if bytes.Equal(img, block) {
+			t.Errorf("%s: key image is the raw block", name)
+		}
+		_, imgB, err := st.BobEncode(block, []byte("salt-b"))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if bytes.Equal(img, imgB) {
+			t.Errorf("%s: key image ignores the salt", name)
+		}
+		// Alice's image after a clean correction must match Bob's, or
+		// the MAC confirmation would reject agreeing keys.
+		final, imgAlice, err := st.AliceCorrect(append([]byte(nil), block...), code, []byte("salt-a"))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !bytes.Equal(final, block) {
+			t.Fatalf("%s: zero-mismatch correction changed the block", name)
+		}
+		if !bytes.Equal(imgAlice, img) {
+			t.Errorf("%s: Alice's image differs from Bob's on equal blocks", name)
+		}
+	}
+}
+
+// TestCascadeCloneContract pins the clone semantics: a clone shares no
+// mutable rng state with its original — the wire path stays fully
+// functional (and identical, since its randomness derives from the
+// session salt), while the local interactive path reports a tailored
+// error instead of racing on a shared source.
+func TestCascadeCloneContract(t *testing.T) {
+	orig := NewCascade(DefaultCascadeConfig(), 64, rng.New(7))
+	clone := orig.Clone().(*CascadeStage)
+
+	block := rng.New(8).Bits(64)
+	salt := []byte("session")
+	codeA, imgA, err := orig.BobEncode(block, salt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	codeB, imgB, err := clone.BobEncode(block, salt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range codeA {
+		if codeA[i] != codeB[i] {
+			t.Fatalf("clone wire code differs at %d", i)
+		}
+	}
+	if !bytes.Equal(imgA, imgB) {
+		t.Fatal("clone key image differs from original")
+	}
+
+	if _, err := clone.Reconcile(block, block, nil); err == nil {
+		t.Fatal("local Reconcile on a clone must error, not share the original's rng source")
+	} else if !strings.Contains(err.Error(), "clone") {
+		t.Fatalf("clone Reconcile error should name the clone contract, got: %v", err)
+	}
+	if _, err := orig.Reconcile(block, block, nil); err != nil {
+		t.Fatalf("original's local Reconcile broke after cloning: %v", err)
+	}
+}
+
+// TestCascadeLeakGuard: a configuration whose published parity count
+// reaches the block size would hand an eavesdropper the key; both wire
+// halves must refuse it.
+func TestCascadeLeakGuard(t *testing.T) {
+	// InitialBlock 1 publishes every bit of the first pass in the clear.
+	st := NewCascade(CascadeConfig{InitialBlock: 1, Passes: 4}, 64, nil)
+	block := rng.New(9).Bits(64)
+	if _, _, err := st.BobEncode(block, []byte("s")); err == nil {
+		t.Fatal("BobEncode accepted a config that leaks the whole key")
+	}
+	if _, _, err := st.AliceCorrect(block, make([]float64, 120), []byte("s")); err == nil {
+		t.Fatal("AliceCorrect accepted a config that leaks the whole key")
+	}
+}

@@ -61,7 +61,12 @@ func runProtocol(t *testing.T, sys *core.System, aliceWin, bobWin [][]float64, a
 	return aliceOut, bobOut
 }
 
-func checkOutcomes(t *testing.T, aliceOut, bobOut []KeyOutcome) {
+// verifyOutcomes checks the confirmation invariants — both sides reach
+// the same verdict per round, confirmed keys are identical and 128-bit —
+// and returns the confirmed count. It does not demand any round confirm:
+// schemes whose reconciliation is infeasible over the wire legitimately
+// confirm nothing.
+func verifyOutcomes(t *testing.T, aliceOut, bobOut []KeyOutcome) int {
 	t.Helper()
 	if len(aliceOut) != len(bobOut) {
 		t.Fatalf("outcome count mismatch: %d vs %d", len(aliceOut), len(bobOut))
@@ -83,7 +88,12 @@ func checkOutcomes(t *testing.T, aliceOut, bobOut []KeyOutcome) {
 		}
 	}
 	t.Logf("blocks=%d confirmed=%d", len(aliceOut), confirmed)
-	if confirmed == 0 {
+	return confirmed
+}
+
+func checkOutcomes(t *testing.T, aliceOut, bobOut []KeyOutcome) {
+	t.Helper()
+	if verifyOutcomes(t, aliceOut, bobOut) == 0 {
 		t.Fatal("no confirmed keys")
 	}
 }

@@ -61,19 +61,54 @@ func unpackKeyBits(keys [][]byte) []byte {
 // Vehicle-Key uses, selected purely by registry name — and feeds the
 // confirmed key material through the NIST battery. It is the refactor's
 // end-to-end check: no baseline needs (or has) protocol code of its own.
+//
+// Han is the exception the paper predicts: its guard-less 3-bit
+// quantizer runs at roughly a third of the block mismatched on the
+// vehicular channel, and correcting that in one shot needs more public
+// parity than the 64-bit block holds. The leakage-bounded wire Cascade
+// (reconcile.CascadeSyndromeBits < block bits, enforced by the stage)
+// therefore cannot reconcile it — rounds complete, both sides agree
+// essentially nothing confirms, and that verdict is the assertion. A
+// wire encode that made han confirm here would necessarily be
+// publishing enough equations to solve for the key, which is exactly
+// the defect this pins against.
 func TestBaselineSchemesOverProtocol(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full protocol soak per scheme")
 	}
-	for i, name := range baselineNames {
-		name, seed := name, int64(400+31*i)
-		t.Run(name, func(t *testing.T) {
-			h := baselineHarness(t, name, seed, 16, 160)
+	cases := []struct {
+		name string
+		// wireFeasible: the scheme's residual mismatch is within what
+		// its reconciler can repair under the public-leakage bound, so
+		// confirmed key material must flow and pass the NIST battery.
+		wireFeasible bool
+	}{
+		{"lora-key", true},
+		{"han", false},
+		{"gao", true},
+	}
+	for i, tc := range cases {
+		tc, seed := tc, int64(400+31*i)
+		t.Run(tc.name, func(t *testing.T) {
+			h := baselineHarness(t, tc.name, seed, 16, 160)
 			a, b := transport.Pair()
 			defer a.Close()
 			defer b.Close()
 			aliceOut, bobOut := runProtocol(t, h.sys, h.aliceWin, h.bobWin, a, b)
-			checkOutcomes(t, aliceOut, bobOut)
+			confirmed := verifyOutcomes(t, aliceOut, bobOut)
+
+			if !tc.wireFeasible {
+				if len(aliceOut) == 0 {
+					t.Fatalf("%s produced no rounds at all", tc.name)
+				}
+				if confirmed*10 > len(aliceOut) {
+					t.Fatalf("%s confirmed %d/%d blocks at ~35%% block BER under a %d-bit-bounded syndrome — the wire code is leaking the key", tc.name, confirmed, len(aliceOut), 64)
+				}
+				return
+			}
+			if confirmed == 0 {
+				t.Fatal("no confirmed keys")
+			}
 
 			var keys [][]byte
 			for i := range aliceOut {
@@ -86,15 +121,15 @@ func TestBaselineSchemesOverProtocol(t *testing.T) {
 				bits = bits[:4096] // bound LinearComplexity's quadratic cost
 			}
 			if len(bits) < nist.MinBits {
-				t.Fatalf("%s confirmed only %d key bits, below the battery's %d-bit floor", name, len(bits), nist.MinBits)
+				t.Fatalf("%s confirmed only %d key bits, below the battery's %d-bit floor", tc.name, len(bits), nist.MinBits)
 			}
 			results, err := nist.Battery(bits)
 			if err != nil {
-				t.Fatalf("nist battery over %s keys: %v", name, err)
+				t.Fatalf("nist battery over %s keys: %v", tc.name, err)
 			}
 			passed := 0
 			for _, r := range results {
-				t.Logf("%s: %s p=%.4f passed=%t", name, r.Name, r.P, r.Passed)
+				t.Logf("%s: %s p=%.4f passed=%t", tc.name, r.Name, r.P, r.Passed)
 				if r.Passed {
 					passed++
 				}
@@ -103,7 +138,7 @@ func TestBaselineSchemesOverProtocol(t *testing.T) {
 			// hard majority bound is stable while leaving room for the
 			// battery's per-test 1% false-reject rate on short streams.
 			if passed < len(results)-1 {
-				t.Fatalf("%s: only %d/%d NIST tests passed over %d bits", name, passed, len(results), len(bits))
+				t.Fatalf("%s: only %d/%d NIST tests passed over %d bits", tc.name, passed, len(results), len(bits))
 			}
 		})
 	}

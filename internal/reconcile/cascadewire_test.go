@@ -1,0 +1,167 @@
+package reconcile
+
+import (
+	"testing"
+
+	"repro/internal/rng"
+)
+
+// wireEquations rebuilds, exactly as a passive eavesdropper can, the
+// GF(2) linear system the published cascade syndrome imposes on an
+// n-bit block: one row per parity, bit j set iff position j is in that
+// parity's block.
+func wireEquations(n int, salt []byte, cfg CascadeConfig) [][]byte {
+	var rows [][]byte
+	block := cfg.InitialBlock
+	for pass := 0; pass < cfg.Passes; pass++ {
+		perm := cascadePerm(salt, pass, n)
+		for lo := 0; lo < n; lo += block {
+			hi := lo + block
+			if hi > n {
+				hi = n
+			}
+			row := make([]byte, n)
+			for _, j := range perm[lo:hi] {
+				row[j] = 1
+			}
+			rows = append(rows, row)
+		}
+		block *= 2
+	}
+	return rows
+}
+
+// gf2Rank computes the rank of a 0/1 matrix by Gaussian elimination.
+func gf2Rank(rows [][]byte) int {
+	rank := 0
+	if len(rows) == 0 {
+		return 0
+	}
+	n := len(rows[0])
+	for col := 0; col < n && rank < len(rows); col++ {
+		pivot := -1
+		for r := rank; r < len(rows); r++ {
+			if rows[r][col] == 1 {
+				pivot = r
+				break
+			}
+		}
+		if pivot < 0 {
+			continue
+		}
+		rows[rank], rows[pivot] = rows[pivot], rows[rank]
+		for r := 0; r < len(rows); r++ {
+			if r != rank && rows[r][col] == 1 {
+				for c := 0; c < n; c++ {
+					rows[r][c] ^= rows[rank][c]
+				}
+			}
+		}
+		rank++
+	}
+	return rank
+}
+
+// TestCascadeWireDoesNotDetermineKey is the eavesdropper regression:
+// the public code must be strictly rank-deficient, so no passive
+// observer can solve it for the block. (The previous wire form
+// published the full bisection parity tree — n independent equations —
+// which reconstructed every key bit.)
+func TestCascadeWireDoesNotDetermineKey(t *testing.T) {
+	cfg := DefaultCascadeConfig()
+	const n = 64
+	for _, salt := range [][]byte{[]byte("session-a"), []byte("session-b"), {0}} {
+		key := rng.New(int64(len(salt))).Bits(n)
+		code := CascadeSyndromeEncode(key, salt, cfg)
+		want := CascadeSyndromeBits(n, cfg)
+		if len(code) != want {
+			t.Fatalf("published %d parities, CascadeSyndromeBits says %d", len(code), want)
+		}
+		if want >= n {
+			t.Fatalf("wire syndrome publishes %d parities over %d bits: leaks the key", want, n)
+		}
+		rank := gf2Rank(wireEquations(n, salt, cfg))
+		if rank >= n {
+			t.Fatalf("public equations have rank %d over %d bits: an eavesdropper can solve for the block", rank, n)
+		}
+		t.Logf("salt %q: %d parities, GF(2) rank %d/%d (≥ 2^%d keys consistent)", salt, want, rank, n, n-rank)
+	}
+}
+
+// TestCascadeWireCorrectsSparseMismatch pins the decoder's envelope:
+// the majority vote must repair small mismatch counts exactly, the
+// regime the protocol's retransmitted windows actually present.
+func TestCascadeWireCorrectsSparseMismatch(t *testing.T) {
+	cfg := DefaultCascadeConfig()
+	salt := []byte("wire-session")
+	for _, flips := range []int{0, 1, 2, 3} {
+		exact := 0
+		const trials = 50
+		for i := 0; i < trials; i++ {
+			src := rng.New(int64(1000*flips + i))
+			kb := src.Bits(64)
+			ka := flipBits(kb, flips, src)
+			code := CascadeSyndromeEncode(kb, salt, cfg)
+			got, err := CascadeSyndromeCorrect(ka, code, salt, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if string(got) == string(kb) {
+				exact++
+			}
+		}
+		t.Logf("%d flips: %d/%d blocks corrected exactly", flips, exact, trials)
+		min := trials * 9 / 10
+		if flips <= 1 {
+			min = trials // 0/1 errors must always be repaired
+		}
+		if exact < min {
+			t.Errorf("%d flips: only %d/%d exact (want ≥ %d)", flips, exact, trials, min)
+		}
+	}
+}
+
+// TestCascadeWireResidualIsHonest: dense mismatch may survive the
+// one-shot decode, but the output must stay a valid bit vector of the
+// right length — the MAC confirmation handles the rejection.
+func TestCascadeWireResidualIsHonest(t *testing.T) {
+	cfg := DefaultCascadeConfig()
+	salt := []byte("dense")
+	src := rng.New(9)
+	kb := src.Bits(64)
+	ka := flipBits(kb, 20, src)
+	code := CascadeSyndromeEncode(kb, salt, cfg)
+	got, err := CascadeSyndromeCorrect(ka, code, salt, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(kb) {
+		t.Fatalf("corrected length %d, want %d", len(got), len(kb))
+	}
+	for i, b := range got {
+		if b != 0 && b != 1 {
+			t.Fatalf("non-bit value %d at %d", b, i)
+		}
+	}
+}
+
+// TestCascadeWireRejectsMalformedCodes: truncated, overlong, or
+// non-bit code vectors must error, never panic.
+func TestCascadeWireRejectsMalformedCodes(t *testing.T) {
+	cfg := DefaultCascadeConfig()
+	salt := []byte("s")
+	key := rng.New(3).Bits(64)
+	code := CascadeSyndromeEncode(key, salt, cfg)
+
+	if _, err := CascadeSyndromeCorrect(key, code[:len(code)-1], salt, cfg); err == nil {
+		t.Error("truncated code accepted")
+	}
+	if _, err := CascadeSyndromeCorrect(key, append(append([]float64(nil), code...), 0), salt, cfg); err == nil {
+		t.Error("overlong code accepted")
+	}
+	bad := append([]float64(nil), code...)
+	bad[0] = 0.5
+	if _, err := CascadeSyndromeCorrect(key, bad, salt, cfg); err == nil {
+		t.Error("non-bit code accepted")
+	}
+}

@@ -42,6 +42,28 @@ func packKeyed(bits []byte) []byte {
 	return out
 }
 
+// BlockImage derives the MAC-keying image of a raw key block: the bit
+// expansion of HMAC-SHA256 keyed by the public session salt over the
+// packed block. Schemes whose reconciliation works directly on raw bits
+// hand this image — never the block itself — to the reconciliation-
+// message MAC, so the key material behind the MAC is one-way in the
+// block: combined with the public linear syndrome equations, a raw-bit
+// MAC key would let an eavesdropper solve for the block, while the
+// image forces a full guess-and-hash per candidate. Like all key
+// images, the result must be wiped once the MAC is computed.
+func BlockImage(block, salt []byte) []byte {
+	mac := hmac.New(sha256.New, salt)
+	mac.Write(packKeyed(block))
+	sum := mac.Sum(nil)
+	out := make([]byte, 8*len(sum))
+	for i, b := range sum {
+		for j := 0; j < 8; j++ {
+			out[i*8+j] = b >> uint(7-j) & 1
+		}
+	}
+	return out
+}
+
 // Wipe zeroes key material in place. Go never scrubs dead heap memory,
 // so intermediate key buffers (Bloom-domain images, expired round keys,
 // cached envelopes) must be wiped explicitly once they are dead — the

@@ -145,6 +145,14 @@ func SetupWith(opts Options, extra ...Option) (*Session, error) {
 	}
 	opts.System.Normalize()
 
+	// A bad scheme name must fail before the dataset and model builds,
+	// not after: the registry lookup is free, the builds are not. The
+	// authoritative (randomness-consuming) construction still happens in
+	// NewScheme below, in its original derivation order.
+	if !core.SchemeRegistered(opts.Scheme) {
+		return nil, fmt.Errorf("vehiclekey: %w", &core.ErrUnknownScheme{Name: opts.Scheme, Known: core.SchemeNames()})
+	}
+
 	sc := trace.NewScenario(opts.Environment, opts.Link)
 	sc.SpeedAKmh = opts.SpeedKmh
 	ds, err := trace.Build(sc, opts.Seed, opts.TrainingWindows, opts.System.SeqLen, trace.DefaultExtract())
