@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test test-short test-race bench bench-json fuzz lint
+.PHONY: build test test-short test-race bench bench-json fuzz lint load-smoke
 
 build:
 	$(GO) build ./...
@@ -38,6 +38,16 @@ bench:
 bench-json:
 	./scripts/bench-json.sh
 
-# Seed-corpus fuzz smoke for the protocol wire format.
+# Seed-corpus fuzz smoke for the wire formats: the protocol envelope
+# codec and the TCP frame decoder it rides on.
 fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzDecode -fuzztime 30s ./internal/protocol/
+	$(GO) test -run '^$$' -fuzz FuzzTCPFrameDecode -fuzztime 30s ./internal/transport/
+
+# A small vkload run over real localhost TCP: 64 vehicles through the
+# session manager with the training-free lora-key scheme. CI runs this
+# as a serving-layer smoke; `go run ./cmd/vkload` alone drives the full
+# 1000-vehicle default.
+load-smoke:
+	$(GO) run ./cmd/vkload -vehicles 64 -concurrency 16 -scheme lora-key \
+		-windows 8 -ramp 0 -metrics

@@ -1,0 +1,261 @@
+// Command vkload drives a fleet of simulated vehicles against one
+// Vehicle-Key key server over real sockets and reports the achieved
+// session rate and latency tail from the obs registry.
+//
+// By default it is self-contained: it trains one scheme instance,
+// starts an in-process server on a loopback socket, and drives the
+// whole fleet through real TCP connections:
+//
+//	vkload                          # 1000 vehicles over TCP, in-process server
+//	vkload -proto udp -vehicles 2000
+//	vkload -scheme lora-key -vehicles 200 -train-windows 60 -train-epochs 2
+//
+// The server and load halves also run as separate processes; both sides
+// must agree on -seed, -scheme, -proto, and the training flags, exactly
+// like the two ends of cmd/vkproto:
+//
+//	vkload -serve 0.0.0.0:9300                 # terminal 1: server only
+//	vkload -connect host:9300 -vehicles 1000   # terminal 2: the fleet
+//
+// Per-vehicle arrival jitter is drawn from rng sub-streams keyed by
+// (seed, vehicle), so a fixed seed replays the identical load shape.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	vehiclekey "repro"
+	"repro/internal/channel"
+	"repro/internal/obs"
+	"repro/internal/protocol"
+	"repro/internal/rng"
+	"repro/internal/server"
+	"repro/internal/trace"
+	"repro/internal/transport"
+)
+
+func main() {
+	var (
+		vehicles = flag.Int("vehicles", 1000, "simulated vehicles to drive")
+		conc     = flag.Int("concurrency", 64, "vehicles in flight at once")
+		windows  = flag.Int("windows", 8, "probing windows per session")
+		proto    = flag.String("proto", "tcp", "transport: tcp or udp")
+		connect  = flag.String("connect", "", "drive an external server at this address (default: in-process)")
+		serve    = flag.String("serve", "", "run the server side only, listening on this address")
+		listen   = flag.String("listen", "127.0.0.1:0", "in-process server bind address")
+
+		seed    = flag.Int64("seed", 21, "shared deterministic seed (must match the server)")
+		scheme  = flag.String("scheme", "", "key-generation scheme (default vehicle-key)")
+		trainW  = flag.Int("train-windows", 160, "probing windows used for training")
+		trainE  = flag.Int("train-epochs", 12, "predictor training epochs")
+		ramp    = flag.Duration("ramp", time.Second, "spread vehicle arrivals across this window")
+		copies  = flag.Int("hello-copies", 0, "hello redundancy (default 1 on tcp, 3 on udp)")
+		timeout = flag.Duration("timeout", 300*time.Millisecond, "initial per-message receive timeout")
+		retries = flag.Int("retries", 6, "retransmit attempts before abandoning an exchange")
+
+		workers        = flag.Int("workers", defaultWorkers(), "server worker pool size")
+		queueDepth     = flag.Int("queue", 256, "server accept queue depth")
+		sessionTimeout = flag.Duration("session-timeout", 30*time.Second, "server per-session watchdog")
+
+		metrics = flag.Bool("metrics", false, "dump a Prometheus-text metrics snapshot to stderr when done")
+	)
+	flag.Parse()
+
+	if *proto != "tcp" && *proto != "udp" {
+		fatal(fmt.Errorf("-proto must be tcp or udp"))
+	}
+	if *copies <= 0 {
+		*copies = 1
+		if *proto == "udp" {
+			*copies = 3
+		}
+	}
+
+	reg := vehiclekey.NewMetricsRegistry()
+	fmt.Printf("training scheme %q (windows=%d epochs=%d seed=%d)...\n",
+		schemeName(*scheme), *trainW, *trainE, *seed)
+	vs, err := vehiclekey.Setup(vehiclekey.Options{
+		Seed:            *seed,
+		Scheme:          *scheme,
+		TrainingWindows: *trainW,
+		TrainingEpochs:  *trainE,
+		Recorder:        reg,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	template := vs.System()
+	sc := trace.NewScenario(channel.Urban, channel.V2I)
+
+	policy := protocol.RetryPolicy{Timeout: *timeout, MaxRetries: *retries}
+	srvConfig := server.Config{
+		Template:       template,
+		Scenario:       sc,
+		Seed:           *seed,
+		Workers:        *workers,
+		Queue:          *queueDepth,
+		SessionTimeout: *sessionTimeout,
+		Retry:          policy,
+		Recorder:       reg,
+	}
+
+	// Server-only mode: serve until killed.
+	if *serve != "" {
+		l, err := listenOn(*proto, *serve)
+		if err != nil {
+			fatal(err)
+		}
+		srv, err := server.New(srvConfig)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("serving %s on %s (workers=%d)\n", *proto, l.Addr(), *workers)
+		if err := srv.Serve(l); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	addr := *connect
+	var srv *server.Server
+	if addr == "" {
+		l, err := listenOn(*proto, *listen)
+		if err != nil {
+			fatal(err)
+		}
+		srv, err = server.New(srvConfig)
+		if err != nil {
+			fatal(err)
+		}
+		go func() {
+			if err := srv.Serve(l); err != nil {
+				_, _ = fmt.Fprintf(os.Stderr, "vkload: %v\n", err)
+			}
+		}()
+		addr = l.Addr().String()
+		fmt.Printf("in-process server on %s://%s (workers=%d queue=%d)\n", *proto, addr, *workers, *queueDepth)
+	}
+
+	fmt.Printf("driving %d vehicles (concurrency=%d windows=%d ramp=%s)...\n", *vehicles, *conc, *windows, *ramp)
+	var established, failed, keys atomic.Int64
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	started := time.Now()
+	for w := 0; w < *conc; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			// One scheme clone per load worker: vehicles on this worker run
+			// sequentially, so the clone is never shared across sessions in
+			// flight — the server shards its clones the same way.
+			clone := template.Clone()
+			for i := range idx {
+				src := rng.Stream(*seed, "vkload/arrival", i)
+				if *ramp > 0 {
+					time.Sleep(time.Duration(src.Float64() * float64(*ramp)))
+				}
+				conn, err := dial(*proto, addr)
+				if err != nil {
+					failed.Add(1)
+					continue
+				}
+				t0 := time.Now()
+				outcomes, err := server.RunVehicle(conn, clone, sc, template.Cfg, *seed,
+					server.Vehicle{ID: uint64(i), Windows: *windows, HelloCopies: *copies},
+					protocol.WithRetryPolicy(policy), protocol.WithRecorder(reg))
+				reg.Observe(obs.LoadSessionSeconds, time.Since(t0).Seconds())
+				_ = conn.Close()
+				confirmed := 0
+				for _, o := range outcomes {
+					if o.Confirmed {
+						confirmed++
+					}
+				}
+				keys.Add(int64(confirmed))
+				if err != nil || confirmed == 0 {
+					failed.Add(1)
+				} else {
+					established.Add(1)
+				}
+			}
+		}()
+	}
+	for i := 0; i < *vehicles; i++ {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	wall := time.Since(started)
+
+	if srv != nil {
+		_ = srv.Close() // drain so the server-side accounting is complete
+	}
+	snap := reg.Snapshot()
+	load := snap.Histograms[obs.LoadSessionSeconds]
+	fmt.Printf("\nvkload: %d vehicles over %s in %s\n", *vehicles, *proto, wall.Round(time.Millisecond))
+	fmt.Printf("  established: %d   failed: %d   keys confirmed: %d\n",
+		established.Load(), failed.Load(), keys.Load())
+	fmt.Printf("  sessions/sec: %.1f\n", float64(load.Count)/wall.Seconds())
+	fmt.Printf("  p99 session latency (client): %s\n", seconds(load.Quantile(0.99)))
+	if srv != nil {
+		ss := snap.Histograms[obs.ServerSessionSeconds]
+		fmt.Printf("  p99 session latency (server): %s\n", seconds(ss.Quantile(0.99)))
+		fmt.Printf("  server outcomes:")
+		for _, o := range obs.ServerOutcomes {
+			fmt.Printf(" %s=%d", o, snap.Counters[obs.Labeled(obs.ServerSessions, "outcome", o)])
+		}
+		fmt.Println()
+	}
+	if *metrics {
+		_ = reg.WritePrometheus(os.Stderr) // best-effort: stderr may be closed
+	}
+}
+
+// listenOn builds the protocol-matching listener.
+func listenOn(proto, addr string) (transport.Listener, error) {
+	if proto == "udp" {
+		return transport.ListenUDPMux(addr)
+	}
+	return transport.ListenTCP(addr)
+}
+
+// dial builds the protocol-matching client connection.
+func dial(proto, addr string) (transport.Conn, error) {
+	if proto == "udp" {
+		return transport.DialUDP(":0", addr)
+	}
+	return transport.DialTCP(addr)
+}
+
+// defaultWorkers sizes the server pool: one per CPU, floored at 4 —
+// sessions spend much of their wall time waiting on the peer's compute
+// and the wire, so extra workers overlap usefully even on small hosts.
+func defaultWorkers() int {
+	if n := runtime.GOMAXPROCS(0); n > 4 {
+		return n
+	}
+	return 4
+}
+
+func schemeName(s string) string {
+	if s == "" {
+		return "vehicle-key"
+	}
+	return s
+}
+
+func seconds(s float64) time.Duration {
+	return time.Duration(s * float64(time.Second)).Round(time.Millisecond)
+}
+
+func fatal(err error) {
+	// Best-effort stderr write: the process is exiting on this error.
+	_, _ = fmt.Fprintf(os.Stderr, "vkload: %v\n", err)
+	os.Exit(1)
+}

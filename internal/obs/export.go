@@ -18,6 +18,41 @@ type HistogramSnapshot struct {
 	Counts []int64   `json:"counts"`
 }
 
+// Quantile estimates the q-quantile (0 ≤ q ≤ 1) of the observed
+// distribution from the bucket counts, interpolating linearly inside
+// the bucket that contains the target rank — the same estimate
+// Prometheus's histogram_quantile computes. Samples that landed in the
+// +Inf bucket are reported as the largest finite bound (a conservative
+// floor, as Prometheus does). Returns 0 when the histogram is empty.
+func (h HistogramSnapshot) Quantile(q float64) float64 {
+	if h.Count == 0 || len(h.Counts) == 0 || len(h.Bounds) == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	} else if q > 1 {
+		q = 1
+	}
+	rank := q * float64(h.Count)
+	cum := 0.0
+	for i, c := range h.Counts {
+		next := cum + float64(c)
+		if next >= rank && c > 0 {
+			lower := 0.0
+			if i > 0 {
+				lower = h.Bounds[i-1]
+			}
+			if i >= len(h.Bounds) { // +Inf bucket: no finite width
+				return h.Bounds[len(h.Bounds)-1]
+			}
+			upper := h.Bounds[i]
+			return lower + (upper-lower)*(rank-cum)/float64(c)
+		}
+		cum = next
+	}
+	return h.Bounds[len(h.Bounds)-1]
+}
+
 // Snapshot is a point-in-time copy of every instrument plus the trace
 // ring, safe to serialize while recording continues.
 type Snapshot struct {

@@ -42,7 +42,36 @@ const (
 	// Session-level counters (public vehiclekey API).
 	SessionKeys       = "vk_session_keys_total"
 	SessionKeysAgreed = "vk_session_keys_agreed_total"
+
+	// Server session lifecycle (internal/server). The gauge tracks
+	// concurrently running sessions; the counter is labeled
+	// outcome=<ServerOutcomes>; the histogram is the server-observed
+	// session wall time (accept → conn closed).
+	ServerActiveSessions = "vk_server_active_sessions"
+	ServerSessions       = "vk_server_sessions_total"
+	ServerSessionSeconds = "vk_server_session_seconds"
+
+	// LoadSessionSeconds is the client-observed session latency recorded
+	// by the vkload generator (dial → outcomes returned).
+	LoadSessionSeconds = "vk_load_session_seconds"
 )
+
+// Server session outcome labels.
+const (
+	// OutcomeEstablished: the session confirmed at least one key.
+	OutcomeEstablished = "established"
+	// OutcomeDegraded: the protocol ran to completion but confirmed
+	// nothing (abandoned rounds, wire-infeasible scheme, early peer exit).
+	OutcomeDegraded = "degraded"
+	// OutcomeRejected: no valid handshake arrived (dead or hostile peer),
+	// or the server was draining.
+	OutcomeRejected = "rejected"
+	// OutcomeError: the session died on a local error.
+	OutcomeError = "error"
+)
+
+// ServerOutcomes lists the session outcome labels.
+var ServerOutcomes = []string{OutcomeEstablished, OutcomeDegraded, OutcomeRejected, OutcomeError}
 
 // Pipeline phase labels (the paper's Table III split).
 const (
@@ -129,4 +158,11 @@ func DeclareStandard(r *Registry) {
 	r.DeclareCounter(SessionKeysAgreed, "keys on which both sides agreed exactly")
 	r.DeclareHistogram(ExpUnitSeconds, "experiment-engine per-unit wall time in seconds", DefBuckets)
 	r.DeclareHistogram(ExpSeconds, "whole-experiment wall time in seconds", DefBuckets)
+	r.DeclareGauge(ServerActiveSessions, "sessions currently being served")
+	for _, outcome := range ServerOutcomes {
+		r.DeclareCounter(Labeled(ServerSessions, "outcome", outcome),
+			"sessions resolved, by outcome")
+	}
+	r.DeclareHistogram(ServerSessionSeconds, "server-observed session wall time in seconds", SessionBuckets)
+	r.DeclareHistogram(LoadSessionSeconds, "client-observed session latency in seconds", SessionBuckets)
 }

@@ -1,0 +1,101 @@
+package obs
+
+import (
+	"math"
+	"testing"
+)
+
+func quantileHist(t *testing.T, bounds []float64, observations []float64) HistogramSnapshot {
+	t.Helper()
+	r := NewRegistry()
+	r.DeclareHistogram("h", "", bounds)
+	for _, v := range observations {
+		r.Observe("h", v)
+	}
+	return r.Snapshot().Histograms["h"]
+}
+
+func repeat(v float64, n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = v
+	}
+	return out
+}
+
+// TestQuantileEmpty: an empty histogram reports 0 for every quantile
+// instead of dividing by zero or panicking on empty bucket slices.
+func TestQuantileEmpty(t *testing.T) {
+	h := quantileHist(t, []float64{1, 2}, nil)
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		if got := h.Quantile(q); got != 0 {
+			t.Fatalf("empty Quantile(%g) = %g, want 0", q, got)
+		}
+	}
+	if got := (HistogramSnapshot{}).Quantile(0.5); got != 0 {
+		t.Fatalf("zero-value Quantile = %g, want 0", got)
+	}
+}
+
+// TestQuantileInterpolation: inside one bucket the estimate interpolates
+// linearly between the bucket's bounds — histogram_quantile semantics.
+func TestQuantileInterpolation(t *testing.T) {
+	// 100 observations, all in the (0, 1] bucket.
+	h := quantileHist(t, []float64{1, 2, 4}, repeat(0.5, 100))
+	cases := []struct{ q, want float64 }{
+		{0.25, 0.25}, // rank 25 of 100 in a bucket spanning (0, 1]
+		{0.5, 0.5},
+		{0.99, 0.99},
+		{1, 1}, // full rank lands on the bucket's upper bound
+	}
+	for _, c := range cases {
+		if got := h.Quantile(c.q); math.Abs(got-c.want) > 1e-9 {
+			t.Fatalf("Quantile(%g) = %g, want %g", c.q, got, c.want)
+		}
+	}
+}
+
+// TestQuantileAcrossBuckets: the target rank walks cumulative counts
+// into the right bucket before interpolating.
+func TestQuantileAcrossBuckets(t *testing.T) {
+	// 90 fast observations and 10 slow ones two buckets up.
+	obs := append(repeat(0.5, 90), repeat(6, 10)...)
+	h := quantileHist(t, []float64{1, 2, 4, 8}, obs)
+
+	// p50 sits in the first bucket: rank 50 of the 90 there → 50/90.
+	if got, want := h.Quantile(0.5), 50.0/90.0; math.Abs(got-want) > 1e-9 {
+		t.Fatalf("Quantile(0.5) = %g, want %g", got, want)
+	}
+	// p99 sits in (4, 8]: rank 99, 90 below, 9 of 10 into the bucket.
+	if got, want := h.Quantile(0.99), 4+4*0.9; math.Abs(got-want) > 1e-9 {
+		t.Fatalf("Quantile(0.99) = %g, want %g", got, want)
+	}
+}
+
+// TestQuantileClamps: out-of-range q is clamped instead of extrapolated.
+func TestQuantileClamps(t *testing.T) {
+	h := quantileHist(t, []float64{1, 2}, repeat(0.5, 10))
+	if got := h.Quantile(-3); math.Abs(got-h.Quantile(0)) > 1e-9 {
+		t.Fatalf("Quantile(-3) = %g, want Quantile(0) = %g", got, h.Quantile(0))
+	}
+	if got := h.Quantile(7); math.Abs(got-h.Quantile(1)) > 1e-9 {
+		t.Fatalf("Quantile(7) = %g, want Quantile(1) = %g", got, h.Quantile(1))
+	}
+}
+
+// TestQuantileInfBucket: ranks landing in the +Inf bucket report the
+// largest finite bound — a conservative floor, as Prometheus does —
+// never infinity.
+func TestQuantileInfBucket(t *testing.T) {
+	obs := append(repeat(0.5, 50), repeat(100, 50)...) // half beyond every bound
+	h := quantileHist(t, []float64{1, 2, 4, 8}, obs)
+	for _, q := range []float64{0.6, 0.99, 1} {
+		got := h.Quantile(q)
+		if math.IsInf(got, 0) {
+			t.Fatalf("Quantile(%g) = +Inf", q)
+		}
+		if got != 8 {
+			t.Fatalf("Quantile(%g) = %g, want largest finite bound 8", q, got)
+		}
+	}
+}

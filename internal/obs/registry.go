@@ -77,6 +77,13 @@ var DefBuckets = []float64{
 // BitBuckets suit bit-count histograms (pipeline phase output sizes).
 var BitBuckets = []float64{1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024}
 
+// SessionBuckets suit whole-session latency histograms: finer than
+// DefBuckets between 1ms and 30s, where tail quantiles (p99) of the
+// serving layer actually live.
+var SessionBuckets = []float64{
+	1e-3, 2.5e-3, 5e-3, 1e-2, 2.5e-2, 5e-2, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30,
+}
+
 // Registry is the concrete Recorder: a concurrent name → instrument map
 // plus one trace ring. Instrument lookups take a read lock; the
 // instruments themselves are lock-free atomics, so sustained recording

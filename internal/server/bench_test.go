@@ -1,0 +1,56 @@
+package server
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/protocol"
+	"repro/internal/transport"
+
+	_ "repro/internal/baselines"
+)
+
+// BenchmarkServerSession measures one full serving-layer session over a
+// real localhost TCP socket: dial, hello handshake, per-session window
+// derivation on both endpoints, and the protocol exchange, end to end.
+// lora-key keeps the scheme cost flat (no training, no predictor), so
+// the number tracks the serving layer itself. CI's bench-smoke job
+// records the row per PR alongside the scheme benchmarks.
+func BenchmarkServerSession(b *testing.B) {
+	template := schemeTemplate(b, "lora-key")
+	sc := loopbackScenario()
+	srv, err := New(Config{
+		Template:       template,
+		Scenario:       sc,
+		Seed:           loopbackSeed,
+		Workers:        2,
+		Retry:          protocol.RetryPolicy{Timeout: 200 * time.Millisecond, MaxRetries: 9},
+		HelloTimeout:   10 * time.Second,
+		SessionTimeout: time.Minute,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	l, err := transport.ListenTCP("127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	go func() { _ = srv.Serve(l) }()
+	clone := template.Clone()
+
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		conn, err := transport.DialTCP(l.Addr().String())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := RunVehicle(conn, clone, sc, template.Cfg, loopbackSeed,
+			Vehicle{ID: uint64(i), Windows: 4},
+			protocol.WithRetryPolicy(protocol.RetryPolicy{Timeout: 200 * time.Millisecond, MaxRetries: 9})); err != nil {
+			b.Fatalf("vehicle %d: %v", i, err)
+		}
+		_ = conn.Close()
+	}
+	b.StopTimer()
+	_ = srv.Close()
+}

@@ -1,0 +1,140 @@
+package server
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"errors"
+	"hash/crc32"
+	"strings"
+	"testing"
+
+	"repro/internal/channel"
+	"repro/internal/core"
+	"repro/internal/trace"
+)
+
+// TestHelloRoundTrip: a well-formed hello survives encode/decode with
+// every field intact and the magic stamped automatically.
+func TestHelloRoundTrip(t *testing.T) {
+	in := Hello{Vehicle: 42, Windows: 8, Session: "vk/vehicle/42"}
+	data, err := encodeHello(in)
+	if err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	out, err := decodeHello(data)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if out.Magic != helloMagic || out.Vehicle != 42 || out.Windows != 8 || out.Session != "vk/vehicle/42" {
+		t.Fatalf("roundtrip = %+v", out)
+	}
+}
+
+// TestHelloDecodeRejects: everything that is not a well-formed hello
+// within the wire caps reports errNotHello — the handshake loop treats
+// all of it as a protocol envelope racing ahead and skips it.
+func TestHelloDecodeRejects(t *testing.T) {
+	valid, err := encodeHello(Hello{Vehicle: 1, Windows: 4, Session: "s"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	corruptPayload := append([]byte(nil), valid...)
+	corruptPayload[len(corruptPayload)-1] ^= 0xFF
+	corruptCRC := append([]byte(nil), valid...)
+	binary.BigEndian.PutUint32(corruptCRC[:4], binary.BigEndian.Uint32(corruptCRC[:4])^0xdeadbeef)
+
+	mangle := func(h Hello) []byte {
+		// encodeHello stamps the magic; build mangled hellos by hand so the
+		// field caps are actually exercised on the wire format.
+		data, err := encodeHello(h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return data
+	}
+	// A structurally valid hello with the wrong magic: hand-encoded, since
+	// encodeHello always stamps the real one.
+	badMagic := func() []byte {
+		var buf bytes.Buffer
+		buf.Write(make([]byte, 4))
+		if err := gob.NewEncoder(&buf).Encode(Hello{Magic: 0x01020304, Vehicle: 1, Windows: 4, Session: "s"}); err != nil {
+			t.Fatal(err)
+		}
+		data := buf.Bytes()
+		binary.BigEndian.PutUint32(data[:4], crc32.ChecksumIEEE(data[4:]))
+		return data
+	}()
+
+	cases := []struct {
+		name string
+		data []byte
+	}{
+		{"empty", nil},
+		{"short", []byte{1, 2, 3}},
+		{"oversize", make([]byte, MaxHelloBytes+1)},
+		{"corrupt-payload", corruptPayload},
+		{"corrupt-crc", corruptCRC},
+		{"not-gob", append([]byte{0, 0, 0, 0}, "plainly not gob"...)},
+		{"bad-magic", badMagic},
+		{"zero-windows", mangle(Hello{Vehicle: 1, Windows: 0, Session: "s"})},
+		{"huge-windows", mangle(Hello{Vehicle: 1, Windows: MaxHelloWindows + 1, Session: "s"})},
+		{"empty-session", mangle(Hello{Vehicle: 1, Windows: 4})},
+		{"long-session", mangle(Hello{Vehicle: 1, Windows: 4, Session: strings.Repeat("s", MaxSessionLen+1)})},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			data := c.data
+			if c.name == "not-gob" {
+				binary.BigEndian.PutUint32(data[:4], crc32.ChecksumIEEE(data[4:]))
+			}
+			if _, err := decodeHello(data); !errors.Is(err, errNotHello) {
+				t.Fatalf("decode = %v, want errNotHello", err)
+			}
+		})
+	}
+}
+
+// TestSessionWindowsDeterministic: both endpoints calling SessionWindows
+// with the same (scenario, config, seed, vehicle) derive byte-identical
+// windows — that shared derivation is what stands in for the two radios
+// probing one physical channel.
+func TestSessionWindowsDeterministic(t *testing.T) {
+	sc := trace.NewScenario(channel.Urban, channel.V2I)
+	cfg := core.DefaultConfig()
+	a1, b1, err := SessionWindows(sc, cfg, 21, 7, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, b2, err := SessionWindows(sc, cfg, 21, 7, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a1) != 4 || len(b1) != 4 {
+		t.Fatalf("derived %d/%d windows, want 4/4", len(a1), len(b1))
+	}
+	for i := range a1 {
+		for j := range a1[i] {
+			if a1[i][j] != a2[i][j] || b1[i][j] != b2[i][j] {
+				t.Fatalf("window %d diverges between identical derivations", i)
+			}
+		}
+	}
+
+	// A different vehicle is a different channel realization.
+	a3, _, err := SessionWindows(sc, cfg, 21, 8, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := range a1 {
+		for j := range a1[i] {
+			if a1[i][j] != a3[i][j] {
+				same = false
+			}
+		}
+	}
+	if same {
+		t.Fatal("vehicles 7 and 8 derived identical windows")
+	}
+}

@@ -1,0 +1,82 @@
+// TCP stream framing for message-oriented Conns.
+//
+// TCP delivers a byte stream, but the protocol layer speaks in discrete
+// envelopes, so the stream is cut into frames: a fixed 8-byte header —
+// payload length then CRC32-IEEE over the payload, both big-endian —
+// followed by the payload itself. The CRC mirrors the protocol
+// envelopes' own framing: corruption is detected at the transport
+// boundary and surfaces as loss (the ARQ layer retransmits) rather than
+// leaking altered bytes upward. The length field is validated against a
+// hard cap *before* any payload allocation, so a hostile header cannot
+// drive memory growth.
+package transport
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+)
+
+// MaxFrameBytes bounds one TCP frame payload. It matches the protocol
+// layer's MaxEnvelopeBytes: nothing legitimate is larger.
+const MaxFrameBytes = 1 << 20
+
+// frameHeaderLen is the fixed frame header size: 4 bytes payload length
+// plus 4 bytes CRC32.
+const frameHeaderLen = 8
+
+// ErrFrame reports a malformed frame: an oversized length field or a
+// checksum mismatch. A byte stream cannot resynchronize past either, so
+// the connection that observes ErrFrame is poisoned and must close.
+var ErrFrame = errors.New("transport: malformed frame")
+
+// AppendFrame appends the framed encoding of payload to dst and returns
+// the extended slice. It fails only when the payload exceeds
+// MaxFrameBytes, which would be undecodable on the other side.
+func AppendFrame(dst, payload []byte) ([]byte, error) {
+	if len(payload) > MaxFrameBytes {
+		return dst, fmt.Errorf("%w: payload %d bytes exceeds cap %d", ErrFrame, len(payload), MaxFrameBytes)
+	}
+	var hdr [frameHeaderLen]byte
+	binary.BigEndian.PutUint32(hdr[:4], uint32(len(payload)))
+	binary.BigEndian.PutUint32(hdr[4:], crc32.ChecksumIEEE(payload))
+	dst = append(dst, hdr[:]...)
+	return append(dst, payload...), nil
+}
+
+// DecodeFrame decodes the first frame in buf. Three outcomes:
+//
+//   - (payload, n, nil): one complete, checksummed frame occupied
+//     buf[:n]; payload is an independent copy.
+//   - (nil, 0, nil): buf holds only a prefix of a frame — read more.
+//   - (nil, 0, err): the stream is poisoned (length beyond max, or CRC
+//     mismatch); err wraps ErrFrame.
+//
+// The declared length is checked against max before any allocation, so
+// adversarial headers cannot force large buffers into existence. The
+// function is pure — it never mutates buf — which is what makes it
+// directly fuzzable.
+func DecodeFrame(buf []byte, max int) ([]byte, int, error) {
+	if max <= 0 || max > MaxFrameBytes {
+		max = MaxFrameBytes
+	}
+	if len(buf) < frameHeaderLen {
+		return nil, 0, nil
+	}
+	size := binary.BigEndian.Uint32(buf[:4])
+	if size > uint32(max) {
+		return nil, 0, fmt.Errorf("%w: declared payload %d bytes exceeds cap %d", ErrFrame, size, max)
+	}
+	total := frameHeaderLen + int(size)
+	if len(buf) < total {
+		return nil, 0, nil
+	}
+	body := buf[frameHeaderLen:total]
+	if want := binary.BigEndian.Uint32(buf[4:8]); want != crc32.ChecksumIEEE(body) {
+		return nil, 0, fmt.Errorf("%w: checksum mismatch", ErrFrame)
+	}
+	payload := make([]byte, len(body))
+	copy(payload, body)
+	return payload, total, nil
+}

@@ -1,0 +1,186 @@
+package transport
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"errors"
+	"hash/crc32"
+	"testing"
+)
+
+// fuzzEnvelope mirrors the protocol layer's Envelope shape so the fuzz
+// corpus starts from realistic framed traffic — the same seeds the
+// protocol's FuzzDecode grows from, wrapped in the TCP frame format.
+// (Importing the protocol package here would create an import cycle of
+// intent, not of code: the transport must stay payload-agnostic.)
+type fuzzEnvelope struct {
+	Type     int
+	Session  string
+	Seq      uint64
+	Window   int
+	Indices  []int
+	Code     []float64
+	MAC      []byte
+	Round    int
+	Accepted bool
+	Windows  []int
+	Counts   []int
+}
+
+// frameSeed encodes e the way the wire sees it: CRC32-prefixed gob (the
+// protocol envelope encoding) framed for the TCP stream.
+func frameSeed(f *testing.F, e fuzzEnvelope) []byte {
+	f.Helper()
+	var buf bytes.Buffer
+	buf.Write(make([]byte, 4))
+	if err := gob.NewEncoder(&buf).Encode(e); err != nil {
+		f.Fatal(err)
+	}
+	payload := buf.Bytes()
+	binary.BigEndian.PutUint32(payload[:4], crc32.ChecksumIEEE(payload[4:]))
+	framed, err := AppendFrame(nil, payload)
+	if err != nil {
+		f.Fatal(err)
+	}
+	return framed
+}
+
+// FuzzTCPFrameDecode hammers the frame decoder with adversarial streams.
+// Invariants: it never panics, never returns a payload beyond the decode
+// cap (so a hostile header cannot drive allocations), never claims to
+// have consumed bytes it was not given, and every accepted frame
+// re-encodes byte-identically (the format is canonical).
+func FuzzTCPFrameDecode(f *testing.F) {
+	seeds := []fuzzEnvelope{
+		{Type: 1, Session: "s", Seq: 1, Window: 3, Indices: []int{1, 2, 3}},
+		{Type: 4, Session: "sess-1", Seq: 9, Indices: []int{0, 31}},
+		{Type: 2, Session: "s", Seq: 2, Round: 1, Code: []float64{0.5, -1.25}, MAC: bytes.Repeat([]byte{7}, 16), Windows: []int{0, 1}, Counts: []int{40, 24}},
+		{Type: 3, Session: "s", Seq: 3, Round: 1, MAC: make([]byte, 16)},
+		{Type: 5, Session: "s", Seq: 4, Round: 1, Accepted: true},
+	}
+	for _, e := range seeds {
+		framed := frameSeed(f, e)
+		f.Add(framed)
+		// Mutated-valid variants: corrupt CRC, truncated, concatenated.
+		mut := append([]byte(nil), framed...)
+		mut[len(mut)/2] ^= 0xA5
+		f.Add(mut)
+		f.Add(framed[:len(framed)/2])
+		f.Add(append(append([]byte(nil), framed...), framed...))
+	}
+	f.Add([]byte{})
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF})
+	f.Add(bytes.Repeat([]byte{0xFF}, frameHeaderLen)) // huge declared length
+	hdr := make([]byte, frameHeaderLen)
+	binary.BigEndian.PutUint32(hdr[:4], MaxFrameBytes) // max-size declaration, no body
+	f.Add(hdr)
+	empty, err := AppendFrame(nil, nil)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(empty) // zero-length payload is a legal frame
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		for _, max := range []int{MaxFrameBytes, 1 << 10, 64, 0, -1} {
+			payload, n, err := DecodeFrame(data, max)
+			effMax := max
+			if effMax <= 0 || effMax > MaxFrameBytes {
+				effMax = MaxFrameBytes
+			}
+			if err != nil {
+				if !errors.Is(err, ErrFrame) {
+					t.Fatalf("max=%d: error %v does not wrap ErrFrame", max, err)
+				}
+				if payload != nil || n != 0 {
+					t.Fatalf("max=%d: poisoned stream returned payload=%v n=%d", max, payload, n)
+				}
+				continue
+			}
+			if payload == nil {
+				if n != 0 {
+					t.Fatalf("max=%d: incomplete frame consumed %d bytes", max, n)
+				}
+				continue
+			}
+			if len(payload) > effMax {
+				t.Fatalf("max=%d: payload %d bytes exceeds cap %d", max, len(payload), effMax)
+			}
+			if n < frameHeaderLen || n > len(data) {
+				t.Fatalf("max=%d: consumed %d of %d bytes", max, n, len(data))
+			}
+			reframed, err := AppendFrame(nil, payload)
+			if err != nil {
+				t.Fatalf("max=%d: accepted payload does not re-encode: %v", max, err)
+			}
+			if !bytes.Equal(reframed, data[:n]) {
+				t.Fatalf("max=%d: frame is not canonical", max)
+			}
+			// The payload must be an independent copy: mutating the input
+			// afterwards cannot reach it (the TCP conn recycles its buffer).
+			if len(payload) > 0 {
+				before := payload[0]
+				data[frameHeaderLen] ^= 0xFF
+				if payload[0] != before {
+					t.Fatalf("max=%d: payload aliases the input buffer", max)
+				}
+				data[frameHeaderLen] ^= 0xFF
+			}
+		}
+	})
+}
+
+// TestFrameDecodeDoesNotAllocateOnHostileHeader pins the decode-cap
+// guarantee down to the allocator: headers declaring huge payloads are
+// rejected (or left pending) without the payload ever being allocated.
+func TestFrameDecodeDoesNotAllocateOnHostileHeader(t *testing.T) {
+	// Incomplete frame with a max-size declaration: no error, no payload,
+	// and — the point — zero allocations while waiting for more bytes.
+	pending := make([]byte, frameHeaderLen)
+	binary.BigEndian.PutUint32(pending[:4], MaxFrameBytes)
+	if n := testing.AllocsPerRun(100, func() {
+		payload, n, err := DecodeFrame(pending, MaxFrameBytes)
+		if payload != nil || n != 0 || err != nil {
+			t.Fatalf("pending frame: payload=%v n=%d err=%v", payload, n, err)
+		}
+	}); n != 0 {
+		t.Fatalf("pending max-size frame allocated %.1f times per decode", n)
+	}
+
+	// Oversized declaration against a small cap: the error path allocates
+	// only the error value itself, never a payload-sized buffer.
+	hostile := make([]byte, frameHeaderLen+64)
+	binary.BigEndian.PutUint32(hostile[:4], MaxFrameBytes)
+	if n := testing.AllocsPerRun(100, func() {
+		payload, _, err := DecodeFrame(hostile, 1024)
+		if payload != nil || !errors.Is(err, ErrFrame) {
+			t.Fatalf("hostile frame: payload=%v err=%v", payload, err)
+		}
+	}); n > 8 {
+		t.Fatalf("hostile header allocated %.1f times per decode (payload-sized buffer leaked through?)", n)
+	}
+}
+
+// TestFrameRoundTrip pins the happy path: append then decode returns the
+// payload and consumes exactly the frame.
+func TestFrameRoundTrip(t *testing.T) {
+	for _, payload := range [][]byte{nil, {}, []byte("x"), bytes.Repeat([]byte("frame"), 1000)} {
+		framed, err := AppendFrame(nil, payload)
+		if err != nil {
+			t.Fatalf("append %d bytes: %v", len(payload), err)
+		}
+		got, n, err := DecodeFrame(append(framed, "trailing"...), MaxFrameBytes)
+		if err != nil {
+			t.Fatalf("decode %d bytes: %v", len(payload), err)
+		}
+		if n != len(framed) {
+			t.Fatalf("consumed %d, want %d", n, len(framed))
+		}
+		if !bytes.Equal(got, payload) {
+			t.Fatalf("roundtrip mismatch: %d vs %d bytes", len(got), len(payload))
+		}
+	}
+	if _, err := AppendFrame(nil, make([]byte, MaxFrameBytes+1)); !errors.Is(err, ErrFrame) {
+		t.Fatalf("oversize append = %v, want ErrFrame", err)
+	}
+}

@@ -1,0 +1,173 @@
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"sync"
+	"syscall"
+	"time"
+)
+
+// TCPConn is a message-oriented Conn over one TCP stream, cut into
+// CRC-framed messages (see frame.go). Its error semantics match memConn:
+// Send after Close fails with ErrClosed, an expired receive deadline is
+// ErrTimeout, and a peer's close surfaces as ErrClosed. Unlike memConn
+// it cannot drain after a local Close — the kernel discards undelivered
+// bytes with the socket.
+//
+// Send is safe for concurrent callers (the fault injector's delayed
+// transmissions fire from timer goroutines); Recv/RecvTimeout are
+// serialized internally but, like every Conn here, are meant for one
+// receiving goroutine.
+type TCPConn struct {
+	conn net.Conn
+
+	wmu sync.Mutex // serializes frame writes so they cannot interleave
+
+	rmu     sync.Mutex // guards the read state below
+	rbuf    []byte     // unconsumed stream bytes; a partial frame survives a deadline
+	scratch []byte     // socket read buffer, reused across calls
+
+	timeout time.Duration
+	once    sync.Once
+}
+
+// NewTCPConn wraps an established TCP (or TCP-like) stream.
+func NewTCPConn(conn net.Conn) *TCPConn {
+	return &TCPConn{conn: conn, scratch: make([]byte, 32*1024), timeout: 5 * time.Second}
+}
+
+// DialTCP connects to a listening peer, e.g. DialTCP("127.0.0.1:9300").
+func DialTCP(addr string) (*TCPConn, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: %w", err)
+	}
+	return NewTCPConn(conn), nil
+}
+
+// LocalAddr exposes the bound address.
+func (c *TCPConn) LocalAddr() net.Addr { return c.conn.LocalAddr() }
+
+// SetTimeout adjusts the default receive deadline used by Recv.
+func (c *TCPConn) SetTimeout(d time.Duration) { c.timeout = d }
+
+// Send implements Conn: one framed write per message. The header and
+// payload go out in a single Write under the write mutex, so concurrent
+// senders can never interleave partial frames.
+func (c *TCPConn) Send(msg []byte) error {
+	frame, err := AppendFrame(make([]byte, 0, frameHeaderLen+len(msg)), msg)
+	if err != nil {
+		return err
+	}
+	c.wmu.Lock()
+	_, err = c.conn.Write(frame)
+	c.wmu.Unlock()
+	if err != nil {
+		return mapNetErr(err)
+	}
+	return nil
+}
+
+// Recv implements Conn using the connection's default timeout.
+func (c *TCPConn) Recv() ([]byte, error) { return c.RecvTimeout(c.timeout) }
+
+// RecvTimeout implements Conn. A deadline that expires mid-frame leaves
+// the partial frame buffered: the stream position is preserved and the
+// next call resumes exactly where this one stopped.
+func (c *TCPConn) RecvTimeout(d time.Duration) ([]byte, error) {
+	c.rmu.Lock()
+	defer c.rmu.Unlock()
+	//vklint:ignore norand -- receive deadline arithmetic only; never feeds randomness or key material
+	deadline := time.Now().Add(d)
+	for {
+		payload, n, err := DecodeFrame(c.rbuf, MaxFrameBytes)
+		if err != nil {
+			// The stream cannot resynchronize past a bad frame; poison
+			// the connection so both ends see a clean ErrClosed next.
+			// Dropping the buffer matters: later calls must hit the closed
+			// socket, not re-decode the same bad frame forever.
+			c.rbuf = nil
+			_ = c.Close()
+			return nil, err
+		}
+		if payload != nil {
+			c.rbuf = append(c.rbuf[:0], c.rbuf[n:]...)
+			return payload, nil
+		}
+		if err := c.conn.SetReadDeadline(deadline); err != nil {
+			return nil, mapNetErr(err)
+		}
+		n, err = c.conn.Read(c.scratch)
+		if n > 0 {
+			c.rbuf = append(c.rbuf, c.scratch[:n]...)
+		}
+		if err != nil && n == 0 {
+			return nil, mapNetErr(err)
+		}
+	}
+}
+
+// Close implements Conn and is idempotent: the first call closes the
+// socket, later calls return nil, matching memConn.
+func (c *TCPConn) Close() error {
+	var err error
+	c.once.Do(func() { err = c.conn.Close() })
+	if err != nil && !errors.Is(err, net.ErrClosed) {
+		return fmt.Errorf("transport: %w", err)
+	}
+	return nil
+}
+
+// mapNetErr folds net-package failures onto the transport sentinels so
+// callers branch on errors.Is(ErrTimeout/ErrClosed) without net
+// internals. EOF and reset-by-peer both mean the session is over, which
+// is exactly what ErrClosed communicates to the protocol layer.
+func mapNetErr(err error) error {
+	switch {
+	case errors.Is(err, os.ErrDeadlineExceeded):
+		return fmt.Errorf("%w: %v", ErrTimeout, err)
+	case errors.Is(err, net.ErrClosed), errors.Is(err, io.EOF), errors.Is(err, io.ErrClosedPipe),
+		errors.Is(err, io.ErrUnexpectedEOF), errors.Is(err, syscall.ECONNRESET), errors.Is(err, syscall.EPIPE):
+		return fmt.Errorf("%w: %v", ErrClosed, err)
+	}
+	return err
+}
+
+// TCPListener accepts framed TCP connections as transport.Conns.
+type TCPListener struct {
+	l net.Listener
+}
+
+// ListenTCP listens on addr (":0" picks a free port).
+func ListenTCP(addr string) (*TCPListener, error) {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: %w", err)
+	}
+	return &TCPListener{l: l}, nil
+}
+
+// Accept implements Listener; a closed listener reports ErrClosed.
+func (l *TCPListener) Accept() (Conn, error) {
+	conn, err := l.l.Accept()
+	if err != nil {
+		return nil, mapNetErr(err)
+	}
+	return NewTCPConn(conn), nil
+}
+
+// Addr implements Listener.
+func (l *TCPListener) Addr() net.Addr { return l.l.Addr() }
+
+// Close implements Listener; pending and future Accepts fail with
+// ErrClosed.
+func (l *TCPListener) Close() error {
+	if err := l.l.Close(); err != nil && !errors.Is(err, net.ErrClosed) {
+		return fmt.Errorf("transport: %w", err)
+	}
+	return nil
+}

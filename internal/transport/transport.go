@@ -26,6 +26,15 @@ type Conn interface {
 	Close() error
 }
 
+// Listener accepts inbound Conns for the serving layer: the framed TCP
+// listener and the UDP mux both implement it, so a server binds either
+// with the same code. Accept on a closed listener reports ErrClosed.
+type Listener interface {
+	Accept() (Conn, error)
+	Addr() net.Addr
+	Close() error
+}
+
 // ErrClosed reports use of a closed connection.
 var ErrClosed = errors.New("transport: connection closed")
 
@@ -202,5 +211,12 @@ func (c *UDPConn) RecvTimeout(d time.Duration) ([]byte, error) {
 	return buf[:n], nil
 }
 
-// Close implements Conn.
-func (c *UDPConn) Close() error { return c.conn.Close() }
+// Close implements Conn and is idempotent: closing an already-closed
+// connection returns nil, matching memConn (the Conn contract every
+// implementation is tested against).
+func (c *UDPConn) Close() error {
+	if err := c.conn.Close(); err != nil && !errors.Is(err, net.ErrClosed) {
+		return err
+	}
+	return nil
+}

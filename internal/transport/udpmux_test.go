@@ -1,0 +1,200 @@
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"testing"
+	"time"
+)
+
+// muxClient dials the mux, announces itself with one datagram, and
+// returns the client end plus the accepted server-side session.
+func muxClient(t *testing.T, mux *UDPMux, tag string) (*UDPConn, Conn) {
+	t.Helper()
+	c, err := DialUDP("127.0.0.1:0", mux.Addr().String())
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	if err := c.Send([]byte(tag)); err != nil {
+		t.Fatalf("announce: %v", err)
+	}
+	sess, err := mux.Accept()
+	if err != nil {
+		t.Fatalf("accept: %v", err)
+	}
+	got, err := sess.Recv()
+	if err != nil || string(got) != tag {
+		t.Fatalf("announce recv = %q, %v (want %q)", got, err, tag)
+	}
+	return c, sess
+}
+
+// TestUDPMuxDemux: two peers on one socket get isolated sessions —
+// traffic routes by remote address in both directions and never crosses.
+func TestUDPMuxDemux(t *testing.T) {
+	mux, err := ListenUDPMux("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("mux: %v", err)
+	}
+	defer func() { _ = mux.Close() }()
+
+	cA, sessA := muxClient(t, mux, "peer-a")
+	defer func() { _ = cA.Close() }()
+	cB, sessB := muxClient(t, mux, "peer-b")
+	defer func() { _ = cB.Close() }()
+
+	// Interleave sends from both peers; each session sees only its own.
+	for i := 0; i < 3; i++ {
+		if err := cA.Send([]byte(fmt.Sprintf("a-%d", i))); err != nil {
+			t.Fatalf("a send: %v", err)
+		}
+		if err := cB.Send([]byte(fmt.Sprintf("b-%d", i))); err != nil {
+			t.Fatalf("b send: %v", err)
+		}
+	}
+	for i := 0; i < 3; i++ {
+		got, err := sessA.RecvTimeout(2 * time.Second)
+		if err != nil || string(got) != fmt.Sprintf("a-%d", i) {
+			t.Fatalf("sessA recv %d = %q, %v", i, got, err)
+		}
+		got, err = sessB.RecvTimeout(2 * time.Second)
+		if err != nil || string(got) != fmt.Sprintf("b-%d", i) {
+			t.Fatalf("sessB recv %d = %q, %v", i, got, err)
+		}
+	}
+
+	// Server → peer routing: each session's Send reaches only its peer.
+	if err := sessA.Send([]byte("to-a")); err != nil {
+		t.Fatalf("sessA send: %v", err)
+	}
+	if err := sessB.Send([]byte("to-b")); err != nil {
+		t.Fatalf("sessB send: %v", err)
+	}
+	if got, err := cA.RecvTimeout(2 * time.Second); err != nil || string(got) != "to-a" {
+		t.Fatalf("cA recv = %q, %v", got, err)
+	}
+	if got, err := cB.RecvTimeout(2 * time.Second); err != nil || string(got) != "to-b" {
+		t.Fatalf("cB recv = %q, %v", got, err)
+	}
+}
+
+// TestUDPMuxSessionCloseForgetsPeer: after a session closes, the same
+// remote address is a brand-new peer — its next datagram comes out of
+// Accept again rather than landing in the dead session.
+func TestUDPMuxSessionCloseForgetsPeer(t *testing.T) {
+	mux, err := ListenUDPMux("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("mux: %v", err)
+	}
+	defer func() { _ = mux.Close() }()
+
+	c, sess := muxClient(t, mux, "first-life")
+	defer func() { _ = c.Close() }()
+	if err := sess.Close(); err != nil {
+		t.Fatalf("session close: %v", err)
+	}
+
+	// Same socket, same source address: must be re-admitted as new.
+	if err := c.Send([]byte("second-life")); err != nil {
+		t.Fatalf("send: %v", err)
+	}
+	sess2, err := mux.Accept()
+	if err != nil {
+		t.Fatalf("re-accept: %v", err)
+	}
+	got, err := sess2.RecvTimeout(2 * time.Second)
+	if err != nil || string(got) != "second-life" {
+		t.Fatalf("re-accepted recv = %q, %v", got, err)
+	}
+	if got := sess2.(*muxConn).RemoteAddr().String(); got != c.LocalAddr().String() {
+		t.Fatalf("re-accepted peer = %s, want %s", got, c.LocalAddr())
+	}
+}
+
+// TestUDPMuxQueueDropsWhenFull: a session queue past muxQueueDepth sheds
+// datagrams instead of blocking the shared read loop — UDP semantics,
+// absorbed by the ARQ layer like any wire loss.
+func TestUDPMuxQueueDropsWhenFull(t *testing.T) {
+	mc := &muxConn{in: make(chan []byte, muxQueueDepth), done: make(chan struct{}), timeout: time.Second}
+	for i := 0; i < muxQueueDepth+16; i++ {
+		mc.deliver([]byte{byte(i)}) // must never block
+	}
+	for i := 0; i < muxQueueDepth; i++ {
+		got, err := mc.RecvTimeout(time.Second)
+		if err != nil {
+			t.Fatalf("recv %d: %v", i, err)
+		}
+		if got[0] != byte(i) {
+			t.Fatalf("recv %d = %d: drop was not tail-drop", i, got[0])
+		}
+	}
+	if _, err := mc.RecvTimeout(20 * time.Millisecond); !errors.Is(err, ErrTimeout) {
+		t.Fatalf("queue should hold exactly %d datagrams", muxQueueDepth)
+	}
+}
+
+// TestUDPMuxCloseClosesSessions: closing the mux fails pending Accepts
+// and closes every live session (after draining what already arrived).
+func TestUDPMuxCloseClosesSessions(t *testing.T) {
+	mux, err := ListenUDPMux("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("mux: %v", err)
+	}
+	c, sess := muxClient(t, mux, "doomed")
+	defer func() { _ = c.Close() }()
+
+	acceptErr := make(chan error, 1)
+	go func() {
+		_, err := mux.Accept()
+		acceptErr <- err
+	}()
+
+	if err := mux.Close(); err != nil {
+		t.Fatalf("mux close: %v", err)
+	}
+	if err := mux.Close(); err != nil {
+		t.Fatalf("second mux close: %v", err)
+	}
+	select {
+	case err := <-acceptErr:
+		if !errors.Is(err, ErrClosed) {
+			t.Fatalf("pending accept = %v, want ErrClosed", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("pending accept did not fail")
+	}
+	if err := sess.Send([]byte("x")); !errors.Is(err, ErrClosed) {
+		t.Fatalf("session send after mux close = %v, want ErrClosed", err)
+	}
+	if _, err := sess.RecvTimeout(50 * time.Millisecond); !errors.Is(err, ErrClosed) {
+		t.Fatalf("session recv after mux close = %v, want ErrClosed", err)
+	}
+}
+
+// TestUDPMuxGhostDatagramAfterClose: a datagram delivered to a closed
+// session vanishes (indistinguishable from wire loss) instead of leaking
+// into a queue nobody reads.
+func TestUDPMuxGhostDatagramAfterClose(t *testing.T) {
+	mc := &muxConn{mux: &UDPMux{sessions: map[string]*muxConn{}}, in: make(chan []byte, muxQueueDepth), done: make(chan struct{}), timeout: time.Second}
+	if err := mc.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	mc.deliver([]byte("ghost"))
+	if len(mc.in) != 0 {
+		t.Fatalf("closed session queued a datagram")
+	}
+}
+
+// TestUDPMuxAddr: the mux reports the bound UDP address.
+func TestUDPMuxAddr(t *testing.T) {
+	mux, err := ListenUDPMux("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("mux: %v", err)
+	}
+	defer func() { _ = mux.Close() }()
+	addr, ok := mux.Addr().(*net.UDPAddr)
+	if !ok || addr.Port == 0 {
+		t.Fatalf("mux addr = %v", mux.Addr())
+	}
+}

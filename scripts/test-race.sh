@@ -1,7 +1,7 @@
 #!/bin/sh
 # Race-detector test pass, tier-1 alongside `go test ./...`.
 #
-# The concurrent packages (transport, protocol, secure, attack, obs) run with
+# The concurrent packages (transport, protocol, server, secure, attack, obs) run with
 # -count=1 so a cached result can never mask a rediscovered race. The
 # model-training packages dominate wall time under -race, so they run
 # -short where that keeps coverage meaningful; the protocol soak itself
@@ -16,12 +16,13 @@ go test -race -count=1 \
 	./internal/transport/ \
 	./internal/secure/ \
 	./internal/protocol/ \
+	./internal/server/ \
 	./internal/attack/ \
 	./internal/obs/
 
 echo "== race: remaining packages (short) =="
 go test -race -short \
-	$(go list ./... | grep -v -e /internal/transport$ -e /internal/secure$ -e /internal/protocol$ -e /internal/attack$ -e /internal/obs$)
+	$(go list ./... | grep -v -e /internal/transport$ -e /internal/secure$ -e /internal/protocol$ -e /internal/server$ -e /internal/attack$ -e /internal/obs$)
 
 echo "== race: parallel experiment engine equivalence =="
 # -short skips these, so run them explicitly: the golden equivalence
