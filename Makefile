@@ -23,7 +23,9 @@ test-race:
 
 # Static analysis: go vet, formatting, and the repo's own vklint suite
 # (internal/lint), which enforces the crypto/determinism/concurrency
-# invariants DESIGN.md documents under "Enforced invariants".
+# and secret-dataflow invariants DESIGN.md documents under "Enforced
+# invariants". CI runs this same target; on failure it re-runs vklint
+# with -json and uploads the findings as an artifact.
 lint:
 	$(GO) vet ./...
 	@out=$$(gofmt -l . 2>/dev/null); if [ -n "$$out" ]; then \

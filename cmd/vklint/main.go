@@ -6,6 +6,8 @@
 //
 //	vklint ./...                 # whole module (the CI lint job)
 //	vklint -checks consttime,zeroize ./internal/secure/...
+//	vklint -json ./... > findings.json
+//	vklint -severity error ./... # hide warn-level findings
 //	vklint -list                 # describe the registered checks
 //
 // Exit status: 0 when no error-severity finding survives suppression,
@@ -16,8 +18,10 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 
@@ -25,66 +29,129 @@ import (
 )
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// jsonFinding is the machine-readable shape of one diagnostic, stable
+// for CI artifact consumers.
+type jsonFinding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Column   int    `json:"column"`
+	Check    string `json:"check"`
+	Severity string `json:"severity"`
+	Message  string `json:"message"`
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("vklint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		checks = flag.String("checks", "", "comma-separated checks to run (default: all)")
-		list   = flag.Bool("list", false, "list registered checks and exit")
+		checks   = fs.String("checks", "", "comma-separated checks to run (default: all)")
+		list     = fs.Bool("list", false, "list registered checks and exit")
+		jsonOut  = fs.Bool("json", false, "write findings as a JSON array on stdout")
+		severity = fs.String("severity", "warn", "minimum severity to report: warn or error")
 	)
-	flag.Usage = func() {
-		_, _ = fmt.Fprintf(os.Stderr, "usage: vklint [-checks a,b] [-list] [packages]\n")
-		flag.PrintDefaults()
+	fs.Usage = func() {
+		_, _ = fmt.Fprintf(stderr, "usage: vklint [-checks a,b] [-json] [-severity warn|error] [-list] [packages]\n")
+		fs.PrintDefaults()
 	}
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	var floor lint.Severity
+	switch *severity {
+	case "warn":
+		floor = lint.Warn
+	case "error":
+		floor = lint.Error
+	default:
+		return fatal(stderr, fmt.Errorf("invalid -severity %q (want warn or error)", *severity))
+	}
 
 	if *list {
 		for _, a := range lint.Analyzers() {
-			fmt.Printf("%-10s %s  [%s]\n", a.Name, a.Doc, a.Severity)
+			_, _ = fmt.Fprintf(stdout, "%-11s %s  [%s]\n", a.Name, a.Doc, a.Severity)
 		}
-		return
+		return 0
 	}
 
 	analyzers, err := lint.Select(*checks)
 	if err != nil {
-		fatal(err)
+		return fatal(stderr, err)
 	}
-	patterns := flag.Args()
+	patterns := fs.Args()
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
 
 	loader, err := lint.NewLoader(".")
 	if err != nil {
-		fatal(err)
+		return fatal(stderr, err)
 	}
 	dirs, err := loader.Match(patterns...)
 	if err != nil {
-		fatal(err)
+		return fatal(stderr, err)
 	}
 	if len(dirs) == 0 {
-		fatal(fmt.Errorf("no packages match %v", patterns))
+		return fatal(stderr, fmt.Errorf("no packages match %v", patterns))
 	}
 	pkgs, err := loader.Load(dirs...)
 	if err != nil {
-		fatal(err)
+		return fatal(stderr, err)
 	}
 
-	diags := lint.Run(loader.Module(), pkgs, analyzers)
+	all := lint.Run(loader.Module(), pkgs, analyzers)
+	diags := all[:0]
+	for _, d := range all {
+		if d.Severity >= floor {
+			diags = append(diags, d)
+		}
+	}
+
 	cwd, _ := os.Getwd()
-	for _, d := range diags {
-		file := d.Pos.Filename
+	rel := func(file string) string {
 		if cwd != "" {
-			if rel, err := filepath.Rel(cwd, file); err == nil && !filepath.IsAbs(rel) {
-				file = rel
+			if r, err := filepath.Rel(cwd, file); err == nil && !filepath.IsAbs(r) {
+				return r
 			}
 		}
-		fmt.Printf("%s:%d:%d: %s: %s\n", file, d.Pos.Line, d.Pos.Column, d.Check, d.Message)
+		return file
+	}
+
+	if *jsonOut {
+		out := make([]jsonFinding, 0, len(diags))
+		for _, d := range diags {
+			out = append(out, jsonFinding{
+				File:     rel(d.Pos.Filename),
+				Line:     d.Pos.Line,
+				Column:   d.Pos.Column,
+				Check:    d.Check,
+				Severity: d.Severity.String(),
+				Message:  d.Message,
+			})
+		}
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			return fatal(stderr, err)
+		}
+	} else {
+		for _, d := range diags {
+			_, _ = fmt.Fprintf(stdout, "%s:%d:%d: %s: %s\n", rel(d.Pos.Filename), d.Pos.Line, d.Pos.Column, d.Check, d.Message)
+		}
 	}
 	if lint.HasErrors(diags) {
-		fmt.Printf("vklint: %d finding(s) in %d package(s)\n", len(diags), len(pkgs))
-		os.Exit(1)
+		if !*jsonOut {
+			_, _ = fmt.Fprintf(stdout, "vklint: %d finding(s) in %d package(s)\n", len(diags), len(pkgs))
+		}
+		return 1
 	}
+	return 0
 }
 
-func fatal(err error) {
-	_, _ = fmt.Fprintf(os.Stderr, "vklint: %v\n", err)
-	os.Exit(2)
+func fatal(stderr io.Writer, err error) int {
+	_, _ = fmt.Fprintf(stderr, "vklint: %v\n", err)
+	return 2
 }

@@ -1,0 +1,114 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+const (
+	cleanDir  = "../../internal/lint/testdata/clean/secure"
+	badDir    = "../../internal/lint/testdata/allocbound/transport"
+	warnDir   = "../../internal/lint/testdata/engine/pipeline"
+	brokenDir = "../../internal/lint/testdata/broken/transport"
+)
+
+// TestExitCodeContract pins the 0/1/2 exit-code contract across both
+// output modes: 0 when no error-severity finding survives, 1 when
+// findings remain, 2 on usage or load failure.
+func TestExitCodeContract(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		code int
+	}{
+		{"clean_text", []string{"-checks", "allocbound", cleanDir}, 0},
+		{"clean_json", []string{"-json", "-checks", "allocbound", cleanDir}, 0},
+		{"findings_text", []string{"-checks", "allocbound", badDir}, 1},
+		{"findings_json", []string{"-json", "-checks", "allocbound", badDir}, 1},
+		{"findings_severity_floor", []string{"-severity", "error", "-checks", "allocbound", badDir}, 1},
+		{"warn_only_text", []string{"-checks", "keyflow", warnDir}, 0},
+		{"warn_only_json", []string{"-json", "-checks", "keyflow", warnDir}, 0},
+		{"warn_filtered_by_floor", []string{"-severity", "error", "-checks", "keyflow", warnDir}, 0},
+		{"unknown_check", []string{"-checks", "nosuchcheck", cleanDir}, 2},
+		{"bad_severity", []string{"-severity", "loud", cleanDir}, 2},
+		{"load_failure", []string{brokenDir}, 2},
+		{"bad_flag", []string{"-nosuchflag"}, 2},
+		{"list", []string{"-list"}, 0},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			var stdout, stderr bytes.Buffer
+			if got := run(c.args, &stdout, &stderr); got != c.code {
+				t.Fatalf("run(%v) = %d, want %d\nstdout:\n%s\nstderr:\n%s", c.args, got, c.code, stdout.String(), stderr.String())
+			}
+		})
+	}
+}
+
+// TestTextOutput checks the human-readable mode: path:line:col lines and
+// the trailing summary on failure.
+func TestTextOutput(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-checks", "allocbound", badDir}, &stdout, &stderr); code != 1 {
+		t.Fatalf("exit %d, want 1 (stderr: %s)", code, stderr.String())
+	}
+	out := stdout.String()
+	if !strings.Contains(out, "allocbound:") {
+		t.Errorf("text output has no allocbound finding:\n%s", out)
+	}
+	if !strings.Contains(out, "vklint: ") || !strings.Contains(out, "finding(s)") {
+		t.Errorf("text output has no summary line:\n%s", out)
+	}
+}
+
+// TestJSONOutput checks the machine-readable mode: a parseable array of
+// findings with the documented fields, and no summary line mixed in.
+func TestJSONOutput(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-json", "-checks", "allocbound", badDir}, &stdout, &stderr); code != 1 {
+		t.Fatalf("exit %d, want 1 (stderr: %s)", code, stderr.String())
+	}
+	var findings []jsonFinding
+	if err := json.Unmarshal(stdout.Bytes(), &findings); err != nil {
+		t.Fatalf("stdout is not a JSON findings array: %v\n%s", err, stdout.String())
+	}
+	if len(findings) == 0 {
+		t.Fatal("JSON mode reported no findings on the bad fixture")
+	}
+	for _, f := range findings {
+		if f.Check != "allocbound" || f.Severity != "error" || f.File == "" || f.Line == 0 || f.Message == "" {
+			t.Errorf("malformed finding: %+v", f)
+		}
+	}
+
+	// The clean fixture must still produce a valid (empty) array.
+	stdout.Reset()
+	if code := run([]string{"-json", "-checks", "allocbound", cleanDir}, &stdout, &stderr); code != 0 {
+		t.Fatalf("clean run exit %d, want 0", code)
+	}
+	var empty []jsonFinding
+	if err := json.Unmarshal(stdout.Bytes(), &empty); err != nil || len(empty) != 0 {
+		t.Fatalf("clean JSON output = %q (err %v), want empty array", stdout.String(), err)
+	}
+}
+
+// TestSeverityFloor checks that -severity error drops warn-level
+// findings from the output while error findings stay.
+func TestSeverityFloor(t *testing.T) {
+	var all, floored bytes.Buffer
+	var stderr bytes.Buffer
+	if code := run([]string{"-checks", "keyflow", warnDir}, &all, &stderr); code != 0 {
+		t.Fatalf("warn-only run exit %d, want 0 (stderr: %s)", code, stderr.String())
+	}
+	if !strings.Contains(all.String(), "vklint:") {
+		t.Errorf("default floor hid the warn finding:\n%s", all.String())
+	}
+	if code := run([]string{"-severity", "error", "-checks", "keyflow", warnDir}, &floored, &stderr); code != 0 {
+		t.Fatalf("floored run exit %d, want 0", code)
+	}
+	if floored.Len() != 0 {
+		t.Errorf("-severity error still printed warn findings:\n%s", floored.String())
+	}
+}

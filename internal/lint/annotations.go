@@ -1,0 +1,142 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Source annotations. Beyond the heuristics (names, known source calls),
+// code can mark its own trust boundaries for the dataflow analyzers:
+//
+//	//vklint:secret — on a function parameter or struct field: the value
+//	is key material; keyflow treats every read of it as a raw taint
+//	source.
+//
+//	//vklint:wire — on a struct type declaration: the struct is decoded
+//	from untrusted wire input; allocbound treats every field read as a
+//	hostile size until a cap check intervenes.
+//
+// A directive covers the declaration on its own line or on the line
+// directly below it (same placement contract as //vklint:ignore), and
+// anything after " -- " is rationale.
+const (
+	secretDirective = "vklint:secret"
+	wireDirective   = "vklint:wire"
+)
+
+// annotations is the module-wide view of both directives, resolved to
+// type-checker objects so analyzers can match uses across packages.
+type annotations struct {
+	// secret holds annotated parameter and struct-field objects.
+	secret map[types.Object]bool
+	// wire holds the *types.TypeName of each annotated struct type.
+	wire map[types.Object]bool
+}
+
+// collectAnnotations scans every package in pkgs for the two directives.
+func collectAnnotations(pkgs []*Package) *annotations {
+	a := &annotations{
+		secret: make(map[types.Object]bool),
+		wire:   make(map[types.Object]bool),
+	}
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			secretLines, wireLines := directiveLines(pkg.Fset, f)
+			if len(secretLines) == 0 && len(wireLines) == 0 {
+				continue
+			}
+			collectFileAnnotations(pkg, f, secretLines, wireLines, a)
+		}
+	}
+	return a
+}
+
+// directiveLines returns, per directive, the set of source lines a
+// directive in f covers: its own line and the next.
+func directiveLines(fset *token.FileSet, f *ast.File) (secret, wire map[int]bool) {
+	secret = make(map[int]bool)
+	wire = make(map[int]bool)
+	for _, grp := range f.Comments {
+		for _, c := range grp.List {
+			text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+			var set map[int]bool
+			switch {
+			case isDirective(text, secretDirective):
+				set = secret
+			case isDirective(text, wireDirective):
+				set = wire
+			default:
+				continue
+			}
+			line := fset.Position(c.Pos()).Line
+			set[line] = true
+			set[line+1] = true
+		}
+	}
+	return secret, wire
+}
+
+// isDirective reports whether text is the named whole-word directive,
+// optionally followed by a rationale.
+func isDirective(text, directive string) bool {
+	rest, ok := strings.CutPrefix(text, directive)
+	return ok && (rest == "" || rest[0] == ' ' || rest[0] == '\t')
+}
+
+func collectFileAnnotations(pkg *Package, f *ast.File, secretLines, wireLines map[int]bool, a *annotations) {
+	line := func(pos token.Pos) int { return pkg.Fset.Position(pos).Line }
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncDecl:
+			if n.Type.Params == nil {
+				return true
+			}
+			for _, field := range n.Type.Params.List {
+				if !secretLines[line(field.Pos())] {
+					continue
+				}
+				for _, name := range field.Names {
+					if obj := pkg.Info.Defs[name]; obj != nil {
+						a.secret[obj] = true
+					}
+				}
+			}
+		case *ast.TypeSpec:
+			if wireLines[line(n.Pos())] {
+				if obj := pkg.Info.Defs[n.Name]; obj != nil {
+					a.wire[obj] = true
+				}
+			}
+			st, ok := n.Type.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				if !secretLines[line(field.Pos())] {
+					continue
+				}
+				for _, name := range field.Names {
+					if obj := pkg.Info.Defs[name]; obj != nil {
+						a.secret[obj] = true
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+// isWireStruct reports whether t (possibly a pointer to) is a struct type
+// annotated //vklint:wire.
+func (a *annotations) isWireStruct(t types.Type) bool {
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	return a.wire[named.Obj()]
+}

@@ -2,6 +2,7 @@ package lint
 
 import (
 	"reflect"
+	"strings"
 	"testing"
 )
 
@@ -53,7 +54,7 @@ func TestSelect(t *testing.T) {
 }
 
 func TestRegistryComplete(t *testing.T) {
-	want := []string{"consttime", "detrand", "errcheck", "locksafe", "norand", "obsnop", "stageiface", "zeroize"}
+	want := []string{"allocbound", "consttime", "detrand", "errcheck", "keyflow", "locksafe", "netdeadline", "norand", "obsnop", "stageiface", "zeroize"}
 	got := names(Analyzers())
 	if !reflect.DeepEqual(got, want) {
 		t.Fatalf("registered analyzers = %v, want %v", got, want)
@@ -83,6 +84,53 @@ func TestSecretNameHeuristics(t *testing.T) {
 	}
 	if !isKeyMaterialName("roundKey") || isKeyMaterialName("macTag") {
 		t.Error("isKeyMaterialName should accept roundKey and reject macTag")
+	}
+}
+
+// TestEngineFixture drives the engine-behavior fixture: a finding whose
+// statement spans two lines is suppressed by a directive above its
+// opening line, and a directive naming a nonexistent check produces the
+// engine's unknown-check warning instead of silently suppressing
+// nothing.
+func TestEngineFixture(t *testing.T) {
+	analyzers, err := Select("keyflow")
+	if err != nil {
+		t.Fatalf("Select: %v", err)
+	}
+	diags := lintDir(t, "testdata/engine/pipeline", analyzers)
+	var warns []Diagnostic
+	for _, d := range diags {
+		if d.Check == "keyflow" {
+			t.Errorf("multi-line finding escaped its suppression: %s", d)
+			continue
+		}
+		warns = append(warns, d)
+	}
+	if len(warns) != 1 {
+		t.Fatalf("got %d engine diagnostics, want exactly 1 unknown-check warning: %v", len(warns), warns)
+	}
+	w := warns[0]
+	if w.Check != "vklint" || w.Severity != Warn {
+		t.Errorf("unknown-check warning = check %q severity %s, want vklint/warn", w.Check, w.Severity)
+	}
+	if !strings.Contains(w.Message, `"keyflwo"`) {
+		t.Errorf("warning does not name the typoed check: %s", w.Message)
+	}
+}
+
+// TestLoadErrorPath pins the engine's behavior on a package that does
+// not type-check: Load must fail with a diagnosis, not panic, and the
+// message must carry the type-checker's complaint.
+func TestLoadErrorPath(t *testing.T) {
+	l := goldenLoader(t)
+	_, err := l.Load("testdata/broken/transport")
+	if err == nil {
+		t.Fatal("Load of a type-broken package succeeded")
+	}
+	for _, want := range []string{"type-checking", "undefinedSymbol"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("load error %q does not mention %q", err, want)
+		}
 	}
 }
 

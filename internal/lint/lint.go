@@ -75,6 +75,11 @@ type Pass struct {
 	Pkg      *Package
 	Module   Module
 
+	// Pkgs is every package of the current Run — the whole-module view
+	// interprocedural analyzers (keyflow) resolve callee bodies against.
+	// Pkg is always an element of Pkgs.
+	Pkgs []*Package
+
 	diags *[]Diagnostic
 }
 
@@ -160,10 +165,14 @@ func Run(mod Module, pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 	for _, pkg := range pkgs {
 		start := len(diags)
 		for _, a := range analyzers {
-			pass := &Pass{Analyzer: a, Fset: pkg.Fset, Pkg: pkg, Module: mod, diags: &diags}
+			pass := &Pass{Analyzer: a, Fset: pkg.Fset, Pkg: pkg, Module: mod, Pkgs: pkgs, diags: &diags}
 			a.Run(pass)
 		}
 		diags = append(diags[:start], suppress(pkg, diags[start:])...)
+		// Unknown-check warnings are appended after suppression on purpose:
+		// a typoed directive must not be able to suppress the warning about
+		// itself.
+		diags = append(diags, checkIgnoreDirectives(pkg)...)
 	}
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i], diags[j]
@@ -240,6 +249,42 @@ func suppress(pkg *Package, diags []Diagnostic) []Diagnostic {
 			continue
 		}
 		out = append(out, d)
+	}
+	return out
+}
+
+// checkIgnoreDirectives warns about //vklint:ignore comments naming a
+// check that does not exist in the registry: such a directive is dead (a
+// typo, or a check that was renamed) and silently suppresses nothing,
+// which is exactly the state that lets a real finding reappear unnoticed.
+// The warning is engine-level, so it carries the synthetic check name
+// "vklint" and Warn severity — it never fails the build by itself.
+func checkIgnoreDirectives(pkg *Package) []Diagnostic {
+	known := make(map[string]bool)
+	for _, a := range Analyzers() {
+		known[a.Name] = true
+	}
+	var out []Diagnostic
+	for _, f := range pkg.Files {
+		for _, grp := range f.Comments {
+			for _, c := range grp.List {
+				checks, ok := parseIgnore(c.Text)
+				if !ok {
+					continue
+				}
+				for _, chk := range checks {
+					if chk == "*" || known[chk] {
+						continue
+					}
+					out = append(out, Diagnostic{
+						Pos:      pkg.Fset.Position(c.Pos()),
+						Check:    "vklint",
+						Severity: Warn,
+						Message:  fmt.Sprintf("ignore directive names unknown check %q; it suppresses nothing", chk),
+					})
+				}
+			}
+		}
 	}
 	return out
 }

@@ -1,0 +1,175 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// netdeadlineScope: the serving layer. Everywhere else blocking is either
+// in-process (memConn) or test-only.
+var netdeadlineScope = []string{"server", "transport"}
+
+func init() {
+	register(&Analyzer{
+		Name:     "netdeadline",
+		Doc:      "every blocking read in the serving layer must be governed by a deadline or a liveness escape",
+		Severity: Error,
+		Run:      runNetdeadline,
+	})
+}
+
+// netReadMethods are the net-package blocking reads the analyzer tracks.
+var netReadMethods = map[string]bool{
+	"Read": true, "ReadFrom": true, "ReadFromUDP": true, "ReadMsgUDP": true,
+}
+
+// ioReadFuncs block until the underlying net read returns.
+var ioReadFuncs = map[string]bool{
+	"ReadFull": true, "ReadAtLeast": true,
+}
+
+func runNetdeadline(pass *Pass) {
+	if !pass.InScope(netdeadlineScope...) {
+		return
+	}
+	for _, f := range pass.Pkg.Files {
+		if isGenerated(f) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			checkFuncDeadlines(pass, fn)
+		}
+	}
+}
+
+func checkFuncDeadlines(pass *Pass, fn *ast.FuncDecl) {
+	info := pass.Pkg.Info
+
+	// Every SetReadDeadline/SetDeadline call in the function. A read is
+	// governed when some deadline call precedes it in source order — a
+	// deliberately syntactic rule: a dead peer then wakes the read within
+	// one deadline period on every path that reaches it.
+	var deadlines []token.Pos
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+			switch sel.Sel.Name {
+			case "SetReadDeadline", "SetDeadline":
+				deadlines = append(deadlines, call.Pos())
+			}
+		}
+		return true
+	})
+	governed := func(pos token.Pos) bool {
+		for _, d := range deadlines {
+			if d < pos {
+				return true
+			}
+		}
+		return false
+	}
+
+	// Channel receives inside select communication clauses are judged as
+	// part of their select, not as bare receives.
+	selectRecv := make(map[*ast.UnaryExpr]bool)
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectStmt)
+		if !ok {
+			return true
+		}
+		escape := false
+		for _, c := range sel.Body.List {
+			cc := c.(*ast.CommClause)
+			if cc.Comm == nil { // default clause: never blocks
+				escape = true
+				continue
+			}
+			ast.Inspect(cc.Comm, func(m ast.Node) bool {
+				if ue, ok := m.(*ast.UnaryExpr); ok && ue.Op == token.ARROW {
+					selectRecv[ue] = true
+					if recvIsEscape(info, ue.X) {
+						escape = true
+					}
+				}
+				return true
+			})
+		}
+		if !escape {
+			pass.Reportf(sel.Pos(), "select can block forever: add a default case, a timer case, or a done-channel (chan struct{}) case")
+		}
+		return true
+	})
+
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			obj := calleeObject(info, n)
+			fnObj, ok := obj.(*types.Func)
+			if !ok {
+				return true
+			}
+			pkg := objectPkgPath(fnObj)
+			name := fnObj.Name()
+			blocking := (pkg == "net" && netReadMethods[name]) ||
+				(pkg == "io" && ioReadFuncs[name])
+			if blocking && !governed(n.Pos()) {
+				pass.Reportf(n.Pos(), "blocking %s.%s without a preceding SetReadDeadline/SetDeadline in this function; a dead peer wedges this goroutine forever", pkg, name)
+			}
+		case *ast.UnaryExpr:
+			if n.Op != token.ARROW || selectRecv[n] {
+				return true
+			}
+			if recvIsTimer(info, n.X) {
+				return true
+			}
+			pass.Reportf(n.Pos(), "bare channel receive can block forever: select against a timer or done channel")
+		}
+		return true
+	})
+}
+
+// recvIsTimer reports whether the received channel carries time.Time —
+// a receive that by construction fires after a bounded wait.
+func recvIsTimer(info *types.Info, ch ast.Expr) bool {
+	elem := chanElem(info, ch)
+	if elem == nil {
+		return false
+	}
+	named, ok := elem.(*types.Named)
+	return ok && named.Obj().Pkg() != nil &&
+		named.Obj().Pkg().Path() == "time" && named.Obj().Name() == "Time"
+}
+
+// recvIsEscape reports whether a select receive case is a liveness
+// escape: a timer (time.Time) or a lifecycle done channel (chan struct{}).
+func recvIsEscape(info *types.Info, ch ast.Expr) bool {
+	if recvIsTimer(info, ch) {
+		return true
+	}
+	elem := chanElem(info, ch)
+	if elem == nil {
+		return false
+	}
+	st, ok := elem.Underlying().(*types.Struct)
+	return ok && st.NumFields() == 0
+}
+
+func chanElem(info *types.Info, ch ast.Expr) types.Type {
+	t := info.TypeOf(ch)
+	if t == nil {
+		return nil
+	}
+	c, ok := t.Underlying().(*types.Chan)
+	if !ok {
+		return nil
+	}
+	return c.Elem()
+}

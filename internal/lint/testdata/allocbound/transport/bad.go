@@ -1,0 +1,85 @@
+// Package transport is the allocbound golden fixture: sizes decoded
+// from the wire must be capped before they drive an allocation or a
+// loop.
+package transport
+
+import "encoding/binary"
+
+// frame is a decoded wire header.
+//
+//vklint:wire -- parsed from untrusted datagrams
+type frame struct {
+	Size  uint32
+	Count uint32
+}
+
+const maxFrame = 1 << 20
+
+// allocUnchecked is the bug class the frame codec's 1 MiB pre-check
+// exists to prevent: the peer picks the allocation size.
+func allocUnchecked(hdr []byte) []byte {
+	size := binary.BigEndian.Uint32(hdr)
+	return make([]byte, size) // want "allocbound"
+}
+
+// allocChecked rejects oversized frames before allocating: compliant.
+func allocChecked(hdr []byte) []byte {
+	size := binary.BigEndian.Uint32(hdr)
+	if size > maxFrame {
+		return nil
+	}
+	return make([]byte, size)
+}
+
+// loopUnchecked lets the decoded count pick the iteration count (and so
+// the appended length) — the hostile-Round back-fill regression.
+func loopUnchecked(f frame) []int {
+	var out []int
+	for i := 0; i < int(f.Count); i++ { // want "allocbound"
+		out = append(out, i)
+	}
+	return out
+}
+
+// loopChecked caps the count with an exit guard first; everything after
+// the guard is bounded.
+func loopChecked(f frame) []int {
+	if f.Count > 1024 {
+		return nil
+	}
+	out := make([]int, 0, f.Count)
+	for i := 0; i < int(f.Count); i++ {
+		out = append(out, i)
+	}
+	return out
+}
+
+// lowWater shows the direction rule: a lower-bound early-exit proves
+// nothing about how large the value can be, so the loop stays flagged.
+func lowWater(f frame, next uint32) []int {
+	if f.Count < next {
+		return nil
+	}
+	var out []int
+	for i := next; i < f.Count; i++ { // want "allocbound"
+		out = append(out, int(i))
+	}
+	return out
+}
+
+// lenDerived sizes from len() of data something upstream already capped:
+// always safe.
+func lenDerived(payload []byte) []byte {
+	out := make([]byte, len(payload))
+	copy(out, payload)
+	return out
+}
+
+var (
+	_ = allocUnchecked
+	_ = allocChecked
+	_ = loopUnchecked
+	_ = loopChecked
+	_ = lowWater
+	_ = lenDerived
+)

@@ -1,0 +1,7 @@
+// Package transport is deliberately type-broken: the engine's load
+// error path must surface the type-check failure instead of panicking.
+package transport
+
+func undefinedRef() int {
+	return undefinedSymbol
+}

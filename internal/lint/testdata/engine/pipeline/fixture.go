@@ -1,0 +1,24 @@
+// Package pipeline is the engine-behavior fixture (not a golden
+// package): it exercises suppression of a finding anchored on the first
+// line of a multi-line statement, and an ignore directive naming a check
+// that does not exist.
+package pipeline
+
+import "fmt"
+
+type quantizer struct{}
+
+// Quantize is a keyflow policy source: its result is raw key bits.
+func (quantizer) Quantize(win []float64) []byte { return nil }
+
+func dump(win []float64) {
+	var q quantizer
+	bits := q.Quantize(win)
+	//vklint:ignore keyflow -- fixture: the finding anchors on the opening line below
+	fmt.Printf("key=%x\n",
+		bits)
+	//vklint:ignore keyflwo -- typo on purpose: the engine must warn, not stay silent
+	_ = bits
+}
+
+var _ = dump

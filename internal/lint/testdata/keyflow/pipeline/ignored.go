@@ -1,0 +1,19 @@
+package pipeline
+
+import (
+	"fmt"
+
+	"repro/internal/secure"
+)
+
+// dumpKAT prints a known-answer test vector. The bits come from the
+// quantizer policy source, so both flows on the print line (format sink
+// and raw-keyed MAC) are findings — recorded and accepted below.
+func dumpKAT(win []float64) {
+	var q quantizer
+	bits, _ := q.BobQuantize(win)
+	//vklint:ignore keyflow -- published known-answer test vector, not a live session key
+	fmt.Printf("kat=%x mac=%x\n", bits, secure.MAC(bits, make([]byte, 8)))
+}
+
+var _ = dumpKAT

@@ -1,0 +1,78 @@
+// Package transport is the netdeadline golden fixture: the serving
+// layer's blocking reads must always be able to wake up.
+package transport
+
+import (
+	"net"
+	"time"
+)
+
+// pump mirrors the pre-fix UDP mux read loop: nothing ever arms a read
+// deadline, so one silent fleet wedges the demultiplexer goroutine
+// forever (the udpmux.readLoop regression).
+func pump(pc *net.UDPConn, out chan<- []byte) {
+	buf := make([]byte, 1024)
+	for {
+		n, _, err := pc.ReadFromUDP(buf) // want "netdeadline"
+		if err != nil {
+			return
+		}
+		out <- append([]byte(nil), buf[:n]...)
+	}
+}
+
+// recvGoverned arms a deadline before reading: compliant.
+func recvGoverned(c net.Conn, d time.Duration) ([]byte, error) {
+	buf := make([]byte, 1024)
+	if err := c.SetReadDeadline(time.Now().Add(d)); err != nil {
+		return nil, err
+	}
+	n, err := c.Read(buf)
+	return buf[:n], err
+}
+
+// waitDone is the server.Close regression: a bare receive with no timer
+// or done escape blocks forever when a worker wedges.
+func waitDone(drained chan struct{}) {
+	<-drained // want "netdeadline"
+}
+
+// waitBounded is the compliant drain wait: timer-bounded select.
+func waitBounded(drained chan struct{}, d time.Duration) {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-drained:
+	case <-t.C:
+	}
+}
+
+// drainQueue ranges over a channel; close terminates the loop, so range
+// receives are exempt.
+func drainQueue(ch chan []byte) int {
+	n := 0
+	for range ch {
+		n++
+	}
+	return n
+}
+
+// relay selects over data channels only — no default, timer, or
+// lifecycle case — so the whole select can block forever.
+func relay(a, b chan []byte) {
+	select { // want "netdeadline"
+	case m := <-a:
+		b <- m
+	case m := <-b:
+		a <- m
+	}
+}
+
+var (
+	_ = pump
+	_ = recvGoverned
+	_ = waitDone
+	_ = waitBounded
+	_ = drainQueue
+	_ = relay
+)

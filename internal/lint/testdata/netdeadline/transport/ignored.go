@@ -1,0 +1,11 @@
+package transport
+
+// startupBarrier waits for the accept goroutine's ready signal. The
+// process is still single-threaded at this point, so liveness belongs to
+// the launcher; the suppression records that judgment.
+func startupBarrier(ready chan struct{}) {
+	//vklint:ignore netdeadline -- startup-only barrier, supervised by the process launcher
+	<-ready
+}
+
+var _ = startupBarrier

@@ -58,6 +58,12 @@ func FuzzDecode(f *testing.F) {
 		if len(e.Windows) > MaxIndices || len(e.Counts) > MaxIndices {
 			t.Fatalf("decode accepted %d windows / %d counts", len(e.Windows), len(e.Counts))
 		}
+		if e.Round < 0 || e.Round > MaxRounds {
+			t.Fatalf("decode accepted round %d", e.Round)
+		}
+		if e.Window < 0 || e.Window > MaxIndices {
+			t.Fatalf("decode accepted window %d", e.Window)
+		}
 	})
 }
 
@@ -85,6 +91,13 @@ func TestDecodeRejectsOversized(t *testing.T) {
 		{Type: MsgSyndrome, Session: "s", Seq: 1, Counts: huge},
 		{Type: 0, Session: "s", Seq: 1},
 		{Type: MsgDone + 1, Session: "s", Seq: 1},
+		// A hostile Round used to drive RunAlice's failure back-fill
+		// loops (and the per-round bookkeeping they allocate) to any
+		// length the peer picked; decode now rejects it at the wire.
+		{Type: MsgDone, Session: "s", Seq: 1, Round: MaxRounds + 1},
+		{Type: MsgSyndrome, Session: "s", Seq: 1, Round: -1},
+		{Type: MsgKept, Session: "s", Seq: 1, Window: MaxIndices + 1},
+		{Type: MsgKept, Session: "s", Seq: 1, Window: -1},
 	} {
 		if _, err := decode(frame(t, e)); err == nil {
 			t.Fatalf("decode accepted out-of-bounds envelope %+v", e.Type)

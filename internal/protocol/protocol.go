@@ -63,6 +63,8 @@ const (
 )
 
 // Envelope is the wire format.
+//
+//vklint:wire -- decoded from untrusted peers; treat field reads as hostile
 type Envelope struct {
 	Type    MsgType
 	Session string
@@ -94,6 +96,11 @@ const (
 	MaxCode = 1 << 14
 	// MaxMACBytes bounds the MAC field.
 	MaxMACBytes = 64
+	// MaxRounds bounds the block counter a peer may announce (Round on
+	// MsgSyndrome/Confirm/Result, the total on MsgDone). Without it a
+	// hostile DONE drives the receive loops' failure back-fill — and the
+	// per-round bookkeeping it allocates — to any length the peer picks.
+	MaxRounds = 1 << 14
 )
 
 // The wire format frames the gob payload behind a CRC32 so that link
@@ -138,6 +145,10 @@ func decode(data []byte) (Envelope, error) {
 		return Envelope{}, fmt.Errorf("protocol: decode: %d windows exceeds cap %d", len(e.Windows), MaxIndices)
 	case len(e.Counts) > MaxIndices:
 		return Envelope{}, fmt.Errorf("protocol: decode: %d counts exceeds cap %d", len(e.Counts), MaxIndices)
+	case e.Round < 0 || e.Round > MaxRounds:
+		return Envelope{}, fmt.Errorf("protocol: decode: round %d outside [0, %d]", e.Round, MaxRounds)
+	case e.Window < 0 || e.Window > MaxIndices:
+		return Envelope{}, fmt.Errorf("protocol: decode: window %d outside [0, %d]", e.Window, MaxIndices)
 	}
 	return e, nil
 }
@@ -518,7 +529,14 @@ func (n *Node) bobBlock(bits []byte, round int, wins, counts []int) (KeyOutcome,
 		}
 		return KeyOutcome{Round: round}, err
 	}
-	expect := secure.MAC(bits, salt)
+	// Key the confirmation MAC with a salted one-way image of the block,
+	// never the raw bits: a raw-keyed CONFIRM hands a passive eavesdropper
+	// an offline verification oracle for key guesses. Equal blocks still
+	// produce equal images, so confirmation semantics are unchanged.
+	// Enforced by the keyflow analyzer.
+	confirmKey := secure.BlockImage(bits, salt)
+	expect := secure.MAC(confirmKey, salt)
+	secure.Wipe(confirmKey)
 	// Constant-time compare: a variable-time check here would let a MITM
 	// time CONFIRM verification and forge tags byte by byte.
 	accepted := subtle.ConstantTimeCompare(conf.MAC, expect) == 1
@@ -695,6 +713,15 @@ loop:
 				n.resend(msgKey{MsgConfirm, r})
 				continue
 			}
+			if r > MaxRounds {
+				// decode already rejects Round > MaxRounds; re-assert it
+				// here so the back-fill loop below is locally, visibly
+				// bounded (allocbound) even if a new ingress path skips
+				// decode's caps.
+				n.stats.Garbage++
+				n.rec.Add(obs.ProtocolGarbage, 1)
+				continue
+			}
 			// Bob never opens round r+1 before r, so a jump means rounds
 			// nextRound..r-1 were lost wholesale; Bob abandoned them too.
 			for s := nextRound; s < r; s++ {
@@ -723,7 +750,13 @@ loop:
 			// (Sec. IV-C).
 			macOK := secure.VerifyMAC(keyImage, floatsToBytes(e.Code), e.MAC)
 			secure.Wipe(keyImage) // dead once verified; see zeroize invariant
-			if err := n.send(Envelope{Type: MsgConfirm, MAC: secure.MAC(final, salt), Round: r}); err != nil {
+			// CONFIRM is keyed by a one-way image of the corrected block,
+			// mirroring Bob's verification; raw `final` must never key a
+			// MAC that crosses the wire (keyflow).
+			confirmKey := secure.BlockImage(final, salt)
+			confirmMAC := secure.MAC(confirmKey, salt)
+			secure.Wipe(confirmKey)
+			if err := n.send(Envelope{Type: MsgConfirm, MAC: confirmMAC, Round: r}); err != nil {
 				fail(r)
 				return aliceOutcomes(outcomes, nextRound, totalRounds), ignoreClosed(err)
 			}
@@ -758,6 +791,13 @@ loop:
 			outcomes[r] = o
 
 		case MsgDone:
+			if e.Round > MaxRounds {
+				// Same defense-in-depth as MsgSyndrome: a hostile total
+				// must not drive the failure back-fill loop.
+				n.stats.Garbage++
+				n.rec.Add(obs.ProtocolGarbage, 1)
+				continue
+			}
 			totalRounds = e.Round
 			// Syndromes this side never saw are gone for good — and Bob
 			// abandoned those rounds himself, or he couldn't have moved on.

@@ -26,6 +26,8 @@ import (
 // envelope that races ahead of the hello is dropped by the server's
 // handshake loop and retransmitted by the ARQ layer, so hello loss is
 // absorbed the same way wire loss is everywhere else.
+//
+//vklint:wire -- decoded from unauthenticated vehicles; treat field reads as hostile
 type Hello struct {
 	Magic   uint32
 	Vehicle uint64

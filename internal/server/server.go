@@ -242,7 +242,15 @@ func (s *Server) Close() error {
 				_ = conn.Close()
 			}
 			s.mu.Unlock()
-			<-drained
+			// Bounded second wait (netdeadline): force-closed sessions
+			// unwind within their receive deadlines, but if one wedges
+			// anyway Close must not wedge with it.
+			grace := time.NewTimer(s.cfg.DrainTimeout)
+			defer grace.Stop()
+			select {
+			case <-drained:
+			case <-grace.C:
+			}
 		}
 	})
 	return nil

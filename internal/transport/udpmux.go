@@ -63,15 +63,28 @@ func ListenUDPMux(addr string) (*UDPMux, error) {
 
 // readLoop owns the socket's receive side: it routes every datagram to
 // its session queue, creating sessions for new peers.
+// udpPumpTick bounds one blocking read in the pump, keeping it
+// responsive to Close even on platforms where closing the socket does
+// not reliably wake a blocked read.
+const udpPumpTick = 1 * time.Second
+
 func (m *UDPMux) readLoop() {
 	buf := make([]byte, 64*1024)
 	for {
+		// Deadline-governed read (netdeadline): a silent fleet must not
+		// wedge the demultiplexer goroutine forever.
+		_ = m.pc.SetReadDeadline(time.Now().Add(udpPumpTick))
 		n, raddr, err := m.pc.ReadFromUDP(buf)
 		if err != nil {
 			if errors.Is(err, net.ErrClosed) {
 				return
 			}
-			continue // transient datagram error; the socket is still alive
+			select {
+			case <-m.done:
+				return
+			default:
+			}
+			continue // deadline tick or transient datagram error; still alive
 		}
 		msg := make([]byte, n)
 		copy(msg, buf[:n])
