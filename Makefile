@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test test-short test-race bench bench-json fuzz lint load-smoke
+.PHONY: build test test-short test-race bench bench-json bench-compare fuzz lint load-smoke
 
 build:
 	$(GO) build ./...
@@ -40,11 +40,26 @@ bench:
 bench-json:
 	./scripts/bench-json.sh
 
-# Seed-corpus fuzz smoke for the wire formats: the protocol envelope
-# codec and the TCP frame decoder it rides on.
+# Regression gate: run the gated scheme family at the baseline's
+# 20-iteration benchtime (a single iteration is too noisy for a 10%
+# threshold) and compare against the committed pre-fast-path baseline.
+# Any BenchmarkScheme/* entry more than 10% slower than BENCH_seed.json
+# fails the target (CI runs this in bench-smoke). Override the inputs:
+# make bench-compare NEW=... BASE=...
+NEW ?= BENCH_scheme.json
+BASE ?= BENCH_seed.json
+bench-compare:
+	@test -f $(NEW) || BENCH_PATTERN='BenchmarkScheme$$' BENCH_TIME=20x ./scripts/bench-json.sh $(NEW)
+	./scripts/bench-compare.sh $(NEW) $(BASE)
+
+# Seed-corpus fuzz smoke: the wire formats (protocol envelope codec, TCP
+# frame decoder) and the fast-inference numerics (GEMM kernels vs the
+# naive multiply, int8 quantize/dequantize round-trip).
 fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzDecode -fuzztime 30s ./internal/protocol/
 	$(GO) test -run '^$$' -fuzz FuzzTCPFrameDecode -fuzztime 30s ./internal/transport/
+	$(GO) test -run '^$$' -fuzz FuzzGEMM -fuzztime 30s ./internal/mathx/
+	$(GO) test -run '^$$' -fuzz FuzzQuantRoundTrip -fuzztime 30s ./internal/nn/
 
 # A small vkload run over real localhost TCP: 64 vehicles through the
 # session manager with the training-free lora-key scheme. CI runs this

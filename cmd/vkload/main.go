@@ -32,6 +32,7 @@ import (
 
 	vehiclekey "repro"
 	"repro/internal/channel"
+	"repro/internal/core"
 	"repro/internal/obs"
 	"repro/internal/protocol"
 	"repro/internal/rng"
@@ -50,14 +51,16 @@ func main() {
 		serve    = flag.String("serve", "", "run the server side only, listening on this address")
 		listen   = flag.String("listen", "127.0.0.1:0", "in-process server bind address")
 
-		seed    = flag.Int64("seed", 21, "shared deterministic seed (must match the server)")
-		scheme  = flag.String("scheme", "", "key-generation scheme (default vehicle-key)")
-		trainW  = flag.Int("train-windows", 160, "probing windows used for training")
-		trainE  = flag.Int("train-epochs", 12, "predictor training epochs")
-		ramp    = flag.Duration("ramp", time.Second, "spread vehicle arrivals across this window")
-		copies  = flag.Int("hello-copies", 0, "hello redundancy (default 1 on tcp, 3 on udp)")
-		timeout = flag.Duration("timeout", 300*time.Millisecond, "initial per-message receive timeout")
-		retries = flag.Int("retries", 6, "retransmit attempts before abandoning an exchange")
+		seed     = flag.Int64("seed", 21, "shared deterministic seed (must match the server)")
+		scheme   = flag.String("scheme", "", "key-generation scheme (default vehicle-key)")
+		fastpath = flag.String("fastpath", "", "predictor inference path: off, gemm, or int8 (default gemm)")
+		wincache = flag.Int("wincache", 0, "server session-window cache entries (0 = default 1024, negative disables)")
+		trainW   = flag.Int("train-windows", 160, "probing windows used for training")
+		trainE   = flag.Int("train-epochs", 12, "predictor training epochs")
+		ramp     = flag.Duration("ramp", time.Second, "spread vehicle arrivals across this window")
+		copies   = flag.Int("hello-copies", 0, "hello redundancy (default 1 on tcp, 3 on udp)")
+		timeout  = flag.Duration("timeout", 300*time.Millisecond, "initial per-message receive timeout")
+		retries  = flag.Int("retries", 6, "retransmit attempts before abandoning an exchange")
 
 		workers        = flag.Int("workers", defaultWorkers(), "server worker pool size")
 		queueDepth     = flag.Int("queue", 256, "server accept queue depth")
@@ -69,6 +72,9 @@ func main() {
 
 	if *proto != "tcp" && *proto != "udp" {
 		fatal(fmt.Errorf("-proto must be tcp or udp"))
+	}
+	if !core.ValidFastPath(*fastpath) {
+		fatal(fmt.Errorf("-fastpath must be off, gemm, or int8"))
 	}
 	if *copies <= 0 {
 		*copies = 1
@@ -86,6 +92,7 @@ func main() {
 		TrainingWindows: *trainW,
 		TrainingEpochs:  *trainE,
 		Recorder:        reg,
+		System:          vehiclekey.SystemConfig{FastPath: *fastpath},
 	})
 	if err != nil {
 		fatal(err)
@@ -95,14 +102,15 @@ func main() {
 
 	policy := protocol.RetryPolicy{Timeout: *timeout, MaxRetries: *retries}
 	srvConfig := server.Config{
-		Template:       template,
-		Scenario:       sc,
-		Seed:           *seed,
-		Workers:        *workers,
-		Queue:          *queueDepth,
-		SessionTimeout: *sessionTimeout,
-		Retry:          policy,
-		Recorder:       reg,
+		Template:        template,
+		Scenario:        sc,
+		Seed:            *seed,
+		Workers:         *workers,
+		Queue:           *queueDepth,
+		SessionTimeout:  *sessionTimeout,
+		WindowCacheSize: *wincache,
+		Retry:           policy,
+		Recorder:        reg,
 	}
 
 	// Server-only mode: serve until killed.

@@ -26,8 +26,10 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 	"time"
 
+	"repro/internal/memo"
 	"repro/internal/nn"
 	"repro/internal/obs"
 	"repro/internal/pipeline"
@@ -51,7 +53,52 @@ var (
 	phaseBitsQuantize  = obs.Labeled(obs.PipelinePhaseBits, "phase", obs.PhaseQuantize)
 	phaseBitsReconcile = obs.Labeled(obs.PipelinePhaseBits, "phase", obs.PhaseReconcile)
 	phaseBitsAmplify   = obs.Labeled(obs.PipelinePhaseBits, "phase", obs.PhaseAmplify)
+
+	cacheHitPredictor  = obs.Labeled(obs.CacheHits, "cache", "predictor")
+	cacheMissPredictor = obs.Labeled(obs.CacheMisses, "cache", "predictor")
+
+	nnForwardSecOff  = obs.Labeled(obs.NNForwardSeconds, "path", FastPathOff)
+	nnForwardSecGEMM = obs.Labeled(obs.NNForwardSeconds, "path", FastPathGEMM)
+	nnForwardSecInt8 = obs.Labeled(obs.NNForwardSeconds, "path", FastPathInt8)
 )
+
+// FastPath values for Config.FastPath: which predictor inference
+// implementation serves Predict.
+const (
+	// FastPathOff forces the original per-step reference forward and
+	// uncached reconciler artifacts — the path the equivalence battery
+	// and A/B benchmarks compare against.
+	FastPathOff = "off"
+	// FastPathGEMM (the default) batches the BiLSTM and head forwards
+	// into matrix–matrix kernels. Byte-identical to the reference.
+	FastPathGEMM = "gemm"
+	// FastPathInt8 additionally serves inference from the calibrated
+	// int8 snapshot (falling back to the GEMM path until the predictor
+	// has been trained and calibrated). Bounded soft-bit error;
+	// key-bit-identical on the seed scenarios (scheme_golden_test.go).
+	FastPathInt8 = "int8"
+)
+
+// ValidFastPath reports whether mode is a recognized Config.FastPath
+// value ("" meaning "take the default").
+func ValidFastPath(mode string) bool {
+	switch mode {
+	case "", FastPathOff, FastPathGEMM, FastPathInt8:
+		return true
+	}
+	return false
+}
+
+func nnForwardSecFor(mode string) string {
+	switch mode {
+	case FastPathOff:
+		return nnForwardSecOff
+	case FastPathInt8:
+		return nnForwardSecInt8
+	default:
+		return nnForwardSecGEMM
+	}
+}
 
 // Config assembles the pipeline's knobs. The zero value is completed with
 // the paper's defaults by Normalize.
@@ -90,6 +137,11 @@ type Config struct {
 	// AEEpochs and AESamples size reconciler training.
 	AEEpochs  int
 	AESamples int
+	// FastPath selects the predictor inference implementation and the
+	// reconciler fast internals: FastPathGEMM (default), FastPathInt8,
+	// or FastPathOff for the per-step reference path. Unrecognized
+	// values normalize to the default.
+	FastPath string
 }
 
 // DefaultConfig mirrors the paper's implementation section: 32-step
@@ -144,6 +196,15 @@ func (c *Config) Normalize() {
 	if c.AESamples <= 0 {
 		c.AESamples = 300
 	}
+	switch c.FastPath {
+	case FastPathOff, FastPathGEMM, FastPathInt8:
+	default:
+		c.FastPath = FastPathGEMM
+	}
+	// The reference fast-path mode also pins the reconciler to its
+	// original scalar internals, so "off" really is the pre-fast-path
+	// pipeline end to end.
+	c.AE.Reference = c.FastPath == FastPathOff
 }
 
 // bits returns the quantization head width.
@@ -168,33 +229,106 @@ type System struct {
 	Stages pipeline.Stages
 
 	rec obs.Recorder
+
+	// pmemo caches predictor forwards by window fingerprint. It is
+	// PER-System (a clone gets a fresh, empty one): clones' weights can
+	// diverge through FineTune, so sharing entries across instances
+	// would poison them. Purged whenever training moves the weights.
+	// nil disables memoization (baselines without an NN predictor).
+	pmemo *memo.LRU[uint64, predEntry]
+}
+
+// predEntry is one memoized predictor forward. Both slices are treated
+// as read-only by every consumer (Round.Select and AliceBitsAt copy
+// out of them).
+type predEntry struct {
+	yHat []float64
+	bits []byte
+}
+
+// predMemoCap bounds the per-System forward cache; entries are a few
+// hundred bytes (SeqLen floats + Bits bytes).
+const predMemoCap = 512
+
+// windowFingerprint is FNV-1a over the float bits of the window — the
+// memo key for predictor forwards. A 64-bit digest makes an accidental
+// collision (two distinct windows sharing a key) vanishingly rare at
+// cache scale (~512 live entries).
+func windowFingerprint(seq []float64) uint64 {
+	const offset64 = 14695981039346656037
+	const prime64 = 1099511628211
+	h := uint64(offset64)
+	for _, v := range seq {
+		b := math.Float64bits(v)
+		for s := 0; s < 64; s += 8 {
+			h ^= uint64(byte(b >> s))
+			h *= prime64
+		}
+	}
+	return h
 }
 
 // nnPredictor is the Vehicle-Key predictor stage: the BiLSTM prediction
-// + quantization network, run by Alice (or the power-rich side).
+// + quantization network, run by Alice (or the power-rich side). mode
+// (a FastPath value) selects which forward implementation serves
+// Predict; training always runs the float64 reference.
 type nnPredictor struct {
-	cfg nn.PredictorConfig
-	net *nn.Predictor
+	cfg  nn.PredictorConfig
+	net  *nn.Predictor
+	mode string
 }
 
 func (p *nnPredictor) Name() string { return "bilstm" }
 
 func (p *nnPredictor) Predict(aliceSeq []float64) ([]float64, []byte, error) {
-	yHat, zHat := p.net.Forward(aliceSeq)
+	var yHat, zHat []float64
+	switch p.mode {
+	case FastPathOff:
+		yHat, zHat = p.net.Forward(aliceSeq)
+	case FastPathInt8:
+		if p.net.Calibrated() {
+			yHat, zHat = p.net.ForwardQuantized(aliceSeq)
+		} else {
+			// Until a post-training calibration exists, serve the
+			// exact GEMM path rather than refuse.
+			yHat, zHat = p.net.ForwardBatched(aliceSeq)
+		}
+	default:
+		yHat, zHat = p.net.ForwardBatched(aliceSeq)
+	}
 	return yHat, nn.Bits(zHat), nil
 }
+
+// calibrationWindows bounds how many training windows feed the int8
+// activation-scale calibration; max-abs statistics saturate quickly.
+const calibrationWindows = 64
 
 func (p *nnPredictor) Fit(samples []nn.TrainSample, epochs int, learnRate, weightDecay float64, src *rng.Source) []float64 {
 	tr := nn.NewTrainer(p.net, learnRate, src)
 	tr.Opt.WeightDecay = weightDecay
-	return tr.Fit(samples, epochs)
+	losses := tr.Fit(samples, epochs)
+	// Training moved the weights: any existing int8 snapshot is stale.
+	p.net.DropCalibration()
+	if p.mode == FastPathInt8 && len(samples) > 0 {
+		wins := make([][]float64, 0, calibrationWindows)
+		for _, s := range samples {
+			wins = append(wins, s.Alice)
+			if len(wins) == calibrationWindows {
+				break
+			}
+		}
+		p.net.Calibrate(wins)
+	}
+	return losses
 }
 
 // Clone deep-copies the network through an in-memory Save/Load
 // round-trip; the initialization seed is irrelevant because Load
-// overwrites every parameter.
+// overwrites every parameter. The clone's weights are byte-identical,
+// so it adopts the source's int8 calibration snapshot (read-only,
+// shared) instead of re-deriving it.
 func (p *nnPredictor) Clone() pipeline.Predictor {
-	out := &nnPredictor{cfg: p.cfg, net: nn.NewPredictor(p.cfg, rng.New(1))}
+	out := &nnPredictor{cfg: p.cfg, net: nn.NewPredictor(p.cfg, rng.New(1)), mode: p.mode}
 	var buf bytes.Buffer
 	if err := nn.SaveParams(&buf, p.net.Params()); err != nil {
 		panic("core: predictor clone save: " + err.Error())
@@ -202,11 +336,22 @@ func (p *nnPredictor) Clone() pipeline.Predictor {
 	if err := nn.LoadParams(&buf, out.net.Params()); err != nil {
 		panic("core: predictor clone load: " + err.Error())
 	}
+	out.net.AdoptCalibration(p.net)
 	return out
 }
 
 func (p *nnPredictor) Save(w io.Writer) error { return nn.SaveParams(w, p.net.Params()) }
-func (p *nnPredictor) Load(r io.Reader) error { return nn.LoadParams(r, p.net.Params()) }
+
+// Load restores weights and drops any int8 calibration (it described
+// the previous weights); the int8 mode serves the exact GEMM path
+// until the next Train re-calibrates.
+func (p *nnPredictor) Load(r io.Reader) error {
+	if err := nn.LoadParams(r, p.net.Params()); err != nil {
+		return err
+	}
+	p.net.DropCalibration()
+	return nil
+}
 
 // New builds an untrained Vehicle-Key system: BiLSTM predictor,
 // guard-banded multi-bit quantizer, Bloom+autoencoder reconciler,
@@ -214,8 +359,14 @@ func (p *nnPredictor) Load(r io.Reader) error { return nn.LoadParams(r, p.net.Pa
 func New(cfg Config, src *rng.Source) *System {
 	cfg.Normalize()
 	pcfg := nn.PredictorConfig{SeqLen: cfg.SeqLen, Hidden: cfg.Hidden, Bits: cfg.bits(), Theta: cfg.Theta}
-	pred := &nnPredictor{cfg: pcfg, net: nn.NewPredictor(pcfg, src.Derive("predictor"))}
+	pred := &nnPredictor{cfg: pcfg, net: nn.NewPredictor(pcfg, src.Derive("predictor")), mode: cfg.FastPath}
 	ae := reconcile.NewAE(cfg.AE, src.Derive("ae"))
+	var pm *memo.LRU[uint64, predEntry]
+	if cfg.FastPath != FastPathOff {
+		// "off" is the fully uncached reference pipeline; the memo is
+		// part of the fast path, not the baseline being compared against.
+		pm = memo.NewLRU[uint64, predEntry](predMemoCap)
+	}
 	return &System{
 		Cfg: cfg,
 		Stages: pipeline.Stages{
@@ -226,7 +377,8 @@ func New(cfg Config, src *rng.Source) *System {
 			Amplifier:     pipeline.NewSHAAmplifier(),
 			IndexExchange: true,
 		},
-		rec: obs.Nop,
+		rec:   obs.Nop,
+		pmemo: pm,
 	}
 }
 
@@ -275,6 +427,11 @@ func (s *System) Clone() *System {
 	out := &System{Cfg: s.Cfg, Stages: s.Stages, rec: s.rec}
 	out.Stages.Predictor = s.Stages.Predictor.Clone()
 	out.Stages.Reconciler = s.Stages.Reconciler.Clone()
+	if s.pmemo != nil {
+		// Fresh, empty memo: the clone's weights may diverge (FineTune),
+		// so it must never serve the source's cached forwards.
+		out.pmemo = memo.NewLRU[uint64, predEntry](predMemoCap)
+	}
 	return out
 }
 
@@ -293,10 +450,42 @@ func (s *System) BobQuantize(bobSeq []float64) (bits []byte, kept []int, err err
 	return bits, kept, nil
 }
 
+// timedPredict runs the predictor stage under the fast-path latency
+// histogram. It is the single point every prediction funnels through,
+// memoized or not.
+func (s *System) timedPredict(aliceSeq []float64) ([]float64, []byte, error) {
+	started := time.Now()
+	yHat, all, err := s.Stages.Predictor.Predict(aliceSeq)
+	s.recorder().Observe(nnForwardSecFor(s.Cfg.FastPath), time.Since(started).Seconds())
+	return yHat, all, err
+}
+
+// predict serves the predictor forward for aliceSeq, consulting the
+// per-System memo when one exists. Returned slices are the cache's and
+// must be treated as read-only; every current consumer only reads or
+// copies out of them (pipeline.NewRound and AliceBitsAt included).
+func (s *System) predict(aliceSeq []float64) ([]float64, []byte, error) {
+	if s.pmemo == nil {
+		return s.timedPredict(aliceSeq)
+	}
+	key := windowFingerprint(aliceSeq)
+	rec := s.recorder()
+	if e, ok := s.pmemo.Get(key); ok {
+		rec.Add(cacheHitPredictor, 1)
+		return e.yHat, e.bits, nil
+	}
+	rec.Add(cacheMissPredictor, 1)
+	yHat, all, err := s.timedPredict(aliceSeq)
+	if err == nil {
+		s.pmemo.Put(key, predEntry{yHat: yHat, bits: all})
+	}
+	return yHat, all, err
+}
+
 // AliceBitsAt runs Alice's predictor over her sequence and returns her
 // bit groups at the given sample indices.
 func (s *System) AliceBitsAt(aliceSeq []float64, kept []int) []byte {
-	_, all, err := s.Stages.Predictor.Predict(aliceSeq)
+	_, all, err := s.predict(aliceSeq)
 	if err != nil {
 		return nil
 	}
@@ -314,7 +503,7 @@ func (s *System) AliceBitsAt(aliceSeq []float64, kept []int) []byte {
 // times, under retransmission) with a cheap set intersection.
 func (s *System) AlicePrecompute(aliceSeq []float64) (pipeline.Round, error) {
 	started := time.Now()
-	yHat, all, err := s.Stages.Predictor.Predict(aliceSeq)
+	yHat, all, err := s.predict(aliceSeq)
 	if err != nil {
 		return nil, fmt.Errorf("core: Alice prediction: %w", err)
 	}
@@ -418,6 +607,8 @@ func (s *System) Train(ds *trace.Dataset, epochs int, src *rng.Source) ([]float6
 	var losses []float64
 	if trainPred {
 		losses = tp.Fit(samples, epochs, s.Cfg.LearnRate, s.Cfg.WeightDecay, src.Derive("fit"))
+		// Cached forwards describe the pre-training weights.
+		s.pmemo.Purge()
 	}
 	if trainRec {
 		tr.Fit(src.Derive("ae-fit"))
@@ -436,7 +627,9 @@ func (s *System) FineTune(ds *trace.Dataset, epochs int, src *rng.Source) ([]flo
 	if !ok {
 		return nil, errors.New("core: scheme has no trainable predictor")
 	}
-	return tp.Fit(samples, epochs, s.Cfg.LearnRate, s.Cfg.WeightDecay, src.Derive("finetune")), nil
+	losses := tp.Fit(samples, epochs, s.Cfg.LearnRate, s.Cfg.WeightDecay, src.Derive("finetune"))
+	s.pmemo.Purge()
+	return losses, nil
 }
 
 // KeyResult reports one completed key block.
@@ -572,5 +765,7 @@ func (s *System) Load(r io.Reader) error {
 			}
 		}
 	}
+	// Restored weights invalidate any forwards cached under the old ones.
+	s.pmemo.Purge()
 	return nil
 }

@@ -1,0 +1,213 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/channel"
+	"repro/internal/rng"
+	"repro/internal/trace"
+)
+
+// seedScenarios are the four golden scenarios of scheme_golden_test.go.
+var seedScenarios = []struct {
+	name string
+	env  channel.Environment
+	link channel.LinkType
+}{
+	{"urban-v2i", channel.Urban, channel.V2I},
+	{"urban-v2v", channel.Urban, channel.V2V},
+	{"rural-v2i", channel.Rural, channel.V2I},
+	{"rural-v2v", channel.Rural, channel.V2V},
+}
+
+// trainSeedSystem trains one Vehicle-Key system at the golden
+// configuration (seed 1, 120 windows, 6 epochs) for a seed scenario.
+func trainSeedSystem(t *testing.T, env channel.Environment, link channel.LinkType, fastpath string) (*System, *trace.Dataset) {
+	t.Helper()
+	scn := trace.NewScenario(env, link)
+	ds, err := trace.Build(scn, 1, 120, 32, trace.DefaultExtract())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.FastPath = fastpath
+	src := rng.New(1)
+	sys := New(cfg, src.Derive("sys"))
+	train, _, test := ds.Split(0.75, 0.05, src.Derive("split"))
+	if _, err := sys.Train(train, 6, src.Derive("train")); err != nil {
+		t.Fatal(err)
+	}
+	return sys, test
+}
+
+// TestInt8KeyBitIdentitySeedScenarios is the int8 path's key-bit
+// identity claim, stated at the position the pipeline actually consumes
+// bits: across every test window of all four seed scenarios, the
+// quantized forward produces bit-identical hard key bits at every
+// kept sample (Bob's guard-band announcement intersected with Alice's
+// float-path selection), and its soft-bit error stays within the
+// calibrated bound everywhere.
+//
+// This is the precise sense in which int8 serving "tolerates bounded
+// probability-output error before the quantizer's hard threshold": at
+// positions both guard rules keep, the trained network is confident, so
+// the quantization perturbation never crosses 0.5. Full golden-key
+// identity over a whole session is NOT claimed for int8 — the guard
+// selection consumes the soft ŷ directly, and a boundary-adjacent
+// sample may be kept by one path and dropped by the other, re-aligning
+// the downstream key stream (first reconciliation blocks do reproduce
+// the golden keys; see TestFastPathInt8GoldenKeys). That is a weight-
+// precision floor, not an activation artifact: int8 weights alone (with
+// exact float64 activations) already move ŷ by ~5e-3, enough to flip
+// boundary-adjacent keep decisions.
+func TestInt8KeyBitIdentitySeedScenarios(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains four models")
+	}
+	for _, sc := range seedScenarios {
+		sc := sc
+		t.Run(sc.name, func(t *testing.T) {
+			sys, test := trainSeedSystem(t, sc.env, sc.link, FastPathInt8)
+			net := sys.predictorNet()
+			if !net.Calibrated() {
+				t.Fatal("int8 training did not calibrate")
+			}
+			bound := net.QuantBound()
+			b := sys.SampleBits()
+			keptBits := 0
+			for _, smp := range test.Samples {
+				_, bobKept, err := sys.Stages.Quantizer.Quantize(smp.Bob)
+				if err != nil {
+					t.Fatal(err)
+				}
+				yf, zf := net.ForwardBatched(smp.Alice)
+				_, zq := net.ForwardQuantized(smp.Alice)
+				for i := range zf {
+					if d := math.Abs(zf[i] - zq[i]); d > bound {
+						t.Fatalf("soft-bit error %.3g exceeds calibrated bound %.3g", d, bound)
+					}
+				}
+				_, mine, err := sys.Stages.Quantizer.QuantizePredicted(yf)
+				if err != nil {
+					t.Fatal(err)
+				}
+				aliceKept := make(map[int]bool, len(mine))
+				for _, k := range mine {
+					aliceKept[k] = true
+				}
+				for _, idx := range bobKept {
+					if !aliceKept[idx] {
+						continue
+					}
+					for o := 0; o < b; o++ {
+						keptBits++
+						if (zf[idx*b+o] > 0.5) != (zq[idx*b+o] > 0.5) {
+							t.Fatalf("window: hard key bit flipped at kept sample %d bit %d", idx, o)
+						}
+					}
+				}
+			}
+			if keptBits == 0 {
+				t.Fatal("no kept bits compared — scenario selects nothing")
+			}
+			t.Logf("%s: %d kept-position key bits identical, soft error ≤ %.3g", sc.name, keptBits, bound)
+		})
+	}
+}
+
+// TestPredictorMemoByteIdentical: the per-System forward memo serves
+// byte-identical results to a cold computation, counts hits, and is
+// purged when training moves the weights.
+func TestPredictorMemoByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains a model")
+	}
+	sys, test := trainSeedSystem(t, channel.Urban, channel.V2I, FastPathGEMM)
+	if sys.pmemo == nil {
+		t.Fatal("gemm mode must memoize predictor forwards")
+	}
+	sys.pmemo.Purge()
+	win := test.Samples[0].Alice
+	coldY, coldBits, err := sys.predict(win)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warmY, warmBits, err := sys.predict(win)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range coldY {
+		if math.Float64bits(coldY[i]) != math.Float64bits(warmY[i]) {
+			t.Fatalf("memoized yHat differs at %d", i)
+		}
+	}
+	if string(coldBits) != string(warmBits) {
+		t.Fatal("memoized bits differ")
+	}
+	// The warm result must be served from the cache, not recomputed.
+	if st := sys.pmemo.Stats(); st.Hits == 0 || st.Misses == 0 {
+		t.Fatalf("expected one miss then one hit, got %+v", st)
+	}
+	// A clone never inherits cached forwards.
+	if clone := sys.Clone(); clone.pmemo.Len() != 0 {
+		t.Fatal("clone inherited memoized forwards")
+	}
+	// Training purges: fine-tune a single epoch and re-predict.
+	ds, err := trace.Build(trace.NewScenario(channel.Urban, channel.V2I), 2, 8, 32, trace.DefaultExtract())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.FineTune(ds, 1, rng.New(5)); err != nil {
+		t.Fatal(err)
+	}
+	if sys.pmemo.Len() != 0 {
+		t.Fatal("FineTune did not purge the forward memo")
+	}
+	freshY, _, err := sys.predict(win)
+	if err != nil {
+		t.Fatal(err)
+	}
+	moved := false
+	for i := range freshY {
+		if math.Float64bits(freshY[i]) != math.Float64bits(coldY[i]) {
+			moved = true
+			break
+		}
+	}
+	if !moved {
+		t.Log("fine-tune left the forward unchanged (allowed, but purge is still required)")
+	}
+}
+
+// TestFastPathOffDisablesMemo: the reference mode is the fully uncached
+// baseline the benchmarks compare against.
+func TestFastPathOffDisablesMemo(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.FastPath = FastPathOff
+	sys := New(cfg, rng.New(1))
+	if sys.pmemo != nil {
+		t.Fatal("FastPathOff must not memoize predictor forwards")
+	}
+	if !sys.Cfg.AE.Reference {
+		t.Fatal("FastPathOff must pin the reconciler to its reference internals")
+	}
+	def := DefaultConfig()
+	if def.FastPath != FastPathGEMM || def.AE.Reference {
+		t.Fatalf("default config must take the gemm fast path, got %+v", def.FastPath)
+	}
+}
+
+// TestValidFastPath pins the flag-validation helper.
+func TestValidFastPath(t *testing.T) {
+	for _, ok := range []string{"", FastPathOff, FastPathGEMM, FastPathInt8} {
+		if !ValidFastPath(ok) {
+			t.Errorf("ValidFastPath(%q) = false", ok)
+		}
+	}
+	for _, bad := range []string{"fast", "INT8", "gemm "} {
+		if ValidFastPath(bad) {
+			t.Errorf("ValidFastPath(%q) = true", bad)
+		}
+	}
+}

@@ -168,16 +168,33 @@ func fingerprint(sc trace.Scenario, cfg RunConfig, sysCfg core.Config) string {
 // clone, safe to use on the calling goroutine; the datasets are shared
 // and must be treated as read-only.
 func trainFor(sc trace.Scenario, cfg RunConfig, sysCfg core.Config) (*core.System, *trace.Dataset, *trace.Dataset, error) {
+	if cfg.FastPath != "" {
+		// The run-level override reaches every system the experiments
+		// build through this single choke point. Applied before the
+		// fingerprint: sysCfg renders into it, so modes never share a
+		// trained-cache entry.
+		sysCfg.FastPath = cfg.FastPath
+	}
 	fp := fingerprint(sc, cfg, sysCfg)
+	// Training never consults the fast path — Fit always runs the float
+	// reference — so the dataset and training RNG streams are seeded
+	// from a fingerprint with the mode normalized out. Every mode then
+	// trains on the same data to byte-identical weights, which is
+	// exactly what the cross-mode equivalence tests compare. The cache
+	// key above keeps the mode, so a clone never carries one mode's
+	// predictor into another mode's run.
+	seedCfg := sysCfg
+	seedCfg.FastPath = ""
+	seedFP := fingerprint(sc, cfg, seedCfg)
 	v, _ := trainedCache.LoadOrStore(fp, &trainedEntry{})
 	e := v.(*trainedEntry)
 	e.once.Do(func() {
-		ds, err := trace.Build(sc, rng.SubSeed(cfg.Seed, "train-ds/"+fp, 0), cfg.Samples, sysCfg.SeqLen, trace.DefaultExtract())
+		ds, err := trace.Build(sc, rng.SubSeed(cfg.Seed, "train-ds/"+seedFP, 0), cfg.Samples, sysCfg.SeqLen, trace.DefaultExtract())
 		if err != nil {
 			e.err = err
 			return
 		}
-		src := rng.Stream(cfg.Seed, "train/"+fp, 0)
+		src := rng.Stream(cfg.Seed, "train/"+seedFP, 0)
 		train, _, test := ds.Split(0.75, 0.05, src.Derive("split"))
 		sys := core.New(sysCfg, src.Derive("sys"))
 		if _, err := sys.Train(train, cfg.Epochs, src.Derive("train")); err != nil {

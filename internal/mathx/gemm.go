@@ -1,0 +1,159 @@
+// Order-preserving dense kernels for the fast inference path (PR 8).
+//
+// Everything in this file is stdlib-only float64 arithmetic with one
+// non-negotiable contract: for every output element the sequence of
+// floating-point operations — the seed value, the order of the
+// multiply-adds — is EXACTLY the sequence the per-step reference loops
+// in internal/nn and internal/reconcile perform. Go's float64 is strict
+// IEEE 754 (no reassociation, no extended-precision accumulation on
+// amd64/arm64), so preserving the op order makes the batched results
+// byte-identical to the reference, not merely close. The equivalence
+// battery in gemm_test.go and internal/nn/infer_test.go asserts this
+// with math.Float64bits.
+//
+// Blocking therefore tiles only the OUTPUT dimensions (rows of A,
+// rows of B): elements are computed whole, never split into partial
+// sums, so tiling changes cache behaviour but not a single rounding.
+package mathx
+
+// gemmBlock is the output-tile edge. 64×64 float64 tiles of A-rows and
+// B-rows fit comfortably in L1/L2 for the dimensions the pipeline uses
+// (K ≤ a few hundred).
+const gemmBlock = 64
+
+// MatMulTBias computes out = A·Bᵀ with a bias seed:
+//
+//	out[i*n+j] = bias[j] + Σ_{c=0..k-1} a[i*k+c] * b[j*k+c]
+//
+// with c strictly ascending and the accumulator seeded at bias[j] —
+// the exact op order of the reference loops `sum := bias[j]; for c
+// { sum += w[c]*x[c] }`. A is m×k row-major, B is n×k row-major (so
+// B's rows are the weight rows of a Dense/LSTM gate), out is m×n
+// row-major. out must not alias a, b, or bias.
+func MatMulTBias(a []float64, m, k int, b []float64, n int, bias, out []float64) {
+	checkGEMM(a, m, k, b, n, out)
+	if len(bias) < n {
+		panic("mathx: MatMulTBias bias shorter than n")
+	}
+	for i0 := 0; i0 < m; i0 += gemmBlock {
+		iMax := min(i0+gemmBlock, m)
+		for j0 := 0; j0 < n; j0 += gemmBlock {
+			jMax := min(j0+gemmBlock, n)
+			for i := i0; i < iMax; i++ {
+				ar := a[i*k : i*k+k]
+				or := out[i*n : i*n+n]
+				for j := j0; j < jMax; j++ {
+					br := b[j*k : j*k+k]
+					sum := bias[j]
+					for c, av := range ar {
+						sum += br[c] * av
+					}
+					or[j] = sum
+				}
+			}
+		}
+	}
+}
+
+// MatMulT is MatMulTBias with a zero seed: out[i*n+j] = Σ_c a[i*k+c]*b[j*k+c].
+func MatMulT(a []float64, m, k int, b []float64, n int, out []float64) {
+	checkGEMM(a, m, k, b, n, out)
+	for i0 := 0; i0 < m; i0 += gemmBlock {
+		iMax := min(i0+gemmBlock, m)
+		for j0 := 0; j0 < n; j0 += gemmBlock {
+			jMax := min(j0+gemmBlock, n)
+			for i := i0; i < iMax; i++ {
+				ar := a[i*k : i*k+k]
+				or := out[i*n : i*n+n]
+				for j := j0; j < jMax; j++ {
+					br := b[j*k : j*k+k]
+					sum := 0.0
+					for c, av := range ar {
+						sum += br[c] * av
+					}
+					or[j] = sum
+				}
+			}
+		}
+	}
+}
+
+// MatVec computes out[r] = Σ_{c ascending} w[r*cols+c] * x[c] for the
+// rows×cols row-major matrix w. out must not alias w or x.
+func MatVec(w []float64, rows, cols int, x, out []float64) {
+	checkMatVec(w, rows, cols, x, cols, out, rows)
+	for r := 0; r < rows; r++ {
+		row := w[r*cols : r*cols+cols]
+		sum := 0.0
+		for c, wv := range row {
+			sum += wv * x[c]
+		}
+		out[r] = sum
+	}
+}
+
+// AddMatVec accumulates out[r] += Σ_{c ascending} w[r*cols+c] * x[c],
+// continuing whatever sum out[r] already holds — the recurrent half of
+// an LSTM gate, whose reference loop appends the U·h terms after the
+// bias-seeded W·x terms in the same accumulator. out must not alias w
+// or x.
+func AddMatVec(w []float64, rows, cols int, x, out []float64) {
+	checkMatVec(w, rows, cols, x, cols, out, rows)
+	for r := 0; r < rows; r++ {
+		row := w[r*cols : r*cols+cols]
+		sum := out[r]
+		for c, wv := range row {
+			sum += wv * x[c]
+		}
+		out[r] = sum
+	}
+}
+
+// MatVecT computes the transposed product out[c] = Σ_{r ascending}
+// w[r*cols+c] * x[r], streaming w row-major (one pass, cache-friendly)
+// instead of striding down columns. Per output element the terms are
+// still added in ascending r — identical to the column-dot reference.
+// out is zeroed first and must not alias w or x.
+func MatVecT(w []float64, rows, cols int, x, out []float64) {
+	checkMatVec(w, rows, cols, x, rows, out, cols)
+	for c := range out[:cols] {
+		out[c] = 0
+	}
+	for r := 0; r < rows; r++ {
+		row := w[r*cols : r*cols+cols]
+		xr := x[r]
+		for c, wv := range row {
+			out[c] += wv * xr
+		}
+	}
+}
+
+func checkGEMM(a []float64, m, k int, b []float64, n int, out []float64) {
+	if m < 0 || k < 0 || n < 0 {
+		panic("mathx: negative GEMM dimension")
+	}
+	if len(a) < m*k {
+		panic("mathx: GEMM A shorter than m*k")
+	}
+	if len(b) < n*k {
+		panic("mathx: GEMM B shorter than n*k")
+	}
+	if len(out) < m*n {
+		panic("mathx: GEMM out shorter than m*n")
+	}
+}
+
+func checkMatVec(w []float64, rows, cols int, x []float64, xLen int, out []float64, outLen int) {
+	if rows < 0 || cols < 0 {
+		panic("mathx: negative MatVec dimension")
+	}
+	if len(w) < rows*cols {
+		panic("mathx: MatVec matrix shorter than rows*cols")
+	}
+	if len(x) < xLen {
+		panic("mathx: MatVec input vector too short")
+	}
+	if len(out) < outLen {
+		panic("mathx: MatVec output vector too short")
+	}
+}

@@ -11,6 +11,8 @@ type BiLSTM struct {
 
 	fwd *LSTM
 	bwd *LSTM
+
+	infer biInferScratch // reusable buffers for ForwardInfer (infer.go)
 }
 
 // NewBiLSTM creates a bidirectional LSTM with hidden units per direction.

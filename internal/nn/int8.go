@@ -1,0 +1,330 @@
+// Int8 inference-only path (the PR 8 "int8" fast path).
+//
+// Per-tensor symmetric quantization: every weight matrix is snapshotted
+// to int8 with scale = maxAbs/127, activations are quantized on the fly
+// with scales recorded by Calibrate over post-training sample windows,
+// and products accumulate in int32 (K ≤ a few hundred at |q| ≤ 127
+// keeps the sum far below 2³¹). Biases, gate activations, and the cell
+// recurrence stay float64 — the cheap part — so the only error source
+// is weight/activation rounding, which Calibrate bounds empirically
+// (QuantBound) with the property battery in int8_test.go asserting the
+// bound over random windows.
+//
+// The path is inference-only and OPT-IN: training always runs the
+// float64 reference, and serving uses this path only for sessions that
+// tolerate bounded probability-output error before the 0.5 hard
+// threshold. The guard band drops near-threshold samples, so at every
+// position both paths keep, the hard key bits are identical
+// (internal/core's TestInt8KeyBitIdentitySeedScenarios measures zero
+// flips across the seed scenarios); whole-session golden-key identity
+// is NOT claimed — the guard selection itself consumes the soft ŷ, and
+// int8 weight rounding alone shifts ŷ enough (~5e-3) to flip
+// boundary-adjacent keep decisions (scheme_golden_test.go pins how far
+// the equality empirically extends).
+package nn
+
+import (
+	"fmt"
+	"math"
+)
+
+// qTensor is an int8 weight snapshot with its dequantization scale.
+type qTensor struct {
+	q     []int8
+	scale float64
+}
+
+// quantizeValue maps v to int8 at the given scale: round to nearest
+// (half away from zero), clamp to [-127, 127], NaN to 0. Never panics.
+func quantizeValue(v, scale float64) int8 {
+	r := math.Round(v / scale)
+	if math.IsNaN(r) {
+		return 0
+	}
+	if r > 127 {
+		return 127
+	}
+	if r < -127 {
+		return -127
+	}
+	return int8(r)
+}
+
+func quantizeTensor(w []float64) qTensor {
+	scale := maxAbsScale(w)
+	q := make([]int8, len(w))
+	for i, v := range w {
+		q[i] = quantizeValue(v, scale)
+	}
+	return qTensor{q: q, scale: scale}
+}
+
+// maxAbsScale returns maxAbs/127 with a floor that keeps all-zero (or
+// degenerate) tensors usable: scale 1 quantizes everything to 0, which
+// is exact for an all-zero tensor.
+func maxAbsScale(w []float64) float64 {
+	maxAbs := 0.0
+	for _, v := range w {
+		if a := math.Abs(v); a > maxAbs && !math.IsInf(a, 0) {
+			maxAbs = a
+		}
+	}
+	if maxAbs == 0 {
+		return 1
+	}
+	return maxAbs / 127
+}
+
+// quantLSTM holds one direction's int8 weight snapshots plus bias
+// copies (copied so a later float retrain cannot leave the snapshot
+// half-stale) and the hidden-state activation scale.
+type quantLSTM struct {
+	wi, wf, wo, wg qTensor // Hidden×InDim
+	ui, uf, uo, ug qTensor // Hidden×Hidden
+	bi, bf, bo, bg []float64
+	hScale         float64
+}
+
+func snapshotLSTM(l *LSTM, hScale float64) quantLSTM {
+	cp := func(p *Param) []float64 { return append([]float64(nil), p.W...) }
+	return quantLSTM{
+		wi: quantizeTensor(l.wi.W), wf: quantizeTensor(l.wf.W),
+		wo: quantizeTensor(l.wo.W), wg: quantizeTensor(l.wg.W),
+		ui: quantizeTensor(l.ui.W), uf: quantizeTensor(l.uf.W),
+		uo: quantizeTensor(l.uo.W), ug: quantizeTensor(l.ug.W),
+		bi: cp(l.bi), bf: cp(l.bf), bo: cp(l.bo), bg: cp(l.bg),
+		hScale: hScale,
+	}
+}
+
+// predictorQuant is the read-only calibration product: weight
+// snapshots, activation scales, and the empirically calibrated output
+// error bound. Shared (not copied) by Predictor clones.
+type predictorQuant struct {
+	fwd, bwd      quantLSTM
+	predW, quantW qTensor
+	predB, quantB []float64
+	inScale       float64 // input sequence values
+	featScale     float64 // concatenated BiLSTM features
+	bound         float64 // max |zHat_int8 − zHat_float| seen in calibration, with margin
+}
+
+type quantScratch struct {
+	qx           []int8    // quantized input sequence
+	pre          []float64 // 4×T×Hidden input projections, gate-major
+	qh           []int8    // quantized previous hidden state
+	cPrev, hPrev []float64
+	hf, hb       []float64 // per-direction hidden states
+	feat         []float64 // concatenated features
+	qfeat        []int8
+}
+
+func growI8(buf *[]int8, n int) []int8 {
+	if cap(*buf) < n {
+		*buf = make([]int8, n)
+	}
+	*buf = (*buf)[:n]
+	return *buf
+}
+
+// Calibrate snapshots the current weights to int8 and records
+// activation scales from the given sample windows (max-abs over the
+// float forward pass), then measures the resulting soft-bit error on
+// those same windows to set QuantBound. Call after training; Train
+// re-calibrates automatically when the int8 path is selected.
+func (p *Predictor) Calibrate(windows [][]float64) {
+	if len(windows) == 0 {
+		panic("nn: Calibrate needs at least one window")
+	}
+	hd := p.Cfg.Hidden
+	inMax, fwdMax, bwdMax := 0.0, 0.0, 0.0
+	for _, w := range windows {
+		for _, v := range w {
+			if a := math.Abs(v); a > inMax {
+				inMax = a
+			}
+		}
+		hs := p.bilstm.ForwardInfer(w, p.Cfg.SeqLen)
+		for t := 0; t < p.Cfg.SeqLen; t++ {
+			for r := 0; r < hd; r++ {
+				if a := math.Abs(hs[t*2*hd+r]); a > fwdMax {
+					fwdMax = a
+				}
+				if a := math.Abs(hs[t*2*hd+hd+r]); a > bwdMax {
+					bwdMax = a
+				}
+			}
+		}
+	}
+	scaleOf := func(m float64) float64 {
+		if m == 0 {
+			return 1
+		}
+		return m / 127
+	}
+	q := &predictorQuant{
+		fwd:       snapshotLSTM(p.bilstm.fwd, scaleOf(fwdMax)),
+		bwd:       snapshotLSTM(p.bilstm.bwd, scaleOf(bwdMax)),
+		predW:     quantizeTensor(p.fcPred[0].w.W),
+		quantW:    quantizeTensor(p.fcQuant[0].w.W),
+		predB:     append([]float64(nil), p.fcPred[0].b.W...),
+		quantB:    append([]float64(nil), p.fcQuant[0].b.W...),
+		inScale:   scaleOf(inMax),
+		featScale: scaleOf(math.Max(fwdMax, bwdMax)),
+	}
+	p.quant = q
+	// Empirical output-error bound over the calibration set, with a 3×
+	// margin for serving windows drawn from the same distribution (the
+	// property test in int8_test.go checks the margin holds over 1k
+	// unseen windows).
+	maxErr := 0.0
+	for _, w := range windows {
+		_, zf := p.ForwardBatched(w)
+		_, zq := p.ForwardQuantized(w)
+		for i := range zf {
+			if e := math.Abs(zq[i] - zf[i]); e > maxErr {
+				maxErr = e
+			}
+		}
+	}
+	q.bound = 3*maxErr + 2e-3
+}
+
+// Calibrated reports whether an int8 snapshot exists.
+func (p *Predictor) Calibrated() bool { return p.quant != nil }
+
+// QuantBound returns the calibrated bound on |zHat_int8 − zHat_float|
+// per soft bit (0 when uncalibrated).
+func (p *Predictor) QuantBound() float64 {
+	if p.quant == nil {
+		return 0
+	}
+	return p.quant.bound
+}
+
+// AdoptCalibration shares from's calibration snapshot (read-only, so
+// sharing is safe). Used by clones whose weights are byte-identical to
+// the source — i.e. right after a Save/Load round-trip.
+func (p *Predictor) AdoptCalibration(from *Predictor) { p.quant = from.quant }
+
+// DropCalibration invalidates the snapshot (weights changed).
+func (p *Predictor) DropCalibration() { p.quant = nil }
+
+// forwardQuant runs one direction: int8 input projections batched over
+// all timesteps, int8 recurrent products per step, float64 gate math.
+func (q *quantLSTM) forwardQuant(qx []int8, T, in, hd int, xScale float64, s *quantScratch, pre []float64, out []float64) {
+	// pre is 4×T×hd gate-major: gate g's row t starts at (g*T+t)*hd.
+	gates := [4]struct {
+		w qTensor
+		b []float64
+	}{{q.wi, q.bi}, {q.wf, q.bf}, {q.wo, q.bo}, {q.wg, q.bg}}
+	for g, gt := range gates {
+		dst := pre[g*T*hd : (g+1)*T*hd]
+		for t := 0; t < T; t++ {
+			xr := qx[t*in : t*in+in]
+			for r := 0; r < hd; r++ {
+				wr := gt.w.q[r*in : r*in+in]
+				acc := int32(0)
+				for c, xv := range xr {
+					acc += int32(wr[c]) * int32(xv)
+				}
+				dst[t*hd+r] = gt.b[r] + float64(acc)*gt.w.scale*xScale
+			}
+		}
+	}
+	cPrev := grow(&s.cPrev, hd)
+	hPrev := grow(&s.hPrev, hd)
+	for r := 0; r < hd; r++ {
+		cPrev[r] = 0
+		hPrev[r] = 0
+	}
+	qh := growI8(&s.qh, hd)
+	recur := [4]qTensor{q.ui, q.uf, q.uo, q.ug}
+	for t := 0; t < T; t++ {
+		for r := 0; r < hd; r++ {
+			qh[r] = quantizeValue(hPrev[r], q.hScale)
+		}
+		ht := out[t*hd : t*hd+hd]
+		for r := 0; r < hd; r++ {
+			var sums [4]float64
+			for g := 0; g < 4; g++ {
+				ur := recur[g].q[r*hd : r*hd+hd]
+				acc := int32(0)
+				for c, hv := range qh {
+					acc += int32(ur[c]) * int32(hv)
+				}
+				sums[g] = pre[(g*T+t)*hd+r] + float64(acc)*recur[g].scale*q.hScale
+			}
+			iv := Sigmoid.Apply(sums[0])
+			fv := Sigmoid.Apply(sums[1])
+			ov := Sigmoid.Apply(sums[2])
+			gv := Tanh.Apply(sums[3])
+			cv := fv*cPrev[r] + iv*gv
+			ht[r] = ov * Tanh.Apply(cv)
+			cPrev[r] = cv
+		}
+		copy(hPrev, ht)
+	}
+}
+
+// ForwardQuantized is the int8 inference forward. Panics if Calibrate
+// has not run; callers gate on Calibrated().
+func (p *Predictor) ForwardQuantized(aliceSeq []float64) (yHat, zHat []float64) {
+	q := p.quant
+	if q == nil {
+		panic("nn: ForwardQuantized before Calibrate")
+	}
+	T, hd := p.Cfg.SeqLen, p.Cfg.Hidden
+	if len(aliceSeq) != T {
+		panic(fmt.Sprintf("nn: Predictor wants %d-step sequences, got %d", T, len(aliceSeq)))
+	}
+	s := &p.qscratch
+	qx := growI8(&s.qx, T)
+	for i, v := range aliceSeq {
+		qx[i] = quantizeValue(v, q.inScale)
+	}
+	pre := grow(&s.pre, 4*T*hd)
+	hf := grow(&s.hf, T*hd)
+	hb := grow(&s.hb, T*hd)
+	q.fwd.forwardQuant(qx, T, 1, hd, q.inScale, s, pre, hf)
+	// Backward direction sees the reversed sequence.
+	qxr := growI8(&s.qfeat, T) // reuse; refilled below for features
+	for t := 0; t < T; t++ {
+		qxr[t] = qx[T-1-t]
+	}
+	q.bwd.forwardQuant(qxr, T, 1, hd, q.inScale, s, pre, hb)
+
+	feat := grow(&s.feat, T*2*hd)
+	for t := 0; t < T; t++ {
+		copy(feat[t*2*hd:t*2*hd+hd], hf[t*hd:t*hd+hd])
+		copy(feat[t*2*hd+hd:(t+1)*2*hd], hb[(T-1-t)*hd:(T-t)*hd])
+	}
+	qfeat := growI8(&s.qfeat, T*2*hd)
+	for i, v := range feat {
+		qfeat[i] = quantizeValue(v, q.featScale)
+	}
+
+	width := 2 * hd
+	yHat = make([]float64, T)
+	for t := 0; t < T; t++ {
+		fr := qfeat[t*width : (t+1)*width]
+		acc := int32(0)
+		for c, fv := range fr {
+			acc += int32(q.predW.q[c]) * int32(fv)
+		}
+		yHat[t] = q.predB[0] + float64(acc)*q.predW.scale*q.featScale
+	}
+	zHat = make([]float64, T*p.perStep)
+	for t := 0; t < T; t++ {
+		fr := qfeat[t*width : (t+1)*width]
+		for o := 0; o < p.perStep; o++ {
+			wr := q.quantW.q[o*width : (o+1)*width]
+			acc := int32(0)
+			for c, fv := range fr {
+				acc += int32(wr[c]) * int32(fv)
+			}
+			zHat[t*p.perStep+o] = Sigmoid.Apply(q.quantB[o] + float64(acc)*q.quantW.scale*q.featScale)
+		}
+	}
+	return yHat, zHat
+}

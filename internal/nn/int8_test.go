@@ -1,0 +1,179 @@
+package nn
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func calibratedPredictor(t testing.TB, seed int64) (*Predictor, *rng.Source) {
+	src := rng.New(seed)
+	p := NewPredictor(PredictorConfig{SeqLen: 16, Hidden: 16, Bits: 32, Theta: 0.9}, src)
+	cal := make([][]float64, 64)
+	for i := range cal {
+		w := make([]float64, p.Cfg.SeqLen)
+		for j := range w {
+			w[j] = src.Normal(0, 1)
+		}
+		cal[i] = w
+	}
+	p.Calibrate(cal)
+	return p, src
+}
+
+func TestCalibrateLifecycle(t *testing.T) {
+	p, _ := calibratedPredictor(t, 1)
+	if !p.Calibrated() {
+		t.Fatal("Calibrated() false after Calibrate")
+	}
+	if p.QuantBound() <= 0 {
+		t.Fatalf("QuantBound = %g, want > 0", p.QuantBound())
+	}
+	p.DropCalibration()
+	if p.Calibrated() {
+		t.Fatal("Calibrated() true after DropCalibration")
+	}
+	if p.QuantBound() != 0 {
+		t.Fatal("QuantBound nonzero after DropCalibration")
+	}
+}
+
+func TestForwardQuantizedPanicsUncalibrated(t *testing.T) {
+	src := rng.New(2)
+	p := NewPredictor(PredictorConfig{SeqLen: 8, Hidden: 8, Bits: 16, Theta: 0.9}, src)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic before Calibrate")
+		}
+	}()
+	p.ForwardQuantized(make([]float64, 8))
+}
+
+// TestQuantizedErrorBoundProperty is the 1k-window property test from
+// the issue: over 1000 random windows drawn from the calibration
+// distribution the int8 soft bits never panic, stay within the
+// calibrated bound of the float path, and agree bit-for-bit wherever
+// the float output clears the threshold by more than the bound.
+func TestQuantizedErrorBoundProperty(t *testing.T) {
+	p, src := calibratedPredictor(t, 3)
+	bound := p.QuantBound()
+	maxSeen := 0.0
+	for n := 0; n < 1000; n++ {
+		w := make([]float64, p.Cfg.SeqLen)
+		for j := range w {
+			w[j] = src.Normal(0, 1)
+		}
+		yf, zf := p.ForwardBatched(w)
+		yq, zq := p.ForwardQuantized(w)
+		if len(yq) != len(yf) || len(zq) != len(zf) {
+			t.Fatalf("shape mismatch: y %d/%d z %d/%d", len(yq), len(yf), len(zq), len(zf))
+		}
+		for i := range zf {
+			e := math.Abs(zq[i] - zf[i])
+			if e > maxSeen {
+				maxSeen = e
+			}
+			if e > bound {
+				t.Fatalf("window %d bit %d: |Δ| = %g exceeds calibrated bound %g", n, i, e, bound)
+			}
+			// Key-bit identity away from the threshold: the bound is
+			// exactly the margin that guarantees it.
+			if math.Abs(zf[i]-0.5) > bound {
+				if (zf[i] > 0.5) != (zq[i] > 0.5) {
+					t.Fatalf("window %d bit %d: hard bit flipped outside the bound margin", n, i)
+				}
+			}
+		}
+		for i := range yq {
+			if math.IsNaN(yq[i]) || math.IsInf(yq[i], 0) {
+				t.Fatalf("window %d: non-finite quantized yHat[%d]", n, i)
+			}
+		}
+	}
+	t.Logf("calibrated bound %.4g, max observed error %.4g", bound, maxSeen)
+}
+
+// TestAdoptCalibrationMatches: a clone that adopted the snapshot
+// produces byte-identical quantized outputs (the server worker-pool
+// path: template calibrates once, clones share).
+func TestAdoptCalibrationMatches(t *testing.T) {
+	p, src := calibratedPredictor(t, 4)
+	clone := NewPredictor(p.Cfg, rng.New(99))
+	// Give the clone the same float weights via the save/load params path.
+	var buf bytes.Buffer
+	if err := SaveParams(&buf, p.Params()); err != nil {
+		t.Fatal(err)
+	}
+	if err := LoadParams(&buf, clone.Params()); err != nil {
+		t.Fatal(err)
+	}
+	clone.AdoptCalibration(p)
+	if !clone.Calibrated() {
+		t.Fatal("clone not calibrated after AdoptCalibration")
+	}
+	w := make([]float64, p.Cfg.SeqLen)
+	for j := range w {
+		w[j] = src.Normal(0, 1)
+	}
+	_, z1 := p.ForwardQuantized(w)
+	_, z2 := clone.ForwardQuantized(w)
+	for i := range z1 {
+		if math.Float64bits(z1[i]) != math.Float64bits(z2[i]) {
+			t.Fatalf("bit %d: clone %g != source %g", i, z2[i], z1[i])
+		}
+	}
+}
+
+func TestQuantizeValueEdges(t *testing.T) {
+	cases := []struct {
+		v, scale float64
+		want     int8
+	}{
+		{0, 1, 0},
+		{math.NaN(), 1, 0},
+		{math.Inf(1), 1, 127},
+		{math.Inf(-1), 1, -127},
+		{1e300, 1e-300, 127},
+		{-1e300, 1e-300, -127},
+		{0.49, 1, 0},
+		{0.5, 1, 1}, // round half away from zero
+		{-0.5, 1, -1},
+	}
+	for _, c := range cases {
+		if got := quantizeValue(c.v, c.scale); got != c.want {
+			t.Fatalf("quantizeValue(%g, %g) = %d, want %d", c.v, c.scale, got, c.want)
+		}
+	}
+}
+
+// FuzzQuantRoundTrip: quantize/dequantize never panics for any input
+// (NaN, ±Inf, denormals, any scale) and for in-range finite values the
+// round-trip error stays within half a quantization step.
+func FuzzQuantRoundTrip(f *testing.F) {
+	f.Add(0.5, 1.0)
+	f.Add(-3.7, 0.01)
+	f.Add(math.Inf(1), 2.0)
+	f.Add(math.NaN(), 1.0)
+	f.Add(1e-310, 1e-300)
+	f.Fuzz(func(t *testing.T, v, scaleRaw float64) {
+		scale := math.Abs(scaleRaw)
+		if !(scale > 0) || math.IsInf(scale, 0) {
+			scale = 1 // mirror maxAbsScale's degenerate-tensor floor
+		}
+		q := quantizeValue(v, scale)
+		if q > 127 || q < -127 {
+			t.Fatalf("quantizeValue(%g, %g) = %d outside [-127, 127]", v, scale, q)
+		}
+		deq := float64(q) * scale
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return // clamped; no round-trip bound applies
+		}
+		if math.Abs(v) <= 127*scale && !math.IsInf(127*scale, 0) {
+			if err := math.Abs(deq - v); err > scale/2*(1+1e-9) {
+				t.Fatalf("round trip |%g - %g| = %g exceeds scale/2 = %g", deq, v, err, scale/2)
+			}
+		}
+	})
+}

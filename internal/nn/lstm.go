@@ -26,6 +26,7 @@ type LSTM struct {
 	bi, bf, bo, bg *Param
 
 	cache lstmCache
+	infer lstmInferScratch // reusable buffers for ForwardInfer (infer.go)
 }
 
 type lstmCache struct {

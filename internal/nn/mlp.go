@@ -6,6 +6,7 @@ import "repro/internal/rng"
 // encoders and decoder.
 type MLP struct {
 	layers []*Dense
+	infer  mlpInferScratch // reusable buffers for ForwardInfer (infer.go)
 }
 
 // MLPSpec describes one MLP layer.

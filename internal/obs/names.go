@@ -54,7 +54,24 @@ const (
 	// LoadSessionSeconds is the client-observed session latency recorded
 	// by the vkload generator (dial → outcomes returned).
 	LoadSessionSeconds = "vk_load_session_seconds"
+
+	// Cache effectiveness counters for the PR 8 memo layer, labeled
+	// cache=<CacheNames>: predictor forwards keyed by window
+	// fingerprint (internal/core) and per-vehicle window derivations
+	// (internal/server).
+	CacheHits   = "vk_cache_hits_total"
+	CacheMisses = "vk_cache_misses_total"
+
+	// NNForwardSeconds is the predictor inference latency histogram,
+	// labeled path=<FastPaths> — the off/gemm/int8 fast-path split.
+	NNForwardSeconds = "vk_nn_forward_seconds"
 )
+
+// CacheNames lists the memoization caches that report hit/miss counters.
+var CacheNames = []string{"predictor", "windows"}
+
+// FastPaths lists the predictor inference paths (core.FastPath* values).
+var FastPaths = []string{"off", "gemm", "int8"}
 
 // Server session outcome labels.
 const (
@@ -165,4 +182,12 @@ func DeclareStandard(r *Registry) {
 	}
 	r.DeclareHistogram(ServerSessionSeconds, "server-observed session wall time in seconds", SessionBuckets)
 	r.DeclareHistogram(LoadSessionSeconds, "client-observed session latency in seconds", SessionBuckets)
+	for _, cache := range CacheNames {
+		r.DeclareCounter(Labeled(CacheHits, "cache", cache), "memoization cache hits")
+		r.DeclareCounter(Labeled(CacheMisses, "cache", cache), "memoization cache misses")
+	}
+	for _, path := range FastPaths {
+		r.DeclareHistogram(Labeled(NNForwardSeconds, "path", path),
+			"predictor inference latency in seconds, by fast path", DefBuckets)
+	}
 }

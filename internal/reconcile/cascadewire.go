@@ -72,7 +72,7 @@ func CascadeSyndromeEncode(keyBob, salt []byte, cfg CascadeConfig) []float64 {
 	var code []float64
 	block := cfg.InitialBlock
 	for pass := 0; pass < cfg.Passes; pass++ {
-		perm := cascadePerm(salt, pass, n)
+		perm := cascadePermCached(salt, pass, n)
 		for lo := 0; lo < n; lo += block {
 			hi := lo + block
 			if hi > n {
@@ -117,7 +117,7 @@ func CascadeSyndromeCorrect(keyAlice []byte, code []float64, salt []byte, cfg Ca
 	pos := 0
 	block := cfg.InitialBlock
 	for pass := 0; pass < cfg.Passes; pass++ {
-		perm := cascadePerm(salt, pass, n)
+		perm := cascadePermCached(salt, pass, n)
 		blockOf[pass] = make([]int, n)
 		for lo := 0; lo < n; lo += block {
 			hi := lo + block

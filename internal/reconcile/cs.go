@@ -45,7 +45,7 @@ func CS(keyAlice, keyBob []byte, cfg CSConfig) (Outcome, error) {
 		cfg.MaxSparsity = cfg.Rows / 2
 	}
 	m := cfg.Rows
-	phi := sensingMatrix(m, n, cfg.MatrixSeed)
+	phi := sensingMatrixCached(m, n, cfg.MatrixSeed)
 	ops := newOpCounter()
 
 	// Bob's syndrome and Alice's local projection.
@@ -96,7 +96,7 @@ func CSISTA(keyAlice, keyBob []byte, cfg CSConfig) (Outcome, error) {
 		iters = 200
 	}
 	m := cfg.Rows
-	phi := sensingMatrix(m, n, cfg.MatrixSeed)
+	phi := sensingMatrixCached(m, n, cfg.MatrixSeed)
 	ops := newOpCounter()
 
 	yB := matVecBits(phi, keyBob, m, n)

@@ -18,7 +18,7 @@ func CSEncode(keyBob []byte, cfg CSConfig) []float64 {
 		cfg.Rows = 20
 	}
 	n := len(keyBob)
-	phi := sensingMatrix(cfg.Rows, n, cfg.MatrixSeed)
+	phi := sensingMatrixCached(cfg.Rows, n, cfg.MatrixSeed)
 	return matVecBits(phi, keyBob, cfg.Rows, n)
 }
 
@@ -40,7 +40,7 @@ func CSISTACorrect(keyAlice []byte, yBob []float64, cfg CSConfig) ([]byte, error
 		iters = 200
 	}
 	n := len(keyAlice)
-	phi := sensingMatrix(m, n, cfg.MatrixSeed)
+	phi := sensingMatrixCached(m, n, cfg.MatrixSeed)
 	yA := matVecBits(phi, keyAlice, m, n)
 	b := make([]float64, m)
 	for i := range b {

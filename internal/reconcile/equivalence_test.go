@@ -1,0 +1,151 @@
+package reconcile
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+// trainPair trains two AEs with identical seeds, one on the reference
+// scalar path and one on the PR 8 fast path. Training itself routes
+// through encode/backproject, so identical weights after training is
+// already half the equivalence proof.
+func trainPair(t *testing.T) (ref, fast *AE) {
+	t.Helper()
+	cfg := AEConfig{KeyBits: 64, CodeDim: 32, DecoderUnits: 16, MaxMismatch: 0.15}
+	cfg.Reference = true
+	ref = TrainAE(cfg, 3, 60, rng.New(42))
+	cfg.Reference = false
+	fast = TrainAE(cfg, 3, 60, rng.New(42))
+	return ref, fast
+}
+
+// TestAEFastPathByteIdentical reconciles many random key pairs (varying
+// mismatch counts and salts) through both paths and demands bitwise
+// agreement of every outcome field that carries key material.
+func TestAEFastPathByteIdentical(t *testing.T) {
+	ref, fast := trainPair(t)
+	for i, pr := range ref.Params() {
+		pf := fast.Params()[i]
+		for j := range pr.W {
+			if math.Float64bits(pr.W[j]) != math.Float64bits(pf.W[j]) {
+				t.Fatalf("training diverged at tensor %q element %d", pr.Name, j)
+			}
+		}
+	}
+	src := rng.New(7)
+	for trial := 0; trial < 40; trial++ {
+		kb := src.Bits(64)
+		ka := make([]byte, 64)
+		copy(ka, kb)
+		for f := 0; f < trial%9; f++ {
+			ka[src.Intn(64)] ^= 1
+		}
+		salt := []byte(fmt.Sprintf("salt-%d", trial%5))
+		outRef, errRef := ref.Reconcile(ka, kb, salt)
+		outFast, errFast := fast.Reconcile(ka, kb, salt)
+		if (errRef == nil) != (errFast == nil) {
+			t.Fatalf("trial %d: error mismatch: %v vs %v", trial, errRef, errFast)
+		}
+		if errRef != nil {
+			continue
+		}
+		if string(outRef.AliceKey) != string(outFast.AliceKey) {
+			t.Fatalf("trial %d: corrected keys differ between paths", trial)
+		}
+		if string(outRef.BobKey) != string(outFast.BobKey) {
+			t.Fatalf("trial %d: bob keys differ between paths", trial)
+		}
+		if outRef.SyndromeBits != outFast.SyndromeBits || outRef.LeakedKeyBits != outFast.LeakedKeyBits {
+			t.Fatalf("trial %d: leakage accounting differs between paths", trial)
+		}
+	}
+}
+
+// TestAEEncodeShortInputFallback: inputs shorter than KeyBits take the
+// reference loop on both paths (the fast ±1 mapping has no exact
+// equivalent for the early stop), so they agree trivially — pin it.
+func TestAEEncodeShortInputFallback(t *testing.T) {
+	cfgRef := AEConfig{KeyBits: 32, CodeDim: 16, Reference: true}
+	cfgFast := AEConfig{KeyBits: 32, CodeDim: 16}
+	ref := NewAE(cfgRef, rng.New(1))
+	fast := NewAE(cfgFast, rng.New(1))
+	short := []byte{1, 0, 1, 1, 0}
+	a, b := ref.encode(short), fast.encode(short)
+	for i := range a {
+		if math.Float64bits(a[i]) != math.Float64bits(b[i]) {
+			t.Fatalf("short-input encode differs at %d", i)
+		}
+	}
+}
+
+func TestBloomForMatchesFresh(t *testing.T) {
+	for _, n := range []int{16, 64, 128} {
+		for s := 0; s < 5; s++ {
+			salt := []byte(fmt.Sprintf("s%d", s))
+			cached := BloomFor(n, salt)
+			fresh := NewBloomFilter(n, salt)
+			bits := rng.New(int64(n + s)).Bits(n)
+			a := cached.Transform(bits)
+			b := fresh.Transform(bits)
+			if string(a) != string(b) {
+				t.Fatalf("n=%d salt=%s: cached transform differs from fresh", n, salt)
+			}
+			if string(cached.Inverse(a)) != string(bits) {
+				t.Fatalf("n=%d salt=%s: cached inverse broken", n, salt)
+			}
+			// Second lookup must return the identical shared instance.
+			if BloomFor(n, salt) != cached {
+				t.Fatalf("n=%d salt=%s: cache did not return the shared filter", n, salt)
+			}
+		}
+	}
+}
+
+// TestBloomCacheEvictionChurn overflows the bloom cache and checks
+// evicted keys are rebuilt correctly (purity means eviction can only
+// cost time, never correctness).
+func TestBloomCacheEvictionChurn(t *testing.T) {
+	bits := rng.New(3).Bits(32)
+	want := NewBloomFilter(32, []byte("churn-0")).Transform(bits)
+	for i := 0; i < 300; i++ { // capacity is 128
+		BloomFor(32, []byte(fmt.Sprintf("churn-%d", i)))
+	}
+	got := BloomFor(32, []byte("churn-0")).Transform(bits)
+	if string(got) != string(want) {
+		t.Fatal("rebuilt-after-eviction filter differs from fresh")
+	}
+	if st := CacheStats()["bloom"]; st.Evictions == 0 {
+		t.Fatalf("churn produced no evictions: %+v", st)
+	}
+}
+
+func TestSensingMatrixCachedMatches(t *testing.T) {
+	fresh := sensingMatrix(16, 64, 99)
+	cached := sensingMatrixCached(16, 64, 99)
+	if len(fresh) != len(cached) {
+		t.Fatal("length mismatch")
+	}
+	for i := range fresh {
+		if math.Float64bits(fresh[i]) != math.Float64bits(cached[i]) {
+			t.Fatalf("element %d differs", i)
+		}
+	}
+}
+
+func TestCascadePermCachedMatches(t *testing.T) {
+	for pass := 0; pass < 4; pass++ {
+		fresh := cascadePerm([]byte("sess"), pass, 128)
+		cached := cascadePermCached([]byte("sess"), pass, 128)
+		if len(fresh) != len(cached) {
+			t.Fatal("length mismatch")
+		}
+		for i := range fresh {
+			if fresh[i] != cached[i] {
+				t.Fatalf("pass %d element %d differs", pass, i)
+			}
+		}
+	}
+}

@@ -43,24 +43,12 @@ func RunVehicle(conn transport.Conn, sys pipeline.Scheme, sc trace.Scenario, cfg
 	if v.Windows <= 0 {
 		v.Windows = 8
 	}
-	if v.Session == "" {
-		v.Session = SessionName(v.ID)
-	}
-	if v.HelloCopies < 1 {
-		v.HelloCopies = 1
-	}
 	// Announce before deriving: the hello needs nothing from the window
 	// derivation, and the derivation is real simulation work. Sending
 	// first keeps the server's handshake deadline from burning down while
 	// this side computes, and lets both endpoints derive in parallel.
-	hello, err := encodeHello(Hello{Vehicle: v.ID, Windows: v.Windows, Session: v.Session})
-	if err != nil {
+	if err := sendHello(conn, &v); err != nil {
 		return nil, err
-	}
-	for i := 0; i < v.HelloCopies; i++ {
-		if err := conn.Send(hello); err != nil {
-			return nil, fmt.Errorf("server: hello: %w", err)
-		}
 	}
 	_, bobWin, err := SessionWindows(sc, cfg, seed, v.ID, v.Windows)
 	if err != nil {
@@ -68,4 +56,42 @@ func RunVehicle(conn transport.Conn, sys pipeline.Scheme, sc trace.Scenario, cfg
 	}
 	node := protocol.NewNode(sys, conn, v.Session, opts...)
 	return node.RunBob(bobWin)
+}
+
+// RunVehicleWindows is RunVehicle for a caller that already holds the
+// vehicle's Bob-side windows (a reconnecting client, or a load generator
+// reusing one derivation across sessions — the client-side mirror of the
+// server's window cache). bobWin must come from SessionWindows with the
+// scenario/config/seed the server was configured with; v.Windows is
+// overridden to len(bobWin) so the announcement always matches.
+func RunVehicleWindows(conn transport.Conn, sys pipeline.Scheme, bobWin [][]float64, v Vehicle, opts ...protocol.Option) ([]protocol.KeyOutcome, error) {
+	if len(bobWin) == 0 {
+		return nil, fmt.Errorf("server: vehicle %d: no windows", v.ID)
+	}
+	v.Windows = len(bobWin)
+	if err := sendHello(conn, &v); err != nil {
+		return nil, err
+	}
+	node := protocol.NewNode(sys, conn, v.Session, opts...)
+	return node.RunBob(bobWin)
+}
+
+// sendHello completes v's defaults and announces the session.
+func sendHello(conn transport.Conn, v *Vehicle) error {
+	if v.Session == "" {
+		v.Session = SessionName(v.ID)
+	}
+	if v.HelloCopies < 1 {
+		v.HelloCopies = 1
+	}
+	hello, err := encodeHello(Hello{Vehicle: v.ID, Windows: v.Windows, Session: v.Session})
+	if err != nil {
+		return err
+	}
+	for i := 0; i < v.HelloCopies; i++ {
+		if err := conn.Send(hello); err != nil {
+			return fmt.Errorf("server: hello: %w", err)
+		}
+	}
+	return nil
 }

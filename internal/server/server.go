@@ -26,6 +26,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/memo"
 	"repro/internal/obs"
 	"repro/internal/protocol"
 	"repro/internal/trace"
@@ -38,6 +39,29 @@ var outcomeCounters = map[string]string{
 	obs.OutcomeDegraded:    obs.Labeled(obs.ServerSessions, "outcome", obs.OutcomeDegraded),
 	obs.OutcomeRejected:    obs.Labeled(obs.ServerSessions, "outcome", obs.OutcomeRejected),
 	obs.OutcomeError:       obs.Labeled(obs.ServerSessions, "outcome", obs.OutcomeError),
+}
+
+// Window-cache effectiveness counters, baked once (the obs idiom).
+var (
+	cacheHitWindows  = obs.Labeled(obs.CacheHits, "cache", "windows")
+	cacheMissWindows = obs.Labeled(obs.CacheMisses, "cache", "windows")
+)
+
+// winKey identifies one vehicle's derived session windows; scenario,
+// config, and seed are fixed per Server, so (vehicle, count) determines
+// the derivation completely.
+type winKey struct {
+	vehicle uint64
+	n       int
+}
+
+// winVal is one memoized derivation. The nested slices are shared across
+// every session that hits the key — including concurrent workers — and
+// are read-only by contract: the pipeline stages only read measurement
+// windows (wincache_test.go proves cached == fresh and the race soak
+// exercises the sharing).
+type winVal struct {
+	alice, bob [][]float64
 }
 
 // ErrServerClosed reports an operation on a closed server.
@@ -70,6 +94,11 @@ type Config struct {
 	// (default 64): the window derivation does real simulation work, so
 	// a hostile hello must not buy unbounded compute.
 	MaxWindows int
+	// WindowCacheSize bounds the per-vehicle session-window memo shared
+	// by the worker pool (default 1024 entries; negative disables
+	// caching). Reconnecting vehicles skip the channel-simulation work
+	// entirely — the dominant per-session cost once schemes are cheap.
+	WindowCacheSize int
 
 	// HelloTimeout bounds the wait for a session's handshake (default 5s).
 	HelloTimeout time.Duration
@@ -106,6 +135,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxWindows <= 0 {
 		c.MaxWindows = 64
+	}
+	if c.WindowCacheSize == 0 {
+		c.WindowCacheSize = 1024
 	}
 	if c.HelloTimeout <= 0 {
 		c.HelloTimeout = 5 * time.Second
@@ -147,6 +179,11 @@ type Server struct {
 	listeners []transport.Listener
 	live      map[transport.Conn]struct{}
 
+	// wins memoizes SessionWindows by (vehicle, count) across the whole
+	// worker pool — the one cache in the serving layer that is shared
+	// between goroutines. nil when Config.WindowCacheSize < 0.
+	wins *memo.LRU[winKey, winVal]
+
 	active atomic.Int64
 }
 
@@ -163,6 +200,9 @@ func New(cfg Config) (*Server, error) {
 		queue: make(chan transport.Conn, cfg.Queue),
 		done:  make(chan struct{}),
 		live:  make(map[transport.Conn]struct{}),
+	}
+	if cfg.WindowCacheSize > 0 {
+		s.wins = memo.NewLRU[winKey, winVal](cfg.WindowCacheSize)
 	}
 	s.workerWG.Add(cfg.Workers)
 	for i := 0; i < cfg.Workers; i++ {
@@ -302,7 +342,7 @@ func (s *Server) run(sys *core.System, conn transport.Conn) Result {
 		res.Err = fmt.Errorf("server: hello requested %d windows, cap %d", h.Windows, s.cfg.MaxWindows)
 		return res
 	}
-	aliceWin, _, err := SessionWindows(s.cfg.Scenario, s.cfg.Template.Cfg, s.cfg.Seed, h.Vehicle, h.Windows)
+	aliceWin, err := s.sessionWindows(h.Vehicle, h.Windows)
 	if err != nil {
 		res.Outcome = obs.OutcomeError
 		res.Err = err
@@ -330,6 +370,30 @@ func (s *Server) run(sys *core.System, conn transport.Conn) Result {
 		res.Outcome = obs.OutcomeDegraded
 	}
 	return res
+}
+
+// sessionWindows serves the Alice-side window derivation for a session,
+// consulting the shared memo when caching is enabled. Cached windows are
+// shared and read-only (see winVal); a racing duplicate derivation is
+// identical by determinism, so Put-after-Get needs no locking beyond the
+// LRU's own.
+func (s *Server) sessionWindows(vehicle uint64, n int) ([][]float64, error) {
+	if s.wins == nil {
+		alice, _, err := SessionWindows(s.cfg.Scenario, s.cfg.Template.Cfg, s.cfg.Seed, vehicle, n)
+		return alice, err
+	}
+	k := winKey{vehicle: vehicle, n: n}
+	if v, ok := s.wins.Get(k); ok {
+		s.rec.Add(cacheHitWindows, 1)
+		return v.alice, nil
+	}
+	s.rec.Add(cacheMissWindows, 1)
+	alice, bob, err := SessionWindows(s.cfg.Scenario, s.cfg.Template.Cfg, s.cfg.Seed, vehicle, n)
+	if err != nil {
+		return nil, err
+	}
+	s.wins.Put(k, winVal{alice: alice, bob: bob})
+	return alice, nil
 }
 
 // awaitHello reads frames until a valid hello arrives or the handshake

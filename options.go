@@ -124,6 +124,16 @@ func WithSystemConfig(cfg SystemConfig) Option {
 	return func(o *Options) { o.System = cfg }
 }
 
+// WithFastPath selects the predictor inference implementation: "gemm"
+// (the default batched kernels, byte-identical to the reference), "int8"
+// (calibrated quantized serving, key-bit-identical on the paper's
+// scenarios), or "off" (the original per-step reference path). Training
+// always runs in full float64 regardless of the mode, so trained weights
+// — and therefore Export/Import artifacts — are identical across modes.
+func WithFastPath(mode string) Option {
+	return func(o *Options) { o.System.FastPath = mode }
+}
+
 // WithScheme selects the key-generation scheme by registry name —
 // "vehicle-key" (the default), "lora-key", "han", or "gao"; see
 // Schemes(). Setup fails with ErrUnknownScheme for anything else.

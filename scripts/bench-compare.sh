@@ -1,0 +1,70 @@
+#!/bin/sh
+# Compare two bench-json.sh outputs and fail on perf regression:
+#
+#   scripts/bench-compare.sh NEW.json BASELINE.json [THRESHOLD_PCT]
+#
+# Every BenchmarkScheme/* entry present in BOTH files must not regress
+# in ns/op by more than THRESHOLD_PCT (default 10). Entries present in
+# only one file are reported and skipped — new benchmarks are allowed,
+# renamed ones don't silently vanish. Other benchmark families are
+# printed for trajectory but never gate: they cover different machines'
+# noise floors too unevenly, while the scheme benchmarks are the
+# paper-facing numbers CI pins.
+#
+# Stdlib-only by design, like bench-json.sh: the JSON is the fixed
+# single-level shape that script emits, parsed with awk.
+set -eu
+
+if [ $# -lt 2 ]; then
+    echo "usage: $0 NEW.json BASELINE.json [THRESHOLD_PCT]" >&2
+    exit 2
+fi
+
+new="$1"
+base="$2"
+threshold="${3:-10}"
+
+extract() {
+    # "    \"Name\": {\"ns_per_op\": 123, ...}"  ->  "Name 123"
+    awk -F'"' '/"ns_per_op"/ {
+        name = $2
+        rest = $0
+        sub(/.*"ns_per_op":[ ]*/, "", rest)
+        sub(/[,}].*/, "", rest)
+        print name, rest
+    }' "$1"
+}
+
+newvals="$(mktemp)"
+basevals="$(mktemp)"
+trap 'rm -f "$newvals" "$basevals"' EXIT
+extract "$new" > "$newvals"
+extract "$base" > "$basevals"
+
+awk -v threshold="$threshold" -v newfile="$new" -v basefile="$base" '
+NR == FNR { base[$1] = $2; next }
+{
+    name = $1; val = $2
+    if (!(name in base)) {
+        printf "NEW       %-44s %12.0f ns/op (no baseline entry)\n", name, val
+        next
+    }
+    delta = (val - base[name]) * 100.0 / base[name]
+    gate = (name ~ /^BenchmarkScheme\//) ? "gated" : "info "
+    printf "%s     %-44s %12.0f -> %12.0f ns/op  %+7.1f%%\n", gate, name, base[name], val, delta
+    if (gate == "gated" && delta > threshold) {
+        fail = 1
+        printf "REGRESSION %-43s exceeds +%s%% budget\n", name, threshold
+    }
+    seen[name] = 1
+}
+END {
+    for (name in base) if (!(name in seen))
+        printf "GONE      %-44s (baseline-only entry)\n", name
+    if (fail) {
+        printf "bench-compare: %s regressed vs %s\n", newfile, basefile
+        exit 1
+    }
+    print "bench-compare: no gated regression"
+}
+' "$basevals" "$newvals"

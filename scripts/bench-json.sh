@@ -6,16 +6,27 @@
 #
 #   scripts/bench-json.sh [OUTPUT.json]      (default BENCH.json)
 #
+# Env overrides, for the regression gate (bench-compare.sh) where a
+# single iteration is too noisy to compare at a 10% threshold:
+#
+#   BENCH_PATTERN  -bench regexp      (default: . — everything)
+#   BENCH_TIME     -benchtime value   (default: 1x)
+#
+# e.g. the gated scheme family at the baseline's iteration count:
+#   BENCH_PATTERN='BenchmarkScheme$' BENCH_TIME=20x scripts/bench-json.sh BENCH_scheme.json
+#
 # Stdlib-only by design: plain `go test -bench` output piped through awk.
 set -eu
 
 cd "$(dirname "$0")/.."
 
 out="${1:-BENCH.json}"
+pattern="${BENCH_PATTERN:-.}"
+benchtime="${BENCH_TIME:-1x}"
 raw="$(mktemp)"
 trap 'rm -f "$raw"' EXIT
 
-go test -run '^$' -bench . -benchtime=1x -benchmem ./... | tee "$raw"
+go test -run '^$' -bench "$pattern" -benchtime="$benchtime" -benchmem ./... | tee "$raw"
 
 awk '
 # Benchmark lines look like:
@@ -42,7 +53,7 @@ END {
 ' "$raw" > "$out.tmp"
 
 {
-    printf '{\n  "benchtime": "1x",\n  "benchmarks": {\n'
+    printf '{\n  "benchtime": "%s",\n  "benchmarks": {\n' "$benchtime"
     cat "$out.tmp"
     printf '\n  }\n}\n'
 } > "$out"

@@ -1,7 +1,8 @@
 #!/bin/sh
 # Race-detector test pass, tier-1 alongside `go test ./...`.
 #
-# The concurrent packages (transport, protocol, server, secure, attack, obs) run with
+# The concurrent packages (transport, protocol, server, secure, attack,
+# obs, memo) run with
 # -count=1 so a cached result can never mask a rediscovered race. The
 # model-training packages dominate wall time under -race, so they run
 # -short where that keeps coverage meaningful; the protocol soak itself
@@ -12,24 +13,28 @@ set -eu
 cd "$(dirname "$0")/.."
 
 echo "== race: concurrent layers (full) =="
-go test -race -count=1 \
+# Race instrumentation is ~10x; on small CI boxes the protocol soak and
+# the equivalence sweep both brush the default 10m per-package limit, so
+# give every step explicit headroom.
+go test -race -count=1 -timeout 20m \
 	./internal/transport/ \
 	./internal/secure/ \
 	./internal/protocol/ \
 	./internal/server/ \
 	./internal/attack/ \
-	./internal/obs/
+	./internal/obs/ \
+	./internal/memo/
 
 echo "== race: remaining packages (short) =="
-go test -race -short \
-	$(go list ./... | grep -v -e /internal/transport$ -e /internal/secure$ -e /internal/protocol$ -e /internal/server$ -e /internal/attack$ -e /internal/obs$)
+go test -race -short -timeout 20m \
+	$(go list ./... | grep -v -e /internal/transport$ -e /internal/secure$ -e /internal/protocol$ -e /internal/server$ -e /internal/attack$ -e /internal/obs$ -e /internal/memo$)
 
 echo "== race: parallel experiment engine equivalence =="
 # -short skips these, so run them explicitly: the golden equivalence
 # sweep under -race is what proves the engine's workers share no mutable
 # state. VK_EQUIV_FAST shrinks the model/sample sizes — the scheduling
 # and sharing behaviour is what -race must see, not full-size training.
-VK_EQUIV_FAST=1 go test -race -count=1 \
+VK_EQUIV_FAST=1 go test -race -count=1 -timeout 20m \
 	-run 'TestParallelEquivalence|TestRunAllMatchesRun|TestTrainCacheServesClones' \
 	./internal/exp/
 
