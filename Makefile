@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test test-short test-race bench bench-json bench-compare fuzz lint load-smoke
+.PHONY: build test test-short test-race bench bench-json bench-compare fuzz lint load-smoke contention-smoke
 
 build:
 	$(GO) build ./...
@@ -68,3 +68,12 @@ fuzz:
 load-smoke:
 	$(GO) run ./cmd/vkload -vehicles 64 -concurrency 16 -scheme lora-key \
 		-windows 8 -ramp 0 -metrics
+
+# A small fleet contending on one shared lora:// medium: every session
+# crosses the simulated MAC (CAD, collisions, capture, hopping), so the
+# vk_lora_* counters must come out non-zero. CI greps the metrics dump
+# for exactly that, making the smoke an assertion rather than a demo.
+contention-smoke:
+	$(GO) run ./cmd/vkload -endpoint "lora://ci?channels=4&scale=5000" \
+		-scheme lora-key -vehicles 12 -concurrency 12 -windows 16 \
+		-ramp 0 -metrics

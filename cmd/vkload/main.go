@@ -1,21 +1,29 @@
 // Command vkload drives a fleet of simulated vehicles against one
-// Vehicle-Key key server over real sockets and reports the achieved
-// session rate and latency tail from the obs registry.
+// Vehicle-Key key server and reports the achieved session rate and
+// latency tail from the obs registry.
 //
 // By default it is self-contained: it trains one scheme instance,
-// starts an in-process server on a loopback socket, and drives the
-// whole fleet through real TCP connections:
+// starts an in-process server, and drives the whole fleet through the
+// transport named by -endpoint:
 //
-//	vkload                          # 1000 vehicles over TCP, in-process server
-//	vkload -proto udp -vehicles 2000
+//	vkload                                    # 1000 vehicles over tcp://127.0.0.1:0
+//	vkload -endpoint udp://127.0.0.1:0 -vehicles 2000
+//	vkload -endpoint "lora://fleet?channels=4&scale=2000" -vehicles 24
 //	vkload -scheme lora-key -vehicles 200 -train-windows 60 -train-epochs 2
 //
-// The server and load halves also run as separate processes; both sides
-// must agree on -seed, -scheme, -proto, and the training flags, exactly
-// like the two ends of cmd/vkproto:
+// lora:// endpoints put the whole fleet on one shared simulated medium:
+// sessions contend through CAD, collisions, and duty-cycle budgets, and
+// the MAC counters land in the -metrics snapshot.
 //
-//	vkload -serve 0.0.0.0:9300                 # terminal 1: server only
-//	vkload -connect host:9300 -vehicles 1000   # terminal 2: the fleet
+// The server and load halves also run as separate processes over the
+// socket schemes; both sides must agree on -seed, -scheme, and the
+// training flags, exactly like the two ends of cmd/vkproto:
+//
+//	vkload -serve-only -endpoint tcp://0.0.0.0:9300   # terminal 1: server
+//	vkload -drive-only -endpoint tcp://host:9300      # terminal 2: the fleet
+//
+// The pre-endpoint flags (-proto, -listen, -serve, -connect) are
+// deprecated aliases and synthesize the equivalent endpoint URL.
 //
 // Per-vehicle arrival jitter is drawn from rng sub-streams keyed by
 // (seed, vehicle), so a fixed seed replays the identical load shape.
@@ -24,8 +32,10 @@ package main
 import (
 	"flag"
 	"fmt"
+	"net/url"
 	"os"
 	"runtime"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -33,6 +43,7 @@ import (
 	vehiclekey "repro"
 	"repro/internal/channel"
 	"repro/internal/core"
+	"repro/internal/lora"
 	"repro/internal/obs"
 	"repro/internal/protocol"
 	"repro/internal/rng"
@@ -41,15 +52,29 @@ import (
 	"repro/internal/transport"
 )
 
+// runMode selects which halves of the benchmark this process runs.
+type runMode int
+
+const (
+	modeInProcess runMode = iota // server + fleet in one process
+	modeServe                    // server only
+	modeDrive                    // fleet only, against an external server
+)
+
 func main() {
 	var (
 		vehicles = flag.Int("vehicles", 1000, "simulated vehicles to drive")
 		conc     = flag.Int("concurrency", 64, "vehicles in flight at once")
 		windows  = flag.Int("windows", 8, "probing windows per session")
-		proto    = flag.String("proto", "tcp", "transport: tcp or udp")
-		connect  = flag.String("connect", "", "drive an external server at this address (default: in-process)")
-		serve    = flag.String("serve", "", "run the server side only, listening on this address")
-		listen   = flag.String("listen", "127.0.0.1:0", "in-process server bind address")
+
+		endpoint  = flag.String("endpoint", "", "transport endpoint URL: tcp://host:port, udp://host:port, mem://name, or lora://medium[?channels=..&duty=..] (default tcp://127.0.0.1:0)")
+		serveOnly = flag.Bool("serve-only", false, "run only the server side, listening at -endpoint")
+		driveOnly = flag.Bool("drive-only", false, "drive an external server at -endpoint (no in-process server)")
+
+		proto   = flag.String("proto", "tcp", "deprecated: use -endpoint; transport scheme for the alias flags below")
+		connect = flag.String("connect", "", "deprecated: use -drive-only -endpoint; drive an external server at this address")
+		serve   = flag.String("serve", "", "deprecated: use -serve-only -endpoint; run the server side only on this address")
+		listen  = flag.String("listen", "127.0.0.1:0", "deprecated: use -endpoint; in-process server bind address")
 
 		seed     = flag.Int64("seed", 21, "shared deterministic seed (must match the server)")
 		scheme   = flag.String("scheme", "", "key-generation scheme (default vehicle-key)")
@@ -70,16 +95,69 @@ func main() {
 	)
 	flag.Parse()
 
-	if *proto != "tcp" && *proto != "udp" {
-		fatal(fmt.Errorf("-proto must be tcp or udp"))
+	set := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
+
+	// Resolve the endpoint: -endpoint wins; the deprecated alias flags
+	// synthesize the equivalent URL (and -serve/-connect their mode).
+	ep := *endpoint
+	mode := modeInProcess
+	if *serveOnly {
+		mode = modeServe
 	}
+	if *driveOnly {
+		mode = modeDrive
+	}
+	if ep == "" {
+		if *proto != "tcp" && *proto != "udp" {
+			fatal(fmt.Errorf("-proto must be tcp or udp (or use -endpoint)"))
+		}
+		switch {
+		case *serve != "":
+			mode, ep = modeServe, *proto+"://"+*serve
+		case *connect != "":
+			mode, ep = modeDrive, *proto+"://"+*connect
+		default:
+			ep = *proto + "://" + *listen
+		}
+	} else if set["proto"] || set["connect"] || set["serve"] || set["listen"] {
+		fatal(fmt.Errorf("-endpoint replaces -proto/-connect/-serve/-listen; use -serve-only or -drive-only to pick the role"))
+	}
+	u, err := url.Parse(ep)
+	if err != nil || u.Scheme == "" {
+		fatal(fmt.Errorf("-endpoint %q is not a scheme://address URL", ep))
+	}
+	epScheme := u.Scheme
+	// Reject unknown schemes here, before model training is paid for.
+	schemeKnown := false
+	for _, s := range transport.Schemes() {
+		schemeKnown = schemeKnown || s == epScheme
+	}
+	if !schemeKnown {
+		fatal(fmt.Errorf("-endpoint scheme %q unknown (known: %s)", epScheme, strings.Join(transport.Schemes(), ", ")))
+	}
+	if epScheme == "lora" && mode != modeInProcess {
+		fatal(fmt.Errorf("lora:// media are in-process; drop -serve-only/-drive-only"))
+	}
+
 	if !core.ValidFastPath(*fastpath) {
 		fatal(fmt.Errorf("-fastpath must be off, gemm, or int8"))
 	}
 	if *copies <= 0 {
 		*copies = 1
-		if *proto == "udp" {
-			*copies = 3
+		if epScheme == "udp" || epScheme == "lora" {
+			*copies = 3 // unreliable transports: redundant hellos
+		}
+	}
+	// Timeouts on a lora conn are virtual seconds covering whole frame
+	// bursts, not socket round trips — rescale the ARQ defaults unless
+	// the user pinned them.
+	if epScheme == "lora" {
+		if !set["timeout"] {
+			*timeout = 4 * time.Second
+		}
+		if !set["retries"] {
+			*retries = 8
 		}
 	}
 
@@ -113,9 +191,17 @@ func main() {
 		Recorder:        reg,
 	}
 
+	// lora media must be created with the metrics registry attached
+	// before the first Listen/Dial materializes them with a nop recorder.
+	if epScheme == "lora" {
+		if _, err := lora.EnsureEndpoint(ep, reg); err != nil {
+			fatal(err)
+		}
+	}
+
 	// Server-only mode: serve until killed.
-	if *serve != "" {
-		l, err := listenOn(*proto, *serve)
+	if mode == modeServe {
+		l, err := transport.Listen(ep)
 		if err != nil {
 			fatal(err)
 		}
@@ -123,17 +209,21 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		fmt.Printf("serving %s on %s (workers=%d)\n", *proto, l.Addr(), *workers)
+		fmt.Printf("serving %s://%s (workers=%d)\n", epScheme, l.Addr(), *workers)
 		if err := srv.Serve(l); err != nil {
 			fatal(err)
 		}
 		return
 	}
 
-	addr := *connect
+	// The endpoint the fleet dials: the external server in drive mode;
+	// otherwise the in-process listener's resolved address for the socket
+	// schemes, and the endpoint itself for the named ones (mem, lora),
+	// where dialing the name is the contract.
+	dialEp := ep
 	var srv *server.Server
-	if addr == "" {
-		l, err := listenOn(*proto, *listen)
+	if mode == modeInProcess {
+		l, err := transport.Listen(ep)
 		if err != nil {
 			fatal(err)
 		}
@@ -146,8 +236,10 @@ func main() {
 				_, _ = fmt.Fprintf(os.Stderr, "vkload: %v\n", err)
 			}
 		}()
-		addr = l.Addr().String()
-		fmt.Printf("in-process server on %s://%s (workers=%d queue=%d)\n", *proto, addr, *workers, *queueDepth)
+		if epScheme == "tcp" || epScheme == "udp" {
+			dialEp = epScheme + "://" + l.Addr().String()
+		}
+		fmt.Printf("in-process server on %s (workers=%d queue=%d)\n", dialEp, *workers, *queueDepth)
 	}
 
 	fmt.Printf("driving %d vehicles (concurrency=%d windows=%d ramp=%s)...\n", *vehicles, *conc, *windows, *ramp)
@@ -168,7 +260,7 @@ func main() {
 				if *ramp > 0 {
 					time.Sleep(time.Duration(src.Float64() * float64(*ramp)))
 				}
-				conn, err := dial(*proto, addr)
+				conn, err := transport.Dial(dialEp)
 				if err != nil {
 					failed.Add(1)
 					continue
@@ -206,7 +298,7 @@ func main() {
 	}
 	snap := reg.Snapshot()
 	load := snap.Histograms[obs.LoadSessionSeconds]
-	fmt.Printf("\nvkload: %d vehicles over %s in %s\n", *vehicles, *proto, wall.Round(time.Millisecond))
+	fmt.Printf("\nvkload: %d vehicles over %s in %s\n", *vehicles, epScheme, wall.Round(time.Millisecond))
 	fmt.Printf("  established: %d   failed: %d   keys confirmed: %d\n",
 		established.Load(), failed.Load(), keys.Load())
 	fmt.Printf("  sessions/sec: %.1f\n", float64(load.Count)/wall.Seconds())
@@ -223,22 +315,6 @@ func main() {
 	if *metrics {
 		_ = reg.WritePrometheus(os.Stderr) // best-effort: stderr may be closed
 	}
-}
-
-// listenOn builds the protocol-matching listener.
-func listenOn(proto, addr string) (transport.Listener, error) {
-	if proto == "udp" {
-		return transport.ListenUDPMux(addr)
-	}
-	return transport.ListenTCP(addr)
-}
-
-// dial builds the protocol-matching client connection.
-func dial(proto, addr string) (transport.Conn, error) {
-	if proto == "udp" {
-		return transport.DialUDP(":0", addr)
-	}
-	return transport.DialTCP(addr)
 }
 
 // defaultWorkers sizes the server pool: one per CPU, floored at 4 —

@@ -1,9 +1,15 @@
 // Command vkproto runs one end of the Vehicle-Key establishment protocol
-// over UDP, so the two protocol roles can run as separate processes (or
-// separate machines sharing the simulated channel seed).
+// over a network transport, so the two protocol roles can run as separate
+// processes (or separate machines sharing the simulated channel seed).
 //
-// Terminal 1: vkproto -role bob -listen 127.0.0.1:9100
-// Terminal 2: vkproto -role alice -peer 127.0.0.1:9100
+// Terminal 1: vkproto -role bob -endpoint udp://127.0.0.1:9100
+// Terminal 2: vkproto -role alice -endpoint udp://127.0.0.1:9100
+//
+// -endpoint takes any socket scheme the transport registry knows
+// (tcp://host:port, udp://host:port); the in-process schemes (mem://,
+// lora://) need both roles in one process — use vkload for those. The
+// pre-endpoint flags (-listen, -peer) are deprecated aliases for the
+// original UDP-only flow.
 //
 // Both processes derive the same simulated drive and trained model from
 // -seed, standing in for two radios probing the same physical channel.
@@ -23,7 +29,9 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"net/url"
 	"os"
+	"strings"
 	"time"
 
 	vehiclekey "repro"
@@ -35,14 +43,15 @@ import (
 
 func main() {
 	var (
-		role    = flag.String("role", "", "alice or bob")
-		listen  = flag.String("listen", "127.0.0.1:9100", "bob's UDP address")
-		peer    = flag.String("peer", "127.0.0.1:9100", "peer address (alice side)")
-		seed    = flag.Int64("seed", 21, "shared deterministic seed")
-		windows = flag.Int("windows", 16, "probing windows to run")
-		session = flag.String("session", "vkproto", "session identifier")
-		scheme  = flag.String("scheme", "", "key-generation scheme (default vehicle-key; see -list-schemes)")
-		list    = flag.Bool("list-schemes", false, "print the registered scheme names and exit")
+		role     = flag.String("role", "", "alice or bob")
+		endpoint = flag.String("endpoint", "", "transport endpoint URL, e.g. tcp://host:port or udp://host:port (bob listens, alice dials)")
+		listen   = flag.String("listen", "127.0.0.1:9100", "deprecated: use -endpoint udp://addr; bob's UDP address")
+		peer     = flag.String("peer", "127.0.0.1:9100", "deprecated: use -endpoint udp://addr; peer address (alice side)")
+		seed     = flag.Int64("seed", 21, "shared deterministic seed")
+		windows  = flag.Int("windows", 16, "probing windows to run")
+		session  = flag.String("session", "vkproto", "session identifier")
+		scheme   = flag.String("scheme", "", "key-generation scheme (default vehicle-key; see -list-schemes)")
+		list     = flag.Bool("list-schemes", false, "print the registered scheme names and exit")
 
 		loss      = flag.Float64("loss", 0, "probability of dropping an outgoing message")
 		dup       = flag.Float64("dup", 0, "probability of duplicating an outgoing message")
@@ -72,6 +81,11 @@ func main() {
 	// Validate cheap inputs before paying for model training.
 	if *role != "alice" && *role != "bob" {
 		fatal(fmt.Errorf("-role must be alice or bob"))
+	}
+	if *endpoint != "" {
+		if err := checkEndpoint(*endpoint); err != nil {
+			fatal(err)
+		}
 	}
 
 	// Observability is opt-in: without flags every layer records into
@@ -117,9 +131,44 @@ func main() {
 	}
 	aliceWin, bobWin := vs.Windows(*windows)
 
-	var udp *transport.UDPConn
-	if *role == "bob" {
-		udp, err = transport.DialUDP(*listen, "127.0.0.1:9") // peer learned from first datagram
+	var conn transport.Conn
+	switch {
+	case *endpoint != "":
+		// Registry path: bob listens at the endpoint and takes the first
+		// link; alice dials it. The hello still travels first so both
+		// schemes share one handshake shape.
+		if *role == "bob" {
+			l, err := transport.Listen(*endpoint)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Printf("listening on %s\n", l.Addr())
+			c, err := l.Accept()
+			if err != nil {
+				fatal(err)
+			}
+			// One session per process, but keep the listener open until
+			// exit: the UDP mux shares its socket with every accepted
+			// session, so closing it here would sever the link just made.
+			defer func() { _ = l.Close() }()
+			hello, err := c.Recv()
+			if err != nil {
+				fatal(fmt.Errorf("waiting for alice: %w", err))
+			}
+			fmt.Printf("alice connected: %s\n", hello)
+			conn = c
+		} else {
+			c, err := transport.Dial(*endpoint)
+			if err != nil {
+				fatal(err)
+			}
+			if err := c.Send([]byte("hello from alice")); err != nil {
+				fatal(err)
+			}
+			conn = c
+		}
+	case *role == "bob":
+		udp, err := transport.DialUDP(*listen, "127.0.0.1:9") // peer learned from first datagram
 		if err != nil {
 			fatal(err)
 		}
@@ -130,18 +179,20 @@ func main() {
 			fatal(fmt.Errorf("waiting for alice: %w", err))
 		}
 		fmt.Printf("alice connected: %s\n", hello)
-	} else {
-		udp, err = transport.DialUDP("127.0.0.1:0", *peer)
+		conn = udp
+	default:
+		udp, err := transport.DialUDP("127.0.0.1:0", *peer)
 		if err != nil {
 			fatal(err)
 		}
 		if err := udp.Send([]byte("hello from alice")); err != nil {
 			fatal(err)
 		}
+		conn = udp
 	}
 	// Closing at exit is best-effort: the session is over and the socket
 	// dies with the process either way.
-	defer func() { _ = udp.Close() }()
+	defer func() { _ = conn.Close() }()
 
 	// Wrap in the fault injector only after the hello exchange: the
 	// handshake that discovers Bob's peer address must not be dropped.
@@ -149,10 +200,9 @@ func main() {
 		Drop: *loss, Duplicate: *dup, Reorder: *reorder,
 		Corrupt: *corrupt, Delay: *delay, MaxDelay: *maxDelay,
 	}
-	var conn transport.Conn = udp
 	var faulty *transport.FaultyConn
 	if faults.Enabled() {
-		faulty = transport.WrapFaulty(udp, faults, rng.New(*faultSeed))
+		faulty = transport.WrapFaulty(conn, faults, rng.New(*faultSeed))
 		if reg != nil {
 			faulty.SetRecorder(reg)
 		}
@@ -210,6 +260,22 @@ func main() {
 	if *metrics && reg != nil {
 		_ = reg.WritePrometheus(os.Stderr) // best-effort: stderr may be closed
 	}
+}
+
+// checkEndpoint rejects malformed or unknown-scheme endpoints before
+// model training starts, mirroring the cheap-inputs-first flag checks.
+func checkEndpoint(endpoint string) error {
+	u, err := url.Parse(endpoint)
+	if err != nil || u.Scheme == "" {
+		return fmt.Errorf("-endpoint %q is not a scheme://address URL", endpoint)
+	}
+	known := transport.Schemes()
+	for _, s := range known {
+		if s == u.Scheme {
+			return nil
+		}
+	}
+	return fmt.Errorf("-endpoint scheme %q unknown (known: %s)", u.Scheme, strings.Join(known, ", "))
 }
 
 // failurePhase names the protocol phase a failed round died in, using the

@@ -8,7 +8,7 @@ import (
 
 // netdeadlineScope: the serving layer. Everywhere else blocking is either
 // in-process (memConn) or test-only.
-var netdeadlineScope = []string{"server", "transport"}
+var netdeadlineScope = []string{"server", "transport", "lora"}
 
 func init() {
 	register(&Analyzer{

@@ -1,0 +1,706 @@
+// Shared-medium MAC simulation. A Medium carries every transmission of
+// an N-vehicle deployment over a common pool of LoRa channels and
+// resolves the physics the point-to-point transports ignore: co-channel
+// collisions, the capture effect, half-duplex radios, channel-activity
+// detection with listen-before-talk backoff, per-device duty-cycle
+// budgets, and time-synchronized channel hopping.
+//
+// The medium runs on a virtual clock. Devices execute on ordinary
+// goroutines, but every blocking point (CAD dwell, backoff, time on
+// air, duty-credit wait, receive timeout) parks the goroutine on a
+// condition variable and hands control to a conservative scheduler:
+// virtual time advances only when no device is runnable, and exactly
+// one parked device is woken per step — the one with the lowest id
+// among those eligible — after all frame deliveries due at the new time
+// have fired. Execution is therefore fully serialized, and every draw
+// (hop sequences, received powers, backoffs) comes from an rng sub-seed
+// keyed by link label, so an N-vehicle run produces byte-identical
+// traffic at any -cpu or GOMAXPROCS setting.
+//
+// Two clock modes:
+//
+//   - Lockstep: every device counts as runnable from creation until it
+//     parks, so virtual time is frozen until every endpoint is being
+//     driven by a goroutine, and the run executes as fast as the host
+//     allows. This is the deterministic mode; it requires a dedicated
+//     driver per endpoint (an undriven endpoint freezes the clock).
+//   - Emulation (default): devices count as runnable only while inside
+//     a medium operation, and the virtual clock is throttled to
+//     TimeScale virtual seconds per wall second. Idle endpoints are
+//     harmless, which is what a worker-pool server needs, but wake
+//     order couples to wall scheduling, so runs are not reproducible.
+package lora
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/rng"
+	"repro/internal/transport"
+)
+
+// MediumConfig parameterizes one shared medium. The zero value is not
+// usable directly; Normalize fills defaults and Validate checks ranges.
+type MediumConfig struct {
+	// Channels is the size of the hopping pool (1..128; default 8).
+	Channels int
+	// PHY is the radio configuration every frame uses. Defaults to
+	// MediumPHY (SF7, 125 kHz, CR 4/5) — fast enough that an ARQ
+	// round trip stays under a few virtual seconds. PayloadBytes is
+	// ignored; frames derive their airtime from the fragment length.
+	PHY Params
+	// CaptureDB: a frame survives a co-channel overlap when it is
+	// received at least this much stronger than the other frame
+	// (default 6 dB, the classic LoRa capture margin).
+	CaptureDB float64
+	// PowerMinDBm/PowerMaxDBm bound the per-device received power,
+	// drawn once per device from the seed (defaults -90/-60 dBm).
+	PowerMinDBm float64
+	PowerMaxDBm float64
+	// CADSymbols is the channel-activity-detection dwell before every
+	// transmission, in symbols (default 2).
+	CADSymbols int
+	// CADMaxAttempts bounds CAD retries; when all find the channel
+	// busy the frame is dropped and the ARQ layer recovers (default 6).
+	CADMaxAttempts int
+	// BackoffMin/BackoffMax bound the uniform backoff drawn after a
+	// busy CAD, doubled per attempt (defaults 20ms/160ms, virtual).
+	BackoffMin time.Duration
+	BackoffMax time.Duration
+	// DutyCycle is the allowed time-on-air fraction per device
+	// (0 < d ≤ 1; default 1 = unconstrained; EU868 would be 0.01).
+	DutyCycle float64
+	// DutyBurst is the airtime credit a device may bank, so short
+	// bursts need not pace frame by frame (default 1s virtual).
+	DutyBurst time.Duration
+	// Dwell is the channel-hop dwell time: all radios derive the
+	// current hop slot as floor(now/Dwell) (default 400ms virtual).
+	Dwell time.Duration
+	// FragmentBytes caps a single frame's payload; longer messages
+	// transmit as a back-to-back fragment burst whose airtimes sum
+	// (1..255; default 192).
+	FragmentBytes int
+	// Seed roots every random stream (hop sequences, powers,
+	// backoffs) via rng sub-seed derivation (default 1).
+	Seed int64
+	// Lockstep selects the deterministic clock mode (see package doc).
+	Lockstep bool
+	// TimeScale throttles the emulation clock to this many virtual
+	// seconds per wall second (default 200; ignored under Lockstep).
+	TimeScale float64
+	// TimeBurst bounds how far the emulation clock may leap after an
+	// idle stretch, in virtual time (default 100ms; ignored under
+	// Lockstep).
+	TimeBurst time.Duration
+	// DefaultRecvTimeout backs Conn.Recv, which has no deadline
+	// parameter (default 30s virtual).
+	DefaultRecvTimeout time.Duration
+	// Recorder receives the vk_lora_* metrics (default nop).
+	Recorder obs.Recorder
+}
+
+// MediumPHY returns the medium's default radio configuration: SF7 at
+// 125 kHz, CR 4/5 — a 192-byte fragment flies in ≈0.31 s, so a probe
+// round trip is a few virtual seconds instead of SF12's minutes.
+func MediumPHY() Params {
+	return Params{
+		SpreadingFactor: 7,
+		BandwidthHz:     125e3,
+		CodingRate:      CR45,
+		PreambleSymbols: 8,
+		ExplicitHeader:  true,
+		CRC:             true,
+		PayloadBytes:    16,
+		CarrierHz:       434e6,
+	}
+}
+
+// Normalize returns the config with every zero field set to its
+// default.
+func (c MediumConfig) Normalize() MediumConfig {
+	if c.Channels == 0 {
+		c.Channels = 8
+	}
+	if c.PHY.SpreadingFactor == 0 {
+		c.PHY = MediumPHY()
+	}
+	if c.CaptureDB == 0 {
+		c.CaptureDB = 6
+	}
+	if c.PowerMinDBm == 0 && c.PowerMaxDBm == 0 {
+		c.PowerMinDBm, c.PowerMaxDBm = -90, -60
+	}
+	if c.CADSymbols == 0 {
+		c.CADSymbols = 2
+	}
+	if c.CADMaxAttempts == 0 {
+		c.CADMaxAttempts = 6
+	}
+	if c.BackoffMin == 0 {
+		c.BackoffMin = 20 * time.Millisecond
+	}
+	if c.BackoffMax == 0 {
+		c.BackoffMax = 160 * time.Millisecond
+	}
+	if c.DutyCycle == 0 {
+		c.DutyCycle = 1
+	}
+	if c.DutyBurst == 0 {
+		c.DutyBurst = time.Second
+	}
+	if c.Dwell == 0 {
+		c.Dwell = 400 * time.Millisecond
+	}
+	if c.FragmentBytes == 0 {
+		c.FragmentBytes = 192
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.TimeScale == 0 {
+		c.TimeScale = 200
+	}
+	if c.TimeBurst == 0 {
+		c.TimeBurst = 100 * time.Millisecond
+	}
+	if c.DefaultRecvTimeout == 0 {
+		c.DefaultRecvTimeout = 30 * time.Second
+	}
+	c.Recorder = obs.OrNop(c.Recorder)
+	return c
+}
+
+// Validate checks a normalized config.
+func (c MediumConfig) Validate() error {
+	if c.Channels < 1 || c.Channels > 128 {
+		return fmt.Errorf("lora: medium channels %d out of range [1,128]", c.Channels)
+	}
+	if err := c.PHY.Validate(); err != nil {
+		return err
+	}
+	if c.CaptureDB < 0 {
+		return fmt.Errorf("lora: capture margin %.1f dB is negative", c.CaptureDB)
+	}
+	if c.PowerMaxDBm < c.PowerMinDBm {
+		return fmt.Errorf("lora: power range [%.1f, %.1f] dBm is inverted", c.PowerMinDBm, c.PowerMaxDBm)
+	}
+	if c.CADSymbols < 1 || c.CADMaxAttempts < 1 {
+		return fmt.Errorf("lora: CAD needs ≥1 symbol and ≥1 attempt")
+	}
+	if c.BackoffMin <= 0 || c.BackoffMax < c.BackoffMin {
+		return fmt.Errorf("lora: backoff range [%s, %s] is invalid", c.BackoffMin, c.BackoffMax)
+	}
+	if c.DutyCycle <= 0 || c.DutyCycle > 1 {
+		return fmt.Errorf("lora: duty cycle %g out of range (0, 1]", c.DutyCycle)
+	}
+	if c.Dwell <= 0 {
+		return fmt.Errorf("lora: hop dwell must be positive")
+	}
+	if c.FragmentBytes < 1 || c.FragmentBytes > 255 {
+		return fmt.Errorf("lora: fragment size %d out of range [1,255]", c.FragmentBytes)
+	}
+	if !c.Lockstep && c.TimeScale <= 0 {
+		return fmt.Errorf("lora: emulation time scale must be positive")
+	}
+	return nil
+}
+
+// messageAirtime returns the time on air for one message of n payload
+// bytes: the sum over its fragment burst. The whole burst is one
+// collision domain — fragment-level loss is below this model's
+// granularity.
+func (c MediumConfig) messageAirtime(n int) float64 {
+	p := c.PHY
+	full := n / c.FragmentBytes
+	rem := n % c.FragmentBytes
+	total := 0.0
+	if full > 0 {
+		p.PayloadBytes = c.FragmentBytes
+		total = float64(full) * p.Airtime()
+	}
+	if rem > 0 || n == 0 {
+		p.PayloadBytes = rem
+		if rem == 0 {
+			p.PayloadBytes = 1 // an empty message still costs a minimal frame
+		}
+		total += p.Airtime()
+	}
+	return total
+}
+
+// Stats is a snapshot of a medium's MAC counters. Every transmission
+// attempt resolves to exactly one of Delivered, Collided, HalfDuplex,
+// CADDropped, or ClosedDrops.
+type Stats struct {
+	Frames      uint64
+	Delivered   uint64
+	Collided    uint64
+	HalfDuplex  uint64
+	CADDropped  uint64
+	ClosedDrops uint64
+
+	CADBusy   uint64 // CAD probes that found the channel busy
+	DutyWaits uint64 // parks waiting for duty-cycle credit
+	Backoffs  uint64 // listen-before-talk backoffs drawn
+
+	AirtimeSeconds float64 // total time on air transmitted
+	VirtualSeconds float64 // the medium clock at snapshot time
+}
+
+// Baked metric names (one allocation at init, per the obs idiom).
+var (
+	obsTxDelivered  = obs.Labeled(obs.LoraTx, "result", obs.LoraDelivered)
+	obsTxCollided   = obs.Labeled(obs.LoraTx, "result", obs.LoraCollided)
+	obsTxHalfDuplex = obs.Labeled(obs.LoraTx, "result", obs.LoraHalfDuplex)
+	obsTxCADDropped = obs.Labeled(obs.LoraTx, "result", obs.LoraCADDropped)
+	obsTxClosed     = obs.Labeled(obs.LoraTx, "result", obs.LoraClosedDrop)
+)
+
+// hopLen is the length of every link's hop sequence; the schedule
+// repeats after hopLen dwell slots.
+const hopLen = 128
+
+// transmission is one fragment burst in flight.
+type transmission struct {
+	from, to   *device
+	payload    []byte
+	start, end float64
+	channel    int
+	powerDBm   float64
+	doomed     bool // lost to a co-channel collision
+}
+
+// link is one vehicle↔gateway radio pair. Both directions share the
+// hop sequence, so their collision and CAD domains agree.
+type link struct {
+	label  string
+	hop    []int
+	a, b   *device
+	closed bool
+}
+
+// device is one radio endpoint. All fields are guarded by Medium.mu.
+type device struct {
+	id    int
+	label string
+	m     *Medium
+	link  *link
+	peer  *device
+
+	cond     *sync.Cond
+	src      *rng.Source // backoff draws; serialized by the scheduler
+	powerDBm float64     // received power at the peer, fixed per device
+
+	queue    [][]byte
+	blocking bool // counted in Medium.running
+	parked   bool
+	recvWait bool
+	wakeAt   float64
+	released bool
+
+	dutyCredit float64 // banked airtime, seconds
+	dutyLast   float64 // virtual time of the last credit refill
+
+	txStart, txUntil float64 // the device's latest transmission span
+	lastActive       float64 // virtual time of the last completed op
+}
+
+// Medium is the shared channel pool. Create with NewMedium, connect
+// endpoints with Link or Dial/Listen, and drive them like any other
+// transport.Conn.
+type Medium struct {
+	name string
+	cfg  MediumConfig
+	rec  obs.Recorder
+
+	mu      sync.Mutex
+	now     float64
+	running int // devices runnable right now; 0 ⇒ clock may advance
+	closed  bool
+
+	devices   []*device
+	txs       []*transmission
+	stats     Stats
+	listener  *MediumListener
+	autoLabel int
+
+	// Emulation-mode pacing: virtual-time budget refilled from the
+	// wall clock at TimeScale, capped at TimeBurst.
+	budget     float64
+	lastRefill time.Time
+	pacer      *time.Timer
+}
+
+// NewMedium builds a medium from cfg (normalized and validated here).
+func NewMedium(cfg MediumConfig) (*Medium, error) {
+	cfg = cfg.Normalize()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	m := &Medium{name: "medium", cfg: cfg, rec: cfg.Recorder}
+	if !cfg.Lockstep {
+		//vklint:ignore detrand -- wall clock only paces the emulation throttle; no simulated value depends on it
+		m.lastRefill = time.Now()
+	}
+	return m, nil
+}
+
+// Name returns the medium's registry name ("medium" until registered).
+func (m *Medium) Name() string { return m.name }
+
+// Config returns the normalized configuration.
+func (m *Medium) Config() MediumConfig { return m.cfg }
+
+// Now returns the virtual clock. Deterministic only when read from a
+// device goroutine between its own ops; harness goroutines race it.
+func (m *Medium) Now() float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.now
+}
+
+// Stats returns a counter snapshot.
+func (m *Medium) Stats() Stats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s := m.stats
+	s.VirtualSeconds = m.now
+	return s
+}
+
+// Link creates one vehicle↔gateway pair on the medium, bypassing the
+// listener. The label keys the link's hop-sequence, power, and backoff
+// streams — reusing a label reuses those draws, so harnesses should
+// label links uniquely.
+func (m *Medium) Link(label string) (local, remote *Conn, err error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return nil, nil, transport.ErrClosed
+	}
+	a, b := m.newLinkLocked(label)
+	return a, b, nil
+}
+
+// Close releases every device (pending and future ops fail with
+// ErrClosed), closes the listener, and stops the pacer. Idempotent.
+func (m *Medium) Close() error {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return nil
+	}
+	m.closed = true
+	if m.pacer != nil {
+		m.pacer.Stop()
+		m.pacer = nil
+	}
+	for _, d := range m.devices {
+		m.releaseLocked(d)
+	}
+	l := m.listener
+	m.mu.Unlock()
+	if l != nil {
+		_ = l.Close()
+	}
+	return nil
+}
+
+func (m *Medium) newLinkLocked(label string) (*Conn, *Conn) {
+	hopSrc := rng.Stream(m.cfg.Seed, "lora/hop/"+label, 0)
+	hop := make([]int, hopLen)
+	for i := range hop {
+		hop[i] = hopSrc.Intn(m.cfg.Channels)
+	}
+	l := &link{label: label, hop: hop}
+	mk := func(idx int) *device {
+		d := &device{
+			id:         len(m.devices),
+			label:      fmt.Sprintf("%s/%d", label, idx),
+			m:          m,
+			link:       l,
+			src:        rng.Stream(m.cfg.Seed, "lora/mac/"+label, idx),
+			powerDBm:   rng.Stream(m.cfg.Seed, "lora/power/"+label, idx).Uniform(m.cfg.PowerMinDBm, m.cfg.PowerMaxDBm),
+			dutyCredit: m.cfg.DutyBurst.Seconds(),
+			dutyLast:   m.now,
+			txStart:    -1,
+			txUntil:    -1,
+			lastActive: m.now,
+		}
+		d.cond = sync.NewCond(&m.mu)
+		// Lockstep freezes the clock until every endpoint is driven:
+		// a device is runnable from birth until its first park.
+		if m.cfg.Lockstep {
+			m.setBlocking(d, true)
+		}
+		m.devices = append(m.devices, d)
+		return d
+	}
+	a := mk(0)
+	b := mk(1)
+	a.peer, b.peer = b, a
+	l.a, l.b = a, b
+	return &Conn{d: a}, &Conn{d: b}
+}
+
+// ---------------------------------------------------------------------
+// Scheduler: conservative virtual time under Medium.mu.
+// ---------------------------------------------------------------------
+
+// setBlocking moves a device in or out of the runnable count.
+// Idempotent, so release/park/wake can overlap safely.
+func (m *Medium) setBlocking(d *device, b bool) {
+	if d.blocking == b {
+		return
+	}
+	d.blocking = b
+	if b {
+		m.running++
+	} else {
+		m.running--
+	}
+}
+
+// releaseLocked permanently retires a device: it no longer counts as
+// runnable and every park returns false. Wakes any parked op.
+func (m *Medium) releaseLocked(d *device) {
+	if d.released {
+		return
+	}
+	d.released = true
+	m.setBlocking(d, false)
+	d.cond.Broadcast()
+}
+
+// closeLinkLocked closes both ends of a link — Conn.Close is link-wide,
+// matching the in-memory pair's shared-fate semantics.
+func (m *Medium) closeLinkLocked(l *link) {
+	if l.closed {
+		return
+	}
+	l.closed = true
+	m.releaseLocked(l.a)
+	m.releaseLocked(l.b)
+	m.schedule()
+}
+
+// park blocks the calling device until the scheduler wakes it at
+// wakeAt — or, when recvWait, as soon as a message is queued — and
+// returns false if the device was released instead.
+func (d *device) park(wakeAt float64, recvWait bool) bool {
+	m := d.m
+	d.parked, d.wakeAt, d.recvWait = true, wakeAt, recvWait
+	m.setBlocking(d, false)
+	m.schedule()
+	for d.parked && !d.released && !m.closed {
+		d.cond.Wait()
+	}
+	d.recvWait = false
+	if d.parked { // woken by release or medium close, not the scheduler
+		d.parked = false
+		return false
+	}
+	return !d.released && !m.closed
+}
+
+// wakeLocked hands the clock to one parked device.
+func (m *Medium) wakeLocked(d *device) {
+	d.parked = false
+	m.setBlocking(d, true)
+	d.cond.Signal()
+}
+
+// eligibleLocked returns the lowest-id parked device that is due at the
+// current virtual time (deadline reached, or a message arrived for a
+// receive wait), or nil.
+func (m *Medium) eligibleLocked() *device {
+	for _, d := range m.devices {
+		if !d.parked || d.released {
+			continue
+		}
+		if d.wakeAt <= m.now || (d.recvWait && len(d.queue) > 0) {
+			return d // devices is in id order
+		}
+	}
+	return nil
+}
+
+// nextEventLocked returns the earliest future event: a frame ending or
+// a parked deadline.
+func (m *Medium) nextEventLocked() (float64, bool) {
+	t, ok := math.Inf(1), false
+	for _, tx := range m.txs {
+		if tx.end < t {
+			t, ok = tx.end, true
+		}
+	}
+	for _, d := range m.devices {
+		if d.parked && !d.released && d.wakeAt < t {
+			t, ok = d.wakeAt, true
+		}
+	}
+	return t, ok
+}
+
+// schedule advances virtual time and wakes parked devices. Called with
+// mu held whenever the runnable count may have reached zero. At most
+// one device is woken; it runs to its next park or op exit and
+// re-enters schedule, serializing the whole simulation.
+func (m *Medium) schedule() {
+	for m.running == 0 && !m.closed {
+		if d := m.eligibleLocked(); d != nil {
+			m.wakeLocked(d)
+			return
+		}
+		t, ok := m.nextEventLocked()
+		if !ok {
+			return // fully idle: wait for external activity
+		}
+		if !m.cfg.Lockstep && !m.spendBudget(t) {
+			return // throttled: the pacer re-enters schedule
+		}
+		m.advanceTo(t)
+	}
+}
+
+// spendBudget gates an emulation-mode advance to target behind the
+// wall-clock throttle. Returns false after arming the pacer when the
+// virtual-time budget is short.
+func (m *Medium) spendBudget(target float64) bool {
+	//vklint:ignore detrand -- wall clock only paces the emulation throttle; no simulated value depends on it
+	wall := time.Now()
+	m.budget += wall.Sub(m.lastRefill).Seconds() * m.cfg.TimeScale
+	m.lastRefill = wall
+	step := target - m.now
+	// The cap bounds how much idle credit banks, but must stretch to the
+	// step at hand: a receive-timeout park is tens of virtual seconds,
+	// and a budget that can never cover it would freeze the clock in an
+	// arm-pacer/refill-to-cap loop.
+	if cap := math.Max(m.cfg.TimeBurst.Seconds(), step); m.budget > cap {
+		m.budget = cap
+	}
+	if step <= m.budget {
+		m.budget -= step
+		return true
+	}
+	m.armPacer((step - m.budget) / m.cfg.TimeScale)
+	return false
+}
+
+func (m *Medium) armPacer(wallSeconds float64) {
+	delay := time.Duration(wallSeconds * float64(time.Second))
+	if delay < time.Millisecond {
+		delay = time.Millisecond
+	}
+	if m.pacer != nil {
+		m.pacer.Stop()
+	}
+	m.pacer = time.AfterFunc(delay, func() {
+		m.mu.Lock()
+		m.pacer = nil
+		m.schedule()
+		m.mu.Unlock()
+	})
+}
+
+// advanceTo moves the clock to t and delivers every frame that has
+// ended, in ascending (end, sender id) order so delivery order is
+// independent of registration order.
+func (m *Medium) advanceTo(t float64) {
+	if t > m.now {
+		m.now = t
+		m.stats.VirtualSeconds = t
+		m.rec.Set(obs.LoraVirtualSeconds, t)
+	}
+	for {
+		best := -1
+		for i, tx := range m.txs {
+			if tx.end > m.now {
+				continue
+			}
+			if best < 0 || tx.end < m.txs[best].end ||
+				(tx.end == m.txs[best].end && tx.from.id < m.txs[best].from.id) {
+				best = i
+			}
+		}
+		if best < 0 {
+			return
+		}
+		tx := m.txs[best]
+		m.txs = append(m.txs[:best], m.txs[best+1:]...)
+		m.deliverLocked(tx)
+	}
+}
+
+// ---------------------------------------------------------------------
+// MAC: channel state, capture, delivery.
+// ---------------------------------------------------------------------
+
+// channelAt returns a link's hop channel at virtual time t. The hop
+// index is derived from the clock, so every radio agrees on the slot
+// without explicit synchronization.
+func (m *Medium) channelAt(l *link, t float64) int {
+	slot := int(t / m.cfg.Dwell.Seconds())
+	return l.hop[slot%hopLen]
+}
+
+// busyLocked reports whether CAD heard activity on ch: an in-flight
+// frame whose preamble began at or before the listen window opened
+// (cadStart). A frame starting mid-window is missed — the same race a
+// real SX127x loses, and the collision window the capture effect then
+// resolves.
+func (m *Medium) busyLocked(ch int, self *device, cadStart float64) bool {
+	for _, tx := range m.txs {
+		if tx.channel == ch && tx.from != self && tx.start <= cadStart {
+			return true
+		}
+	}
+	return false
+}
+
+// admitLocked registers a new transmission and resolves capture against
+// every in-flight co-channel frame: the stronger frame survives when
+// its margin is at least CaptureDB, otherwise both are lost.
+func (m *Medium) admitLocked(tx *transmission) {
+	for _, o := range m.txs {
+		if o.channel != tx.channel {
+			continue
+		}
+		switch {
+		case tx.powerDBm >= o.powerDBm+m.cfg.CaptureDB:
+			o.doomed = true
+		case o.powerDBm >= tx.powerDBm+m.cfg.CaptureDB:
+			tx.doomed = true
+		default:
+			o.doomed = true
+			tx.doomed = true
+		}
+	}
+	m.txs = append(m.txs, tx)
+}
+
+func (m *Medium) countTx(field *uint64, name string) {
+	*field++
+	m.stats.Frames++
+	m.rec.Add(name, 1)
+}
+
+// deliverLocked resolves one ended transmission: collided, dropped at a
+// closed or transmitting (half-duplex) receiver, or queued.
+func (m *Medium) deliverLocked(tx *transmission) {
+	to := tx.to
+	switch {
+	case tx.doomed:
+		m.countTx(&m.stats.Collided, obsTxCollided)
+	case to.released || m.closed:
+		m.countTx(&m.stats.ClosedDrops, obsTxClosed)
+	case to.txUntil > tx.start && to.txStart < tx.end:
+		m.countTx(&m.stats.HalfDuplex, obsTxHalfDuplex)
+	default:
+		to.queue = append(to.queue, tx.payload)
+		m.countTx(&m.stats.Delivered, obsTxDelivered)
+	}
+}

@@ -1,0 +1,490 @@
+package lora
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/transport"
+	"repro/internal/transport/transporttest"
+)
+
+// lockstepConfig is the deterministic base used by the MAC unit tests:
+// one channel so every frame contends, capture disabled by a huge
+// margin unless a test overrides it.
+func lockstepConfig() MediumConfig {
+	return MediumConfig{
+		Channels:  1,
+		Lockstep:  true,
+		CaptureDB: 200,
+		Seed:      7,
+	}
+}
+
+// drive runs fn for every conn on its own goroutine and waits for all —
+// the lockstep requirement that every endpoint be driven.
+func drive(t *testing.T, fns map[string]func() error) {
+	t.Helper()
+	var wg sync.WaitGroup
+	errs := make(chan error, len(fns))
+	for name, fn := range fns {
+		wg.Add(1)
+		go func(name string, fn func() error) {
+			defer wg.Done()
+			if err := fn(); err != nil {
+				errs <- fmt.Errorf("%s: %w", name, err)
+			}
+		}(name, fn)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+// TestMediumCollision: two frames whose CAD windows race start together
+// and, with capture disabled, destroy each other.
+func TestMediumCollision(t *testing.T) {
+	m, err := NewMedium(lockstepConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = m.Close() }()
+	a1, a2, err := m.Link("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b1, b2, err := m.Link("b")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The senders close their links when done, which releases the
+	// receivers too (shared fate): a receiver sees ErrTimeout or
+	// ErrClosed, but never a payload — the frames must collide.
+	recv := func(c *Conn) func() error {
+		return func() error {
+			defer func() { _ = c.Close() }()
+			if msg, err := c.RecvTimeout(20 * time.Second); err == nil {
+				return fmt.Errorf("recv = %q, want no delivery (frame must collide)", msg)
+			}
+			return nil
+		}
+	}
+	drive(t, map[string]func() error{
+		"a1": func() error { defer a1.Close(); return a1.Send([]byte("from-a")) },
+		"b1": func() error { defer b1.Close(); return b1.Send([]byte("from-b")) },
+		"a2": recv(a2),
+		"b2": recv(b2),
+	})
+
+	s := m.Stats()
+	if s.Collided != 2 || s.Delivered != 0 {
+		t.Errorf("stats = %+v, want 2 collided, 0 delivered", s)
+	}
+}
+
+// TestMediumCapture: with a tiny capture margin and distinct received
+// powers, exactly one of two racing frames survives.
+func TestMediumCapture(t *testing.T) {
+	cfg := lockstepConfig()
+	cfg.CaptureDB = 0.001 // stronger always captures
+	m, err := NewMedium(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = m.Close() }()
+	a1, a2, err := m.Link("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b1, b2, err := m.Link("b")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	got := make(chan string, 2)
+	recv := func(c *Conn) func() error {
+		return func() error {
+			defer func() { _ = c.Close() }()
+			msg, err := c.RecvTimeout(20 * time.Second)
+			if err == nil {
+				got <- string(msg)
+			}
+			return nil
+		}
+	}
+	drive(t, map[string]func() error{
+		"a1": func() error { defer a1.Close(); return a1.Send([]byte("from-a")) },
+		"b1": func() error { defer b1.Close(); return b1.Send([]byte("from-b")) },
+		"a2": recv(a2),
+		"b2": recv(b2),
+	})
+	close(got)
+
+	s := m.Stats()
+	if s.Delivered != 1 || s.Collided != 1 {
+		t.Fatalf("stats = %+v, want exactly one captured survivor", s)
+	}
+	if len(got) != 1 {
+		t.Fatalf("received %d messages, want 1", len(got))
+	}
+}
+
+// TestMediumEqualPowersBothLost: equal received powers leave neither
+// frame above the capture margin, so both are lost even with capture
+// enabled.
+func TestMediumEqualPowersBothLost(t *testing.T) {
+	cfg := lockstepConfig()
+	cfg.CaptureDB = 6
+	cfg.PowerMinDBm, cfg.PowerMaxDBm = -70, -70
+	m, err := NewMedium(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = m.Close() }()
+	a1, a2, err := m.Link("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b1, b2, err := m.Link("b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	recv := func(c *Conn) func() error {
+		return func() error {
+			defer func() { _ = c.Close() }()
+			if msg, err := c.RecvTimeout(20 * time.Second); err == nil {
+				return fmt.Errorf("recv = %q, want no delivery", msg)
+			}
+			return nil
+		}
+	}
+	drive(t, map[string]func() error{
+		"a1": func() error { defer a1.Close(); return a1.Send([]byte("x")) },
+		"b1": func() error { defer b1.Close(); return b1.Send([]byte("y")) },
+		"a2": recv(a2),
+		"b2": recv(b2),
+	})
+	if s := m.Stats(); s.Collided != 2 {
+		t.Errorf("stats = %+v, want both frames collided", s)
+	}
+}
+
+// TestMediumCADBackoff: a sender whose CAD window opens while another
+// frame is already on the air hears it, backs off, and delivers once
+// the channel clears.
+func TestMediumCADBackoff(t *testing.T) {
+	m, err := NewMedium(lockstepConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = m.Close() }()
+	a1, a2, err := m.Link("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b1, b2, err := m.Link("b")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	long := make([]byte, 3*m.cfg.FragmentBytes) // ≈1s on the air
+	drive(t, map[string]func() error{
+		"a1": func() error { defer a1.Close(); return a1.Send(long) },
+		"b1": func() error {
+			defer b1.Close()
+			// Wait until a's frame is demonstrably in flight before
+			// starting CAD.
+			if err := b1.Wait(200 * time.Millisecond); err != nil {
+				return err
+			}
+			return b1.Send([]byte("after-backoff"))
+		},
+		"a2": func() error {
+			defer a2.Close()
+			msg, err := a2.RecvTimeout(60 * time.Second)
+			if err != nil || len(msg) != len(long) {
+				return fmt.Errorf("long recv = %d bytes, %v", len(msg), err)
+			}
+			return nil
+		},
+		"b2": func() error {
+			defer b2.Close()
+			msg, err := b2.RecvTimeout(60 * time.Second)
+			if err != nil || string(msg) != "after-backoff" {
+				return fmt.Errorf("recv = %q, %v", msg, err)
+			}
+			return nil
+		},
+	})
+
+	s := m.Stats()
+	if s.CADBusy == 0 || s.Backoffs == 0 {
+		t.Errorf("stats = %+v, want CAD busy hits and backoffs", s)
+	}
+	if s.Delivered != 2 || s.Collided != 0 {
+		t.Errorf("stats = %+v, want both frames delivered", s)
+	}
+}
+
+// TestMediumDutyCycle: with a 1%% duty cycle and no banked burst, a
+// burst of frames is paced to ≈ airtime/duty spacing in virtual time.
+func TestMediumDutyCycle(t *testing.T) {
+	cfg := lockstepConfig()
+	cfg.DutyCycle = 0.01
+	cfg.DutyBurst = time.Millisecond // bank ≈ nothing: pace every frame
+	m, err := NewMedium(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = m.Close() }()
+	a1, a2, err := m.Link("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const frames = 3
+	airtime := m.cfg.messageAirtime(4)
+	drive(t, map[string]func() error{
+		"a1": func() error {
+			defer a1.Close()
+			for i := 0; i < frames; i++ {
+				if err := a1.Send([]byte("duty")); err != nil {
+					return err
+				}
+			}
+			return nil
+		},
+		"a2": func() error {
+			defer a2.Close()
+			for i := 0; i < frames; i++ {
+				if _, err := a2.RecvTimeout(20 * time.Minute); err != nil {
+					return fmt.Errorf("recv %d: %w", i, err)
+				}
+			}
+			return nil
+		},
+	})
+
+	s := m.Stats()
+	if s.DutyWaits < frames-1 {
+		t.Errorf("DutyWaits = %d, want ≥ %d", s.DutyWaits, frames-1)
+	}
+	// frames-1 inter-frame gaps of ≈ airtime/duty each.
+	wantFloor := float64(frames-1) * airtime / cfg.DutyCycle * 0.9
+	if s.VirtualSeconds < wantFloor {
+		t.Errorf("virtual clock = %.1fs, want ≥ %.1fs (duty pacing)", s.VirtualSeconds, wantFloor)
+	}
+}
+
+// contentionTranscript runs a fixed 3-link contention scenario on a
+// fresh lockstep medium and returns a full serialization of everything
+// observable: per-receiver transcripts and the final stats.
+func contentionTranscript(t *testing.T) string {
+	t.Helper()
+	cfg := MediumConfig{Channels: 2, Lockstep: true, Seed: 11}
+	m, err := NewMedium(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = m.Close() }()
+
+	const links, frames = 3, 5
+	type end struct {
+		tx, rx *Conn
+	}
+	ends := make([]end, links)
+	for i := range ends {
+		a, b, err := m.Link(fmt.Sprintf("v%d", i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ends[i] = end{tx: a, rx: b}
+	}
+
+	transcripts := make([][]string, links)
+	fns := map[string]func() error{}
+	for i := range ends {
+		i := i
+		fns[fmt.Sprintf("tx%d", i)] = func() error {
+			c := ends[i].tx
+			defer c.Close()
+			for f := 0; f < frames; f++ {
+				if err := c.Send([]byte(fmt.Sprintf("l%d-f%d", i, f))); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		fns[fmt.Sprintf("rx%d", i)] = func() error {
+			c := ends[i].rx
+			defer c.Close()
+			for {
+				msg, err := c.RecvTimeout(30 * time.Second)
+				if err != nil {
+					return nil // timeout ends the transcript
+				}
+				transcripts[i] = append(transcripts[i], fmt.Sprintf("%s@%.6f", msg, c.LastActive()))
+			}
+		}
+	}
+	drive(t, fns)
+
+	s := m.Stats()
+	out := fmt.Sprintf("stats=%+v\n", s)
+	for i, tr := range transcripts {
+		out += fmt.Sprintf("rx%d=%v\n", i, tr)
+	}
+	if s.Frames == 0 {
+		t.Fatal("scenario resolved no frames")
+	}
+	return out
+}
+
+// TestMediumDeterminism: the same seeded contention scenario produces a
+// byte-identical transcript across runs — the lockstep guarantee the
+// experiment layer builds on.
+func TestMediumDeterminism(t *testing.T) {
+	first := contentionTranscript(t)
+	for run := 1; run < 3; run++ {
+		if got := contentionTranscript(t); got != first {
+			t.Fatalf("run %d diverged:\n--- first\n%s\n--- run %d\n%s", run, first, run, got)
+		}
+	}
+}
+
+// TestMediumHopSpreadsChannels: with many channels, a link's hop
+// sequence actually uses more than one of them.
+func TestMediumHopSpreadsChannels(t *testing.T) {
+	cfg := MediumConfig{Channels: 16, Lockstep: true}
+	m, err := NewMedium(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = m.Close() }()
+	a, _, err := m.Link("hop")
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[int]bool{}
+	l := a.d.link
+	for slot := 0; slot < hopLen; slot++ {
+		seen[m.channelAt(l, float64(slot)*m.cfg.Dwell.Seconds())] = true
+	}
+	if len(seen) < 4 {
+		t.Errorf("hop sequence visits only %d of %d channels", len(seen), cfg.Channels)
+	}
+}
+
+// TestConnContract runs the shared transport.Conn contract over the
+// medium conn, in emulation mode at TimeScale 1 so the contract's
+// wall-clock timeout check holds, with a fast PHY so frames fly in
+// ≈12ms.
+func TestConnContract(t *testing.T) {
+	phy := MediumPHY()
+	phy.BandwidthHz = 500e3
+	f := transporttest.Factory{
+		Name: "lora",
+		Make: func(t *testing.T) transporttest.Fixture {
+			m, err := NewMedium(MediumConfig{
+				Channels:  4,
+				PHY:       phy,
+				TimeScale: 1,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			local, remote, err := m.Link("contract")
+			if err != nil {
+				t.Fatal(err)
+			}
+			return transporttest.Fixture{
+				Local:    local,
+				Remote:   remote,
+				Cleanup:  func() { _ = m.Close() },
+				QueueLen: local.Queued,
+			}
+		},
+		Drains:       true,
+		RemoteCloses: true,
+	}
+	transporttest.Run(t, f)
+}
+
+// TestLoraEndpoint drives the lora:// scheme end to end through
+// transport.Listen/Dial: medium creation from query options, gateway
+// accept, a round trip, and option validation.
+func TestLoraEndpoint(t *testing.T) {
+	defer ReleaseMedium("endpoint-test")
+
+	l, err := transport.Listen("lora://endpoint-test?channels=4&scale=5000&seed=3")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	if got := l.Addr().String(); got != "lora://endpoint-test" {
+		t.Errorf("Addr = %q", got)
+	}
+	m, ok := LookupMedium("endpoint-test")
+	if !ok {
+		t.Fatal("medium not registered")
+	}
+	if m.Config().Channels != 4 {
+		t.Errorf("channels = %d, want 4 from query", m.Config().Channels)
+	}
+
+	accepted := make(chan transport.Conn, 1)
+	go func() {
+		c, err := l.Accept()
+		if err == nil {
+			accepted <- c
+		}
+	}()
+	client, err := transport.Dial("lora://endpoint-test/veh-a")
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	if err := client.Send([]byte("over-the-air")); err != nil {
+		t.Fatalf("send: %v", err)
+	}
+	gw := <-accepted
+	got, err := gw.RecvTimeout(30 * time.Second)
+	if err != nil || string(got) != "over-the-air" {
+		t.Fatalf("recv = %q, %v", got, err)
+	}
+	_ = client.Close()
+	_ = l.Close()
+
+	// Dialing with no listener fails.
+	if _, err := transport.Dial("lora://endpoint-test/veh-b"); err == nil {
+		t.Error("dial without listener succeeded")
+	}
+	// Unknown options fail loudly.
+	if _, err := transport.Listen("lora://typo-test?chanels=4"); err == nil {
+		t.Error("unknown option accepted")
+	}
+}
+
+// TestMediumConfigValidate pins the rejection paths.
+func TestMediumConfigValidate(t *testing.T) {
+	bad := []func(*MediumConfig){
+		func(c *MediumConfig) { c.Channels = 200 },
+		func(c *MediumConfig) { c.DutyCycle = 1.5 },
+		func(c *MediumConfig) { c.FragmentBytes = 300 },
+		func(c *MediumConfig) { c.PowerMinDBm, c.PowerMaxDBm = -60, -90 },
+		func(c *MediumConfig) { c.BackoffMin, c.BackoffMax = time.Second, time.Millisecond },
+		func(c *MediumConfig) { c.PHY = MediumPHY(); c.PHY.SpreadingFactor = 42 },
+	}
+	for i, mutate := range bad {
+		cfg := MediumConfig{}.Normalize()
+		mutate(&cfg)
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("case %d: invalid config accepted", i)
+		}
+	}
+	if err := (MediumConfig{}).Normalize().Validate(); err != nil {
+		t.Errorf("normalized zero config invalid: %v", err)
+	}
+}

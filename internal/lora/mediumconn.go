@@ -1,0 +1,503 @@
+// The transport face of the shared medium: Conn implements
+// transport.Conn over one medium device, MediumListener implements
+// transport.Listener for the gateway side, and an init-registered
+// "lora" endpoint scheme lets every binary reach a medium through
+// transport.Dial/Listen without transport importing this package.
+package lora
+
+import (
+	"fmt"
+	"math"
+	"net"
+	"net/url"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/transport"
+)
+
+// Conn is one endpoint of a medium link. It satisfies transport.Conn,
+// so protocol nodes, the server, and the load generator run over the
+// shared medium unmodified — with every timeout interpreted in virtual
+// seconds.
+type Conn struct {
+	d *device
+}
+
+var (
+	_ transport.Conn     = (*Conn)(nil)
+	_ transport.Listener = (*MediumListener)(nil)
+)
+
+// Label returns the device label ("<link>/<0|1>").
+func (c *Conn) Label() string { return c.d.label }
+
+// Queued returns the messages buffered for this endpoint.
+func (c *Conn) Queued() int {
+	m := c.d.m
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(c.d.queue)
+}
+
+// LastActive returns the virtual time at which this endpoint last
+// completed an operation. Unlike Medium.Now, it is deterministic under
+// lockstep: it only moves when the endpoint's own goroutine acts.
+func (c *Conn) LastActive() float64 {
+	m := c.d.m
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return c.d.lastActive
+}
+
+// Wait sleeps the endpoint for d of virtual time — the deterministic
+// stand-in for time.Sleep in medium harnesses (staggered starts,
+// probe pacing). Returns ErrClosed if the link closes first.
+func (c *Conn) Wait(d time.Duration) error {
+	dev := c.d
+	m := dev.m
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if dev.released || m.closed {
+		return transport.ErrClosed
+	}
+	defer m.exitOp(dev)
+	m.enterOp(dev)
+	if !dev.park(m.now+d.Seconds(), false) {
+		return transport.ErrClosed
+	}
+	dev.lastActive = m.now
+	return nil
+}
+
+// enterOp/exitOp bracket every medium operation. In emulation mode the
+// device is runnable only inside an op; under lockstep it is runnable
+// from creation until it parks, so these are no-ops there.
+func (m *Medium) enterOp(d *device) {
+	if !m.cfg.Lockstep {
+		m.setBlocking(d, true)
+	}
+}
+
+func (m *Medium) exitOp(d *device) {
+	if !m.cfg.Lockstep {
+		m.setBlocking(d, false)
+		m.schedule()
+	}
+}
+
+// Send transmits msg as one fragment burst: wait for duty-cycle
+// credit, run CAD with exponential listen-before-talk backoff, then
+// occupy the hop channel for the burst's airtime. When Send returns
+// nil the frame has ended and its delivery has been resolved — which
+// may still be a silent loss (collision, half-duplex, CAD drop); like
+// UDP, reliability is the ARQ layer's job. ErrClosed reports a closed
+// link, not a lost frame.
+func (c *Conn) Send(msg []byte) error {
+	dev := c.d
+	m := dev.m
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if dev.released || m.closed {
+		return transport.ErrClosed
+	}
+	defer m.exitOp(dev)
+	m.enterOp(dev)
+
+	airtime := m.cfg.messageAirtime(len(msg))
+
+	// Duty cycle: a token bucket of airtime credit. The effective cap
+	// never drops below one burst's airtime, so an oversized message
+	// waits long instead of forever.
+	if m.cfg.DutyCycle < 1 {
+		capSec := math.Max(m.cfg.DutyBurst.Seconds(), airtime)
+		for {
+			dev.refillDuty(capSec)
+			// The refill after a credit wait lands within a few ulps of
+			// airtime; without the tolerance — and a floor keeping each
+			// wait large enough to move the float64 clock — the loop
+			// degenerates into a zero-advance park/wake spin.
+			if dev.dutyCredit >= airtime-1e-9 {
+				break
+			}
+			m.stats.DutyWaits++
+			m.rec.Add(obs.LoraDutyWaits, 1)
+			wait := math.Max((airtime-dev.dutyCredit)/m.cfg.DutyCycle, 1e-3)
+			if !dev.park(m.now+wait, false) {
+				return transport.ErrClosed
+			}
+		}
+		dev.dutyCredit -= airtime
+	}
+
+	// CAD: listen for CADSymbols, back off while busy, give the frame
+	// up after CADMaxAttempts — the medium is unreliable by contract.
+	cad := float64(m.cfg.CADSymbols) * m.cfg.PHY.SymbolTime()
+	for attempt := 0; ; attempt++ {
+		cadStart := m.now
+		if !dev.park(m.now+cad, false) {
+			return transport.ErrClosed
+		}
+		if !m.busyLocked(m.channelAt(dev.link, m.now), dev, cadStart) {
+			break
+		}
+		m.stats.CADBusy++
+		m.rec.Add(obs.LoraCADBusy, 1)
+		if attempt+1 >= m.cfg.CADMaxAttempts {
+			m.countTx(&m.stats.CADDropped, obsTxCADDropped)
+			dev.lastActive = m.now
+			return nil
+		}
+		backoff := dev.src.Uniform(m.cfg.BackoffMin.Seconds(), m.cfg.BackoffMax.Seconds()) *
+			float64(uint64(1)<<uint(attempt))
+		m.stats.Backoffs++
+		m.rec.Observe(obs.LoraBackoffSeconds, backoff)
+		if !dev.park(m.now+backoff, false) {
+			return transport.ErrClosed
+		}
+	}
+
+	tx := &transmission{
+		from:     dev,
+		to:       dev.peer,
+		payload:  append([]byte(nil), msg...),
+		start:    m.now,
+		end:      m.now + airtime,
+		channel:  m.channelAt(dev.link, m.now),
+		powerDBm: dev.powerDBm,
+	}
+	m.admitLocked(tx)
+	dev.txStart, dev.txUntil = tx.start, tx.end
+	m.stats.AirtimeSeconds += airtime
+	m.rec.Observe(obs.LoraAirtimeSeconds, airtime)
+	if !dev.park(tx.end, false) {
+		return transport.ErrClosed // frame stays on the air; delivery resolves it
+	}
+	dev.lastActive = m.now
+	return nil
+}
+
+// refillDuty accrues duty credit for the virtual time elapsed since the
+// last refill, capped at capSec.
+func (d *device) refillDuty(capSec float64) {
+	d.dutyCredit += (d.m.now - d.dutyLast) * d.m.cfg.DutyCycle
+	d.dutyLast = d.m.now
+	if d.dutyCredit > capSec {
+		d.dutyCredit = capSec
+	}
+}
+
+// Recv waits up to the medium's DefaultRecvTimeout of virtual time.
+func (c *Conn) Recv() ([]byte, error) {
+	return c.RecvTimeout(c.d.m.cfg.DefaultRecvTimeout)
+}
+
+// RecvTimeout returns the next queued message, waiting up to d of
+// virtual time. After the link closes, already-delivered messages
+// still drain before ErrClosed — the same contract as the in-memory
+// pair, which the ARQ layer depends on.
+func (c *Conn) RecvTimeout(d time.Duration) ([]byte, error) {
+	dev := c.d
+	m := dev.m
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if dev.released || m.closed {
+		return dev.takeQueuedLocked()
+	}
+	defer m.exitOp(dev)
+	m.enterOp(dev)
+	deadline := m.now + d.Seconds()
+	for {
+		if len(dev.queue) > 0 {
+			dev.lastActive = m.now
+			return dev.popLocked(), nil
+		}
+		if dev.released || m.closed {
+			return dev.takeQueuedLocked()
+		}
+		if m.now >= deadline {
+			dev.lastActive = m.now
+			return nil, transport.ErrTimeout
+		}
+		dev.park(deadline, true)
+	}
+}
+
+func (d *device) popLocked() []byte {
+	msg := d.queue[0]
+	d.queue = d.queue[1:]
+	return msg
+}
+
+func (d *device) takeQueuedLocked() ([]byte, error) {
+	if len(d.queue) > 0 {
+		return d.popLocked(), nil
+	}
+	return nil, transport.ErrClosed
+}
+
+// Close closes the whole link — both endpoints fail over to ErrClosed,
+// like the shared-fate in-memory pair. Safe from any goroutine (the
+// server watchdog closes conns it does not drive). Idempotent.
+func (c *Conn) Close() error {
+	m := c.d.m
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.closeLinkLocked(c.d.link)
+	return nil
+}
+
+// ---------------------------------------------------------------------
+// Listener: the gateway side of lora:// endpoints.
+// ---------------------------------------------------------------------
+
+// MediumListener accepts the gateway end of every link dialed on its
+// medium. One listener per medium.
+type MediumListener struct {
+	m       *Medium
+	backlog chan *Conn
+	done    chan struct{}
+	once    sync.Once
+}
+
+// Listen installs the medium's listener.
+func (m *Medium) Listen() (*MediumListener, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return nil, transport.ErrClosed
+	}
+	if m.listener != nil {
+		return nil, fmt.Errorf("lora: medium %q already has a listener", m.name)
+	}
+	l := &MediumListener{
+		m:       m,
+		backlog: make(chan *Conn, 1024),
+		done:    make(chan struct{}),
+	}
+	m.listener = l
+	return l, nil
+}
+
+// Dial creates a link to the medium's listener and returns the local
+// end; the gateway end lands in the listener's backlog. An empty label
+// auto-assigns "veh-<n>".
+func (m *Medium) Dial(label string) (*Conn, error) {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return nil, transport.ErrClosed
+	}
+	l := m.listener
+	if l == nil {
+		m.mu.Unlock()
+		return nil, fmt.Errorf("lora: no gateway is listening on medium %q", m.name)
+	}
+	if label == "" {
+		m.autoLabel++
+		label = fmt.Sprintf("veh-%d", m.autoLabel)
+	}
+	near, far := m.newLinkLocked(label)
+	m.mu.Unlock()
+	select {
+	case l.backlog <- far:
+		return near, nil
+	case <-l.done:
+		_ = near.Close()
+		return nil, fmt.Errorf("%w: lora://%s listener closed", transport.ErrClosed, m.name)
+	}
+}
+
+// Accept implements transport.Listener.
+func (l *MediumListener) Accept() (transport.Conn, error) {
+	select {
+	case c := <-l.backlog:
+		return c, nil
+	case <-l.done:
+		return nil, transport.ErrClosed
+	}
+}
+
+// loraAddr is the net.Addr of a medium listener.
+type loraAddr string
+
+func (a loraAddr) Network() string { return "lora" }
+func (a loraAddr) String() string  { return string(a) }
+
+// Addr implements transport.Listener.
+func (l *MediumListener) Addr() net.Addr { return loraAddr("lora://" + l.m.name) }
+
+// Close detaches the listener; pending and future Accepts fail with
+// ErrClosed. The medium and its links stay up. Idempotent.
+func (l *MediumListener) Close() error {
+	l.once.Do(func() {
+		close(l.done)
+		l.m.mu.Lock()
+		if l.m.listener == l {
+			l.m.listener = nil
+		}
+		l.m.mu.Unlock()
+	})
+	return nil
+}
+
+// ---------------------------------------------------------------------
+// Medium registry and the lora:// endpoint scheme.
+// ---------------------------------------------------------------------
+
+var mediums = struct {
+	sync.Mutex
+	byName map[string]*Medium
+}{byName: map[string]*Medium{}}
+
+// EnsureMedium returns the named medium, creating it from cfg on first
+// use. Later calls ignore cfg — the first creation pins the physics,
+// so every endpoint string naming the same medium shares one world.
+func EnsureMedium(name string, cfg MediumConfig) (*Medium, error) {
+	mediums.Lock()
+	defer mediums.Unlock()
+	if m, ok := mediums.byName[name]; ok {
+		return m, nil
+	}
+	m, err := NewMedium(cfg)
+	if err != nil {
+		return nil, err
+	}
+	m.name = name
+	mediums.byName[name] = m
+	return m, nil
+}
+
+// EnsureEndpoint creates (or finds) the medium a lora:// endpoint names,
+// with rec attached to its MAC counters. CLIs call this before
+// transport.Listen/Dial so the first creation — the one that pins the
+// config — carries their metrics registry; the later registry-path
+// EnsureMedium calls then find this instance.
+func EnsureEndpoint(endpoint string, rec obs.Recorder) (*Medium, error) {
+	u, err := url.Parse(endpoint)
+	if err != nil || u.Scheme != "lora" {
+		return nil, fmt.Errorf("lora: %q is not a lora:// endpoint", endpoint)
+	}
+	cfg, err := mediumConfigFromQuery(u.Query())
+	if err != nil {
+		return nil, err
+	}
+	cfg.Recorder = rec
+	name := u.Host
+	if name == "" {
+		name = "default"
+	}
+	return EnsureMedium(name, cfg)
+}
+
+// LookupMedium returns a registered medium without creating one.
+func LookupMedium(name string) (*Medium, bool) {
+	mediums.Lock()
+	defer mediums.Unlock()
+	m, ok := mediums.byName[name]
+	return m, ok
+}
+
+// ReleaseMedium closes and deregisters a named medium, freeing the
+// name for a fresh world (tests, sequential vkload runs).
+func ReleaseMedium(name string) {
+	mediums.Lock()
+	m := mediums.byName[name]
+	delete(mediums.byName, name)
+	mediums.Unlock()
+	if m != nil {
+		_ = m.Close()
+	}
+}
+
+// mediumConfigFromQuery builds a MediumConfig from lora:// query
+// parameters. Unknown keys are rejected so typos fail loudly.
+func mediumConfigFromQuery(q url.Values) (MediumConfig, error) {
+	var cfg MediumConfig
+	intq := func(s string) (int, error) { return strconv.Atoi(s) }
+	// Sorted iteration: with several bad options the one reported must
+	// not depend on map order.
+	order := make([]string, 0, len(q))
+	for key := range q {
+		order = append(order, key)
+	}
+	sort.Strings(order)
+	for _, key := range order {
+		vals := q[key]
+		v := vals[len(vals)-1]
+		var err error
+		switch key {
+		case "channels":
+			cfg.Channels, err = intq(v)
+		case "sf":
+			cfg.PHY = MediumPHY()
+			cfg.PHY.SpreadingFactor, err = intq(v)
+		case "duty":
+			cfg.DutyCycle, err = strconv.ParseFloat(v, 64)
+		case "capture":
+			cfg.CaptureDB, err = strconv.ParseFloat(v, 64)
+		case "scale":
+			cfg.TimeScale, err = strconv.ParseFloat(v, 64)
+		case "dwell":
+			cfg.Dwell, err = time.ParseDuration(v)
+		case "seed":
+			cfg.Seed, err = strconv.ParseInt(v, 10, 64)
+		case "frag":
+			cfg.FragmentBytes, err = intq(v)
+		case "cad":
+			cfg.CADMaxAttempts, err = intq(v)
+		default:
+			keys := make([]string, 0, len(loraQueryKeys))
+			keys = append(keys, loraQueryKeys...)
+			sort.Strings(keys)
+			return cfg, fmt.Errorf("lora: unknown endpoint option %q (known: %s)", key, strings.Join(keys, ", "))
+		}
+		if err != nil {
+			return cfg, fmt.Errorf("lora: endpoint option %s=%q: %v", key, v, err)
+		}
+	}
+	return cfg, nil
+}
+
+var loraQueryKeys = []string{"channels", "sf", "duty", "capture", "scale", "dwell", "seed", "frag", "cad"}
+
+// parseLoraEndpoint splits lora://medium[/device][?opts] into the
+// medium (created on first use) and the device label ("" = auto).
+func parseLoraEndpoint(u *url.URL) (*Medium, string, error) {
+	name := u.Host
+	if name == "" {
+		name = "default"
+	}
+	cfg, err := mediumConfigFromQuery(u.Query())
+	if err != nil {
+		return nil, "", err
+	}
+	m, err := EnsureMedium(name, cfg)
+	if err != nil {
+		return nil, "", err
+	}
+	return m, strings.Trim(u.Path, "/"), nil
+}
+
+func init() {
+	transport.RegisterScheme("lora", transport.EndpointHandler{
+		Dial: func(u *url.URL) (transport.Conn, error) {
+			m, label, err := parseLoraEndpoint(u)
+			if err != nil {
+				return nil, err
+			}
+			return m.Dial(label)
+		},
+		Listen: func(u *url.URL) (transport.Listener, error) {
+			m, _, err := parseLoraEndpoint(u)
+			if err != nil {
+				return nil, err
+			}
+			return m.Listen()
+		},
+	})
+}

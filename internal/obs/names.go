@@ -65,7 +65,48 @@ const (
 	// NNForwardSeconds is the predictor inference latency histogram,
 	// labeled path=<FastPaths> — the off/gemm/int8 fast-path split.
 	NNForwardSeconds = "vk_nn_forward_seconds"
+
+	// Shared-medium LoRa MAC counters (internal/lora medium). LoraTx is
+	// labeled result=<LoraTxResults>: every transmission attempt resolves
+	// to exactly one result, so delivered/(sum) is the medium's frame
+	// delivery ratio.
+	LoraTx = "vk_lora_tx_total"
+	// LoraCADBusy counts channel-activity-detection probes that found the
+	// hop channel occupied (each triggers a listen-before-talk backoff).
+	LoraCADBusy = "vk_lora_cad_busy_total"
+	// LoraDutyWaits counts transmissions parked waiting for duty-cycle
+	// airtime credit.
+	LoraDutyWaits = "vk_lora_duty_waits_total"
+	// LoraAirtimeSeconds is the per-message time-on-air histogram
+	// (virtual seconds, all fragments of the message summed).
+	LoraAirtimeSeconds = "vk_lora_airtime_seconds"
+	// LoraBackoffSeconds is the CAD backoff-draw histogram (virtual
+	// seconds).
+	LoraBackoffSeconds = "vk_lora_backoff_seconds"
+	// LoraVirtualSeconds is the medium's virtual clock, exported as a
+	// gauge so dashboards can relate counters to simulated time.
+	LoraVirtualSeconds = "vk_lora_virtual_seconds"
 )
+
+// LoRa medium transmission results.
+const (
+	// LoraDelivered: the frame reached its peer intact.
+	LoraDelivered = "delivered"
+	// LoraCollided: a co-channel overlap destroyed the frame (no capture).
+	LoraCollided = "collided"
+	// LoraHalfDuplex: the receiver was transmitting while the frame was
+	// on the air, so its radio never heard it.
+	LoraHalfDuplex = "halfduplex"
+	// LoraCADDropped: CAD found the channel busy on every attempt and the
+	// sender gave the frame up (the ARQ layer recovers).
+	LoraCADDropped = "cad_dropped"
+	// LoraClosedDrop: the peer's link closed while the frame was on the
+	// air.
+	LoraClosedDrop = "closed"
+)
+
+// LoraTxResults lists the transmission-result labels.
+var LoraTxResults = []string{LoraDelivered, LoraCollided, LoraHalfDuplex, LoraCADDropped, LoraClosedDrop}
 
 // CacheNames lists the memoization caches that report hit/miss counters.
 var CacheNames = []string{"predictor", "windows"}
@@ -190,4 +231,13 @@ func DeclareStandard(r *Registry) {
 		r.DeclareHistogram(Labeled(NNForwardSeconds, "path", path),
 			"predictor inference latency in seconds, by fast path", DefBuckets)
 	}
+	for _, result := range LoraTxResults {
+		r.DeclareCounter(Labeled(LoraTx, "result", result),
+			"shared-medium LoRa transmission attempts, by result")
+	}
+	r.DeclareCounter(LoraCADBusy, "CAD probes that found the hop channel busy")
+	r.DeclareCounter(LoraDutyWaits, "transmissions parked for duty-cycle airtime credit")
+	r.DeclareHistogram(LoraAirtimeSeconds, "per-message time-on-air in virtual seconds", DefBuckets)
+	r.DeclareHistogram(LoraBackoffSeconds, "CAD listen-before-talk backoff in virtual seconds", DefBuckets)
+	r.DeclareGauge(LoraVirtualSeconds, "the LoRa medium's virtual clock in seconds")
 }

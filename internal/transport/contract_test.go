@@ -1,59 +1,40 @@
-package transport
+package transport_test
 
 import (
-	"bytes"
-	"errors"
-	"fmt"
 	"net"
 	"testing"
-	"time"
+
+	"repro/internal/transport"
+	"repro/internal/transport/transporttest"
 )
 
-// connFixture wires one connected (local, remote) pair for the shared
-// Conn contract. The contract checks run against local; remote is only
-// the far end used to feed it. cleanup tears down any listener or mux
-// behind the pair.
-type connFixture struct {
-	local, remote Conn
-	cleanup       func()
-}
-
-// connFactory describes one Conn implementation plus the capabilities
-// that legitimately vary across transports.
-type connFactory struct {
-	name string
-	make func(t *testing.T) connFixture
-	// drains: Close on the local end still delivers already-queued inbound
-	// messages before reporting ErrClosed (memConn and muxConn queue in
-	// process; TCP and raw UDP hand buffering to the kernel and drop it at
-	// close).
-	drains bool
-	// remoteCloses: closing the remote end eventually surfaces ErrClosed on
-	// the local end (in-memory pairs share a done channel, TCP sees EOF;
-	// datagram transports have no close signal on the wire).
-	remoteCloses bool
-}
-
-func connFactories() []connFactory {
-	return []connFactory{
+// connFactories wires one connected (local, remote) fixture per Conn
+// implementation in this package. The shared contract itself lives in
+// transporttest, so the lora medium conn (and any future transport) runs
+// the identical suite.
+func connFactories() []transporttest.Factory {
+	return []transporttest.Factory{
 		{
-			name: "mem",
-			make: func(t *testing.T) connFixture {
-				a, b := Pair()
-				return connFixture{local: a, remote: b, cleanup: func() {}}
+			Name: "mem",
+			Make: func(t *testing.T) transporttest.Fixture {
+				a, b := transport.Pair()
+				return transporttest.Fixture{
+					Local: a, Remote: b, Cleanup: func() {},
+					QueueLen: func() int { return transport.InProcessQueueLen(t, a) },
+				}
 			},
-			drains:       true,
-			remoteCloses: true,
+			Drains:       true,
+			RemoteCloses: true,
 		},
 		{
-			name: "tcp",
-			make: func(t *testing.T) connFixture {
-				l, err := ListenTCP("127.0.0.1:0")
+			Name: "tcp",
+			Make: func(t *testing.T) transporttest.Fixture {
+				l, err := transport.ListenTCP("127.0.0.1:0")
 				if err != nil {
 					t.Fatalf("listen: %v", err)
 				}
 				type res struct {
-					c   Conn
+					c   transport.Conn
 					err error
 				}
 				ch := make(chan res, 1)
@@ -61,7 +42,7 @@ func connFactories() []connFactory {
 					c, err := l.Accept()
 					ch <- res{c, err}
 				}()
-				client, err := DialTCP(l.Addr().String())
+				client, err := transport.DialTCP(l.Addr().String())
 				if err != nil {
 					_ = l.Close()
 					t.Fatalf("dial: %v", err)
@@ -71,40 +52,40 @@ func connFactories() []connFactory {
 					_ = l.Close()
 					t.Fatalf("accept: %v", r.err)
 				}
-				return connFixture{local: client, remote: r.c, cleanup: func() {
+				return transporttest.Fixture{Local: client, Remote: r.c, Cleanup: func() {
 					_ = r.c.Close()
 					_ = l.Close()
 				}}
 			},
-			drains:       false,
-			remoteCloses: true,
+			Drains:       false,
+			RemoteCloses: true,
 		},
 		{
-			name: "udp",
-			make: func(t *testing.T) connFixture {
-				a, err := DialUDP("127.0.0.1:0", "127.0.0.1:9")
+			Name: "udp",
+			Make: func(t *testing.T) transporttest.Fixture {
+				a, err := transport.DialUDP("127.0.0.1:0", "127.0.0.1:9")
 				if err != nil {
 					t.Fatalf("dial a: %v", err)
 				}
-				b, err := DialUDP("127.0.0.1:0", a.LocalAddr().String())
+				b, err := transport.DialUDP("127.0.0.1:0", a.LocalAddr().String())
 				if err != nil {
 					_ = a.Close()
 					t.Fatalf("dial b: %v", err)
 				}
 				a.SetPeer(b.LocalAddr().(*net.UDPAddr))
-				return connFixture{local: a, remote: b, cleanup: func() { _ = b.Close() }}
+				return transporttest.Fixture{Local: a, Remote: b, Cleanup: func() { _ = b.Close() }}
 			},
-			drains:       false,
-			remoteCloses: false,
+			Drains:       false,
+			RemoteCloses: false,
 		},
 		{
-			name: "udpmux",
-			make: func(t *testing.T) connFixture {
-				mux, err := ListenUDPMux("127.0.0.1:0")
+			Name: "udpmux",
+			Make: func(t *testing.T) transporttest.Fixture {
+				mux, err := transport.ListenUDPMux("127.0.0.1:0")
 				if err != nil {
 					t.Fatalf("mux: %v", err)
 				}
-				client, err := DialUDP("127.0.0.1:0", mux.Addr().String())
+				client, err := transport.DialUDP("127.0.0.1:0", mux.Addr().String())
 				if err != nil {
 					_ = mux.Close()
 					t.Fatalf("dial: %v", err)
@@ -119,240 +100,28 @@ func connFactories() []connFactory {
 				if first, err := sess.Recv(); err != nil || string(first) != "contract-hello" {
 					t.Fatalf("hello recv = %q, %v", first, err)
 				}
-				return connFixture{local: sess, remote: client, cleanup: func() {
+				return transporttest.Fixture{Local: sess, Remote: client, Cleanup: func() {
 					_ = client.Close()
 					_ = mux.Close()
-				}}
+				},
+					QueueLen: func() int { return transport.InProcessQueueLen(t, sess) },
+				}
 			},
-			drains:       true,
-			remoteCloses: false,
+			Drains:       true,
+			RemoteCloses: false,
 		},
 	}
 }
 
 // TestConnContract runs the shared Conn contract over every
-// implementation: the in-memory pair, framed TCP, raw UDP, and a
-// server-side UDP mux session. Capability flags cover the few behaviors
-// that legitimately differ; everything else must match exactly, because
-// the protocol and server layers are written against memConn semantics
-// and must not care which transport is underneath.
+// implementation in this package: the in-memory pair, framed TCP, raw
+// UDP, and a server-side UDP mux session. Capability flags cover the few
+// behaviors that legitimately differ; everything else must match
+// exactly. The lora medium conn runs the same suite from its own
+// package.
 func TestConnContract(t *testing.T) {
 	for _, f := range connFactories() {
 		f := f
-		t.Run(f.name, func(t *testing.T) {
-			t.Run("roundtrip", func(t *testing.T) { contractRoundTrip(t, f) })
-			t.Run("copies-payload", func(t *testing.T) { contractCopies(t, f) })
-			t.Run("timeout-shape", func(t *testing.T) { contractTimeout(t, f) })
-			t.Run("close-local", func(t *testing.T) { contractCloseLocal(t, f) })
-			t.Run("close-idempotent", func(t *testing.T) { contractCloseIdempotent(t, f) })
-			if f.drains {
-				t.Run("close-drains", func(t *testing.T) { contractCloseDrains(t, f) })
-			}
-			if f.remoteCloses {
-				t.Run("close-remote", func(t *testing.T) { contractCloseRemote(t, f) })
-			}
-		})
-	}
-}
-
-// contractRoundTrip: messages pass in both directions, in order.
-func contractRoundTrip(t *testing.T, f connFactory) {
-	fx := f.make(t)
-	defer fx.cleanup()
-	defer func() { _ = fx.local.Close() }()
-
-	for i := 0; i < 5; i++ {
-		msg := []byte(fmt.Sprintf("to-local-%d", i))
-		if err := fx.remote.Send(msg); err != nil {
-			t.Fatalf("remote send %d: %v", i, err)
-		}
-	}
-	for i := 0; i < 5; i++ {
-		got, err := fx.local.RecvTimeout(2 * time.Second)
-		if err != nil {
-			t.Fatalf("local recv %d: %v", i, err)
-		}
-		if want := fmt.Sprintf("to-local-%d", i); string(got) != want {
-			t.Fatalf("recv %d = %q, want %q", i, got, want)
-		}
-	}
-	if err := fx.local.Send([]byte("to-remote")); err != nil {
-		t.Fatalf("local send: %v", err)
-	}
-	got, err := fx.remote.RecvTimeout(2 * time.Second)
-	if err != nil {
-		t.Fatalf("remote recv: %v", err)
-	}
-	if string(got) != "to-remote" {
-		t.Fatalf("remote recv = %q", got)
-	}
-}
-
-// contractCopies: neither mutating the sent buffer after Send nor
-// mutating the received buffer can corrupt the transport's copy.
-func contractCopies(t *testing.T, f connFactory) {
-	fx := f.make(t)
-	defer fx.cleanup()
-	defer func() { _ = fx.local.Close() }()
-
-	msg := []byte("payload-copy")
-	if err := fx.remote.Send(msg); err != nil {
-		t.Fatalf("send: %v", err)
-	}
-	copy(msg, "XXXXXXX") // sender reuses its buffer immediately
-	got, err := fx.local.RecvTimeout(2 * time.Second)
-	if err != nil {
-		t.Fatalf("recv: %v", err)
-	}
-	if !bytes.Equal(got, []byte("payload-copy")) {
-		t.Fatalf("recv = %q, sender mutation leaked", got)
-	}
-}
-
-// contractTimeout: RecvTimeout on an idle conn reports ErrTimeout (and
-// not ErrClosed) only after the deadline actually elapses, and the conn
-// stays usable afterwards.
-func contractTimeout(t *testing.T, f connFactory) {
-	fx := f.make(t)
-	defer fx.cleanup()
-	defer func() { _ = fx.local.Close() }()
-
-	const d = 40 * time.Millisecond
-	start := time.Now()
-	_, err := fx.local.RecvTimeout(d)
-	elapsed := time.Since(start)
-	if !errors.Is(err, ErrTimeout) {
-		t.Fatalf("idle recv err = %v, want ErrTimeout", err)
-	}
-	if errors.Is(err, ErrClosed) {
-		t.Fatalf("timeout error %v must not satisfy ErrClosed", err)
-	}
-	if elapsed < d-10*time.Millisecond {
-		t.Fatalf("returned after %s, before the %s deadline", elapsed, d)
-	}
-
-	// A timeout is not an error state: the conn still moves traffic.
-	if err := fx.remote.Send([]byte("after-timeout")); err != nil {
-		t.Fatalf("send after timeout: %v", err)
-	}
-	got, err := fx.local.RecvTimeout(2 * time.Second)
-	if err != nil || string(got) != "after-timeout" {
-		t.Fatalf("recv after timeout = %q, %v", got, err)
-	}
-}
-
-// contractCloseLocal: after Close, Send and Recv on an empty conn both
-// report ErrClosed (never ErrTimeout).
-func contractCloseLocal(t *testing.T, f connFactory) {
-	fx := f.make(t)
-	defer fx.cleanup()
-
-	if err := fx.local.Close(); err != nil {
-		t.Fatalf("close: %v", err)
-	}
-	if err := fx.local.Send([]byte("x")); !errors.Is(err, ErrClosed) {
-		t.Fatalf("send after close = %v, want ErrClosed", err)
-	}
-	_, err := fx.local.RecvTimeout(50 * time.Millisecond)
-	if !errors.Is(err, ErrClosed) {
-		t.Fatalf("recv after close = %v, want ErrClosed", err)
-	}
-	if errors.Is(err, ErrTimeout) {
-		t.Fatalf("closed-conn error %v must not satisfy ErrTimeout", err)
-	}
-}
-
-// contractCloseIdempotent: double Close is a no-op, not an error.
-func contractCloseIdempotent(t *testing.T, f connFactory) {
-	fx := f.make(t)
-	defer fx.cleanup()
-
-	if err := fx.local.Close(); err != nil {
-		t.Fatalf("first close: %v", err)
-	}
-	if err := fx.local.Close(); err != nil {
-		t.Fatalf("second close: %v", err)
-	}
-}
-
-// contractCloseDrains: implementations that queue in process must keep
-// delivering messages that arrived before Close, and only then report
-// ErrClosed — the ARQ layer depends on not losing a reply that raced a
-// shutdown.
-func contractCloseDrains(t *testing.T, f connFactory) {
-	fx := f.make(t)
-	defer fx.cleanup()
-
-	if err := fx.remote.Send([]byte("queued-1")); err != nil {
-		t.Fatalf("send: %v", err)
-	}
-	if err := fx.remote.Send([]byte("queued-2")); err != nil {
-		t.Fatalf("send: %v", err)
-	}
-	// Wait until both messages are demonstrably queued at the local end:
-	// in-memory delivery is synchronous, the mux delivers via a read loop.
-	waitQueued(t, fx.local, 2)
-
-	if err := fx.local.Close(); err != nil {
-		t.Fatalf("close: %v", err)
-	}
-	for i, want := range []string{"queued-1", "queued-2"} {
-		got, err := fx.local.Recv()
-		if err != nil {
-			t.Fatalf("drain recv %d: %v", i, err)
-		}
-		if string(got) != want {
-			t.Fatalf("drain recv %d = %q, want %q", i, got, want)
-		}
-	}
-	if _, err := fx.local.Recv(); !errors.Is(err, ErrClosed) {
-		t.Fatalf("recv after drain = %v, want ErrClosed", err)
-	}
-}
-
-// waitQueued blocks until n messages are buffered inside c. It reaches
-// into the concrete queue (white-box) so the drain check never races the
-// delivery path.
-func waitQueued(t *testing.T, c Conn, n int) {
-	t.Helper()
-	queueLen := func() int {
-		switch cc := c.(type) {
-		case *memConn:
-			return len(cc.in)
-		case *muxConn:
-			return len(cc.in)
-		default:
-			t.Fatalf("waitQueued: %T does not queue in process", c)
-			return 0
-		}
-	}
-	deadline := time.Now().Add(2 * time.Second)
-	for queueLen() < n {
-		if time.Now().After(deadline) {
-			t.Fatalf("only %d/%d messages queued", queueLen(), n)
-		}
-		time.Sleep(time.Millisecond)
-	}
-}
-
-// contractCloseRemote: when the transport can observe the far end
-// closing, a blocked local Recv reports ErrClosed.
-func contractCloseRemote(t *testing.T, f connFactory) {
-	fx := f.make(t)
-	defer fx.cleanup()
-	defer func() { _ = fx.local.Close() }()
-
-	if err := fx.remote.Close(); err != nil {
-		t.Fatalf("remote close: %v", err)
-	}
-	deadline := time.Now().Add(2 * time.Second)
-	for {
-		_, err := fx.local.RecvTimeout(100 * time.Millisecond)
-		if errors.Is(err, ErrClosed) {
-			return
-		}
-		if time.Now().After(deadline) {
-			t.Fatalf("recv after remote close = %v, want ErrClosed", err)
-		}
+		t.Run(f.Name, func(t *testing.T) { transporttest.Run(t, f) })
 	}
 }

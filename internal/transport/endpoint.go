@@ -1,0 +1,220 @@
+package transport
+
+import (
+	"fmt"
+	"net"
+	"net/url"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// EndpointHandler implements one endpoint scheme for the Dial/Listen
+// registry. Either function may be nil when the scheme supports only one
+// direction (none of the built-ins do).
+type EndpointHandler struct {
+	Dial   func(u *url.URL) (Conn, error)
+	Listen func(u *url.URL) (Listener, error)
+}
+
+var (
+	schemeMu sync.RWMutex
+	schemes  = map[string]EndpointHandler{}
+)
+
+// RegisterScheme installs the handler for one endpoint scheme ("tcp",
+// "udp", "mem", "lora", ...). Like database/sql driver registration it
+// runs from package init: the transport package registers the socket
+// schemes itself, and packages that would create an import cycle if
+// transport depended on them (internal/lora) self-register when linked.
+// Re-registering a scheme panics — two owners for one name is a wiring
+// bug, not a runtime condition.
+func RegisterScheme(name string, h EndpointHandler) {
+	schemeMu.Lock()
+	defer schemeMu.Unlock()
+	if _, dup := schemes[name]; dup {
+		panic("transport: scheme " + name + " registered twice")
+	}
+	schemes[name] = h
+}
+
+// Schemes returns the registered endpoint scheme names, sorted.
+func Schemes() []string {
+	schemeMu.RLock()
+	defer schemeMu.RUnlock()
+	out := make([]string, 0, len(schemes))
+	for name := range schemes {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ErrUnknownScheme reports an endpoint whose scheme no registered
+// handler answers to; Known lists the valid schemes.
+type ErrUnknownScheme struct {
+	Scheme string
+	Known  []string
+}
+
+func (e *ErrUnknownScheme) Error() string {
+	return fmt.Sprintf("transport: unknown endpoint scheme %q; known schemes: %s",
+		e.Scheme, strings.Join(e.Known, ", "))
+}
+
+// parseEndpoint resolves an endpoint string to its URL and handler.
+func parseEndpoint(endpoint string) (*url.URL, EndpointHandler, error) {
+	u, err := url.Parse(endpoint)
+	if err != nil || u.Scheme == "" {
+		return nil, EndpointHandler{}, fmt.Errorf("transport: endpoint %q is not a scheme://address URL (e.g. tcp://127.0.0.1:9300)", endpoint)
+	}
+	schemeMu.RLock()
+	h, ok := schemes[u.Scheme]
+	schemeMu.RUnlock()
+	if !ok {
+		return nil, EndpointHandler{}, &ErrUnknownScheme{Scheme: u.Scheme, Known: Schemes()}
+	}
+	return u, h, nil
+}
+
+// Dial connects to an endpoint by its URL: tcp://host:port,
+// udp://host:port, mem://name, lora://medium[/device]. This is the one
+// client entry point the CLIs use; the per-transport constructors
+// (DialTCP, DialUDP) remain for callers that need transport-specific
+// knobs.
+func Dial(endpoint string) (Conn, error) {
+	u, h, err := parseEndpoint(endpoint)
+	if err != nil {
+		return nil, err
+	}
+	if h.Dial == nil {
+		return nil, fmt.Errorf("transport: scheme %q does not support dialing", u.Scheme)
+	}
+	return h.Dial(u)
+}
+
+// Listen binds a listener for an endpoint by its URL; see Dial for the
+// accepted forms. tcp:// yields the framed TCP listener, udp:// the UDP
+// session demultiplexer, mem:// an in-process broker, lora:// the
+// shared-medium gateway.
+func Listen(endpoint string) (Listener, error) {
+	u, h, err := parseEndpoint(endpoint)
+	if err != nil {
+		return nil, err
+	}
+	if h.Listen == nil {
+		return nil, fmt.Errorf("transport: scheme %q does not support listening", u.Scheme)
+	}
+	return h.Listen(u)
+}
+
+func init() {
+	RegisterScheme("tcp", EndpointHandler{
+		Dial:   func(u *url.URL) (Conn, error) { return DialTCP(u.Host) },
+		Listen: func(u *url.URL) (Listener, error) { return ListenTCP(u.Host) },
+	})
+	RegisterScheme("udp", EndpointHandler{
+		Dial:   func(u *url.URL) (Conn, error) { return DialUDP(":0", u.Host) },
+		Listen: func(u *url.URL) (Listener, error) { return ListenUDPMux(u.Host) },
+	})
+	RegisterScheme("mem", EndpointHandler{
+		Dial:   func(u *url.URL) (Conn, error) { return dialMem(memName(u)) },
+		Listen: func(u *url.URL) (Listener, error) { return listenMem(memName(u)) },
+	})
+}
+
+// ---------------------------------------------------------------------
+// mem:// — a named in-process rendezvous over memConn pairs, so tests
+// and single-process deployments address the in-memory transport through
+// the same endpoint strings as the socket ones.
+// ---------------------------------------------------------------------
+
+// memName canonicalizes mem://name[/sub] to its broker key.
+func memName(u *url.URL) string {
+	name := u.Host
+	if p := strings.Trim(u.Path, "/"); p != "" {
+		name += "/" + p
+	}
+	if name == "" {
+		name = "default"
+	}
+	return name
+}
+
+var memBroker = struct {
+	sync.Mutex
+	listeners map[string]*MemListener
+}{listeners: map[string]*MemListener{}}
+
+// memAddr is the net.Addr of a mem:// listener.
+type memAddr string
+
+func (a memAddr) Network() string { return "mem" }
+func (a memAddr) String() string  { return string(a) }
+
+// MemListener accepts in-process connections dialed to its mem:// name.
+type MemListener struct {
+	name    string
+	backlog chan Conn
+	done    chan struct{}
+	once    sync.Once
+}
+
+func listenMem(name string) (Listener, error) {
+	memBroker.Lock()
+	defer memBroker.Unlock()
+	if _, taken := memBroker.listeners[name]; taken {
+		return nil, fmt.Errorf("transport: mem://%s is already listening", name)
+	}
+	l := &MemListener{
+		name:    name,
+		backlog: make(chan Conn, 64),
+		done:    make(chan struct{}),
+	}
+	memBroker.listeners[name] = l
+	return l, nil
+}
+
+func dialMem(name string) (Conn, error) {
+	memBroker.Lock()
+	l, ok := memBroker.listeners[name]
+	memBroker.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("transport: nothing is listening on mem://%s", name)
+	}
+	client, server := Pair()
+	select {
+	case l.backlog <- server:
+		return client, nil
+	case <-l.done:
+		_ = client.Close()
+		return nil, fmt.Errorf("%w: mem://%s listener closed", ErrClosed, name)
+	}
+}
+
+// Accept implements Listener.
+func (l *MemListener) Accept() (Conn, error) {
+	select {
+	case c := <-l.backlog:
+		return c, nil
+	case <-l.done:
+		return nil, ErrClosed
+	}
+}
+
+// Addr implements Listener.
+func (l *MemListener) Addr() net.Addr { return memAddr("mem://" + l.name) }
+
+// Close implements Listener: deregisters the name and fails pending and
+// future Accepts with ErrClosed. Idempotent, like every Close here.
+func (l *MemListener) Close() error {
+	l.once.Do(func() {
+		close(l.done)
+		memBroker.Lock()
+		if memBroker.listeners[l.name] == l {
+			delete(memBroker.listeners, l.name)
+		}
+		memBroker.Unlock()
+	})
+	return nil
+}

@@ -1,0 +1,148 @@
+package transport_test
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/transport"
+)
+
+// TestEndpointUnknownScheme pins the typed error: unknown schemes fail
+// with *ErrUnknownScheme listing every registered scheme, from both Dial
+// and Listen.
+func TestEndpointUnknownScheme(t *testing.T) {
+	_, err := transport.Dial("carrier-pigeon://roof")
+	var unknown *transport.ErrUnknownScheme
+	if !errors.As(err, &unknown) {
+		t.Fatalf("Dial err = %v, want *ErrUnknownScheme", err)
+	}
+	if unknown.Scheme != "carrier-pigeon" {
+		t.Errorf("Scheme = %q", unknown.Scheme)
+	}
+	for _, want := range []string{"tcp", "udp", "mem"} {
+		found := false
+		for _, k := range unknown.Known {
+			if k == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("Known %v misses %q", unknown.Known, want)
+		}
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error message %q does not list %q", err, want)
+		}
+	}
+	if _, err := transport.Listen("carrier-pigeon://roof"); !errors.As(err, &unknown) {
+		t.Errorf("Listen err = %v, want *ErrUnknownScheme", err)
+	}
+}
+
+// TestEndpointNoScheme: bare addresses are rejected with guidance, not
+// guessed at.
+func TestEndpointNoScheme(t *testing.T) {
+	if _, err := transport.Dial("127.0.0.1:9300"); err == nil || !strings.Contains(err.Error(), "scheme") {
+		t.Errorf("Dial bare address err = %v, want a scheme complaint", err)
+	}
+}
+
+// TestEndpointTCP: the registry path reaches the framed TCP transport
+// end to end.
+func TestEndpointTCP(t *testing.T) {
+	l, err := transport.Listen("tcp://127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	defer func() { _ = l.Close() }()
+	accepted := make(chan transport.Conn, 1)
+	go func() {
+		c, err := l.Accept()
+		if err == nil {
+			accepted <- c
+		}
+	}()
+	client, err := transport.Dial("tcp://" + l.Addr().String())
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer func() { _ = client.Close() }()
+	if err := client.Send([]byte("over-endpoint")); err != nil {
+		t.Fatalf("send: %v", err)
+	}
+	server := <-accepted
+	defer func() { _ = server.Close() }()
+	got, err := server.RecvTimeout(2 * time.Second)
+	if err != nil || string(got) != "over-endpoint" {
+		t.Fatalf("recv = %q, %v", got, err)
+	}
+}
+
+// TestEndpointMem covers the in-process broker: rendezvous by name,
+// duplicate-listen rejection, dial-without-listener rejection, and
+// name reuse after close.
+func TestEndpointMem(t *testing.T) {
+	if _, err := transport.Dial("mem://nobody-home"); err == nil {
+		t.Fatal("dial with no listener succeeded")
+	}
+
+	l, err := transport.Listen("mem://broker-test")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	if _, err := transport.Listen("mem://broker-test"); err == nil {
+		t.Fatal("duplicate listen succeeded")
+	}
+	if got := l.Addr().String(); got != "mem://broker-test" {
+		t.Errorf("Addr = %q", got)
+	}
+
+	client, err := transport.Dial("mem://broker-test")
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	server, err := l.Accept()
+	if err != nil {
+		t.Fatalf("accept: %v", err)
+	}
+	if err := client.Send([]byte("ping")); err != nil {
+		t.Fatalf("send: %v", err)
+	}
+	got, err := server.RecvTimeout(2 * time.Second)
+	if err != nil || string(got) != "ping" {
+		t.Fatalf("recv = %q, %v", got, err)
+	}
+	_ = client.Close()
+	_ = server.Close()
+
+	if err := l.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("second close: %v", err)
+	}
+	if _, err := l.Accept(); !errors.Is(err, transport.ErrClosed) {
+		t.Errorf("accept after close = %v, want ErrClosed", err)
+	}
+	if _, err := transport.Dial("mem://broker-test"); err == nil {
+		t.Error("dial after listener close succeeded")
+	}
+	// The name is free again.
+	l2, err := transport.Listen("mem://broker-test")
+	if err != nil {
+		t.Fatalf("relisten: %v", err)
+	}
+	_ = l2.Close()
+}
+
+// TestSchemesSorted: the scheme list is stable and sorted, so the
+// unknown-scheme error renders identically run to run.
+func TestSchemesSorted(t *testing.T) {
+	got := transport.Schemes()
+	for i := 1; i < len(got); i++ {
+		if got[i-1] >= got[i] {
+			t.Fatalf("Schemes() not strictly sorted: %v", got)
+		}
+	}
+}

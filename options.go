@@ -4,6 +4,7 @@ import (
 	"log"
 
 	"repro/internal/core"
+	"repro/internal/lora"
 	"repro/internal/obs"
 	"repro/internal/protocol"
 )
@@ -31,6 +32,23 @@ func NewMetricsRegistry() *MetricsRegistry {
 
 // SystemConfig re-exports the pipeline configuration (Options.System).
 type SystemConfig = core.Config
+
+// MediumConfig re-exports the shared-medium MAC configuration
+// (Options.Medium): channel count, capture margin, CAD and backoff
+// behaviour, per-device duty-cycle budget, hop dwell, and the virtual
+// clock mode. A zero value normalizes to the documented defaults; see
+// WithMedium.
+type MediumConfig = lora.MediumConfig
+
+// MediumStats re-exports the shared medium's MAC counters (frames,
+// collisions, CAD drops, airtime), as returned by Medium.Stats.
+type MediumStats = lora.Stats
+
+// Medium re-exports the shared LoRa medium itself: a session configured
+// with Options.Medium exposes one via Session.Medium, and its Link /
+// Listen / Dial endpoints carry transport connections through the
+// contended channel model.
+type Medium = lora.Medium
 
 // Sentinel errors re-exported from the protocol layer. A failed round's
 // KeyOutcome.Err wraps one of these in a *RoundError; branch with
@@ -139,6 +157,16 @@ func WithFastPath(mode string) Option {
 // Schemes(). Setup fails with ErrUnknownScheme for anything else.
 func WithScheme(name string) Option {
 	return func(o *Options) { o.Scheme = name }
+}
+
+// WithMedium attaches a shared LoRa medium to the session: cfg's
+// contention parameters (channels, capture margin, CAD, duty cycle,
+// dwell) flow through the same surface as WithScheme/WithFastPath, zero
+// fields take the documented defaults, the medium seed defaults to the
+// session seed, and MAC counters record into the session's Recorder.
+// The built medium is returned by Session.Medium.
+func WithMedium(cfg MediumConfig) Option {
+	return func(o *Options) { o.Medium = &cfg }
 }
 
 // WithRecorder routes the session's metrics — pipeline phase timings,

@@ -57,8 +57,12 @@ func TestOptionSetters(t *testing.T) {
 		WithTrainingWindows(100), WithTrainingEpochs(5),
 		WithSystemConfig(SystemConfig{SeqLen: 16}),
 		WithRecorder(reg), WithLogger(logger), WithObserver(obsv),
+		WithMedium(MediumConfig{Channels: 4}),
 	} {
 		opt(&o)
+	}
+	if o.Medium == nil || o.Medium.Channels != 4 {
+		t.Errorf("WithMedium not applied: %+v", o.Medium)
 	}
 	if o.Environment != Rural || o.Link != V2V || o.SpeedKmh != 80 || o.Seed != 9 {
 		t.Errorf("scenario options not applied: %+v", o)
@@ -132,5 +136,65 @@ func TestErrorReexports(t *testing.T) {
 	}
 	if !strings.Contains(err.Error(), "round 3") {
 		t.Errorf("message lacks round: %q", err.Error())
+	}
+}
+
+// TestWithMediumSession checks the shared-medium public surface: the
+// session owns a medium built from the (normalized) config, the medium
+// seed inherits the session seed, protocol traffic flows over a link,
+// and an invalid config fails Setup before any training.
+func TestWithMediumSession(t *testing.T) {
+	// Default (emulation) clock mode: lockstep would require every
+	// endpoint driven continuously, which a plain Send-then-wait test
+	// goroutine is not.
+	s, err := SetupWith(Options{Seed: 9, TrainingWindows: 40, TrainingEpochs: 1},
+		WithScheme("lora-key"), // training-free: keeps the test cheap
+		WithMedium(MediumConfig{Channels: 2, TimeScale: 1000}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := s.Medium()
+	if m == nil {
+		t.Fatal("Session.Medium() = nil with Options.Medium set")
+	}
+	if got := m.Config(); got.Seed != 9 || got.Channels != 2 || got.CaptureDB != 6 {
+		t.Errorf("medium config not normalized/inherited: %+v", got)
+	}
+	a, b, err := m.Link("veh-0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []byte
+	done := make(chan error, 1)
+	go func() {
+		msg, err := b.Recv()
+		got = msg
+		done <- err
+		_ = b.Close()
+	}()
+	if err := a.Send([]byte("probe")); err != nil {
+		t.Fatalf("send over session medium: %v", err)
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("recv over session medium: %v", err)
+	}
+	if string(got) != "probe" {
+		t.Errorf("recv = %q, want %q", got, "probe")
+	}
+	if st := m.Stats(); st.Delivered != 1 {
+		t.Errorf("stats.Delivered = %d, want 1", st.Delivered)
+	}
+	_ = m.Close()
+
+	if _, err := SetupWith(Options{}, WithMedium(MediumConfig{Channels: -1})); err == nil {
+		t.Error("Setup accepted an invalid medium config")
+	}
+
+	pp, err := SetupWith(Options{TrainingWindows: 40, TrainingEpochs: 1}, WithScheme("lora-key"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pp.Medium() != nil {
+		t.Error("point-to-point session has a non-nil Medium()")
 	}
 }

@@ -39,6 +39,7 @@ import (
 	_ "repro/internal/baselines"
 	"repro/internal/channel"
 	"repro/internal/core"
+	"repro/internal/lora"
 	"repro/internal/nist"
 	"repro/internal/obs"
 	"repro/internal/rng"
@@ -89,6 +90,13 @@ type Options struct {
 
 	System core.Config // advanced pipeline knobs; zero values take defaults
 
+	// Medium, when non-nil, attaches a shared LoRa medium to the session:
+	// the config is normalized and validated during Setup and the built
+	// Medium is available from Session.Medium, with its MAC counters
+	// routed into Recorder. Nil (the default) keeps the session
+	// point-to-point, as in the paper. See WithMedium.
+	Medium *MediumConfig
+
 	// Recorder receives the session's metrics (nil: no recording). See
 	// WithRecorder; recording never influences results.
 	Recorder Recorder
@@ -108,12 +116,16 @@ type Session struct {
 	src    *rng.Source
 	cursor int
 	rec    obs.Recorder
+	medium *Medium
 }
 
 // Setup builds the simulated link, collects training data, and trains the
-// prediction and reconciliation models. It is the struct-options path;
-// SetupWith layers functional options on top and behaves identically for
-// equal effective configurations.
+// prediction and reconciliation models.
+//
+// Deprecated: Setup is the legacy struct-only path, kept for
+// compatibility. New code should call SetupWith, which accepts the same
+// Options plus functional options (WithScheme, WithFastPath, WithMedium,
+// ...) and behaves identically for equal effective configurations.
 func Setup(opts Options) (*Session, error) { return SetupWith(opts) }
 
 // SetupWith is Setup with functional options applied over the base
@@ -144,6 +156,27 @@ func SetupWith(opts Options, extra ...Option) (*Session, error) {
 		opts.TrainingEpochs = 30
 	}
 	opts.System.Normalize()
+
+	// The shared-medium config, like the scheme name below, must fail
+	// before the expensive builds. The medium itself is cheap to create:
+	// its virtual clock only advances while endpoints are in flight.
+	var medium *Medium
+	if opts.Medium != nil {
+		mc := *opts.Medium
+		if mc.Seed == 0 {
+			mc.Seed = opts.Seed // inherit the session seed unless pinned
+		}
+		if mc.Recorder == nil {
+			mc.Recorder = opts.Recorder
+		}
+		m, err := lora.NewMedium(mc) // normalizes and validates
+		if err != nil {
+			return nil, fmt.Errorf("vehiclekey: medium: %w", err)
+		}
+		medium = m
+		norm := m.Config()
+		opts.Medium = &norm
+	}
 
 	// A bad scheme name must fail before the dataset and model builds,
 	// not after: the registry lookup is free, the builds are not. The
@@ -177,12 +210,19 @@ func SetupWith(opts Options, extra ...Option) (*Session, error) {
 	if opts.Observer != nil {
 		opts.Observer.SessionTrained(opts.Seed, opts.TrainingEpochs)
 	}
-	return &Session{opts: opts, sys: sys, test: test, src: src, rec: rec}, nil
+	return &Session{opts: opts, sys: sys, test: test, src: src, rec: rec, medium: medium}, nil
 }
 
 // System exposes the trained pipeline for advanced use (protocol nodes,
 // profiling).
 func (s *Session) System() *core.System { return s.sys }
+
+// Medium returns the shared LoRa medium built from Options.Medium, or
+// nil for a point-to-point session. Its Link / Listen / Dial endpoints
+// carry protocol traffic through the contended channel model, and its
+// Stats expose the MAC counters (also recorded into the session's
+// Recorder).
+func (s *Session) Medium() *Medium { return s.medium }
 
 // Schemes lists the registered scheme names accepted by Options.Scheme
 // and WithScheme, sorted.
