@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test test-short test-race bench bench-json bench-compare fuzz lint load-smoke contention-smoke
+.PHONY: build test test-short test-race bench bench-json bench-compare fuzz lint load-smoke contention-smoke platoon-smoke
 
 build:
 	$(GO) build ./...
@@ -77,3 +77,12 @@ contention-smoke:
 	$(GO) run ./cmd/vkload -endpoint "lora://ci?channels=4&scale=5000" \
 		-scheme lora-key -vehicles 12 -concurrency 12 -windows 16 \
 		-ramp 0 -metrics
+
+# One full platoon group-rekey session on a shared lora:// medium:
+# concurrent pairwise establishment, an epoch-1 rekey sealed under the
+# pairwise keys, two departures, and the epoch-2 survivor rekey. CI
+# greps the -metrics dump for non-zero vk_group_* counters, making the
+# smoke an assertion rather than a demo.
+platoon-smoke:
+	$(GO) run ./cmd/vkload -platoon 8 -platoon-leaves 1,6 \
+		-endpoint "lora://ci-platoon?channels=4" -scheme lora-key -metrics

@@ -15,6 +15,14 @@
 // sessions contend through CAD, collisions, and duty-cycle budgets, and
 // the MAC counters land in the -metrics snapshot.
 //
+// -platoon replaces the fleet benchmark with one group-rekey session:
+// concurrent pairwise establishment, an epoch-1 group rekey sealed
+// under the pairwise keys, the configured departures, and the epoch-2
+// survivor rekey. The vk_group_* counters land in -metrics:
+//
+//	vkload -platoon 8 -scheme lora-key -platoon-leaves 1,6 -metrics
+//	vkload -platoon 4 -scheme lora-key -endpoint "lora://platoon?channels=4"
+//
 // The server and load halves also run as separate processes over the
 // socket schemes; both sides must agree on -seed, -scheme, and the
 // training flags, exactly like the two ends of cmd/vkproto:
@@ -35,6 +43,7 @@ import (
 	"net/url"
 	"os"
 	"runtime"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -66,6 +75,9 @@ func main() {
 		vehicles = flag.Int("vehicles", 1000, "simulated vehicles to drive")
 		conc     = flag.Int("concurrency", 64, "vehicles in flight at once")
 		windows  = flag.Int("windows", 8, "probing windows per session")
+
+		platoonN      = flag.Int("platoon", 0, "run one platoon group-rekey session with this many members instead of the fleet benchmark")
+		platoonLeaves = flag.String("platoon-leaves", "1", "comma-separated member IDs departing after epoch 1 (empty = nobody leaves)")
 
 		endpoint  = flag.String("endpoint", "", "transport endpoint URL: tcp://host:port, udp://host:port, mem://name, or lora://medium[?channels=..&duty=..] (default tcp://127.0.0.1:0)")
 		serveOnly = flag.Bool("serve-only", false, "run only the server side, listening at -endpoint")
@@ -101,6 +113,11 @@ func main() {
 	// Resolve the endpoint: -endpoint wins; the deprecated alias flags
 	// synthesize the equivalent URL (and -serve/-connect their mode).
 	ep := *endpoint
+	if ep == "" && *platoonN > 0 && *serve == "" && *connect == "" {
+		// Platoon runs are hub + members in one process; a named
+		// in-memory endpoint is the natural default.
+		ep = "mem://vkload-platoon"
+	}
 	mode := modeInProcess
 	if *serveOnly {
 		mode = modeServe
@@ -138,6 +155,14 @@ func main() {
 	}
 	if epScheme == "lora" && mode != modeInProcess {
 		fatal(fmt.Errorf("lora:// media are in-process; drop -serve-only/-drive-only"))
+	}
+	if *platoonN > 0 {
+		if mode != modeInProcess {
+			fatal(fmt.Errorf("-platoon runs hub and members in one process; drop -serve-only/-drive-only"))
+		}
+		if (epScheme == "tcp" || epScheme == "udp") && strings.HasSuffix(u.Host, ":0") {
+			fatal(fmt.Errorf("-platoon members dial -endpoint as given; pick a concrete %s port, not :0", epScheme))
+		}
 	}
 
 	if !core.ValidFastPath(*fastpath) {
@@ -197,6 +222,50 @@ func main() {
 		if _, err := lora.EnsureEndpoint(ep, reg); err != nil {
 			fatal(err)
 		}
+	}
+
+	// Platoon mode: one group-rekey session (concurrent pairwise
+	// establishment, epoch-1 rekey, departures, epoch-2 survivor rekey)
+	// instead of the fleet benchmark.
+	if *platoonN > 0 {
+		pcfg := vehiclekey.PlatoonConfig{
+			Members:  *platoonN,
+			Leavers:  parseLeavers(*platoonLeaves),
+			Endpoint: ep,
+		}
+		if set["windows"] {
+			pcfg.Windows = *windows
+		}
+		if set["timeout"] || set["retries"] {
+			pcfg.Retry = protocol.RetryPolicy{Timeout: *timeout, MaxRetries: *retries}
+		}
+		fmt.Printf("driving a %d-member platoon over %s (leavers %v)...\n", *platoonN, epScheme, pcfg.Leavers)
+		started := time.Now()
+		rep, err := vs.RunPlatoon(pcfg)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("\nvkload: platoon of %d over %s in %s\n", *platoonN, epScheme, time.Since(started).Round(time.Millisecond))
+		fmt.Printf("  established: %d   failed: %d   leaves: %d   final epoch: %d\n",
+			len(rep.Established), len(rep.Failed), rep.LeavesSeen, rep.FinalEpoch)
+		for _, w := range rep.Rekeys {
+			fmt.Printf("  epoch %d: addressed %d, acked %d\n", w.Epoch, len(w.Members), len(w.Acked))
+		}
+		fmt.Printf("  hub key digest: %s\n", rep.HubDigest)
+		if acc := rep.Accepted[rep.FinalEpoch]; len(acc) > 0 {
+			agree := 0
+			for _, d := range acc {
+				//vklint:ignore consttime -- key digests are published accounting fingerprints, not secret material
+				if d == rep.HubDigest {
+					agree++
+				}
+			}
+			fmt.Printf("  members agreeing on the final key: %d/%d\n", agree, len(acc))
+		}
+		if *metrics {
+			_ = reg.WritePrometheus(os.Stderr) // best-effort: stderr may be closed
+		}
+		return
 	}
 
 	// Server-only mode: serve until killed.
@@ -325,6 +394,24 @@ func defaultWorkers() int {
 		return n
 	}
 	return 4
+}
+
+// parseLeavers turns the -platoon-leaves flag into member IDs; an
+// empty flag means an explicit empty slice — nobody leaves.
+func parseLeavers(s string) []uint64 {
+	out := []uint64{}
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		id, err := strconv.ParseUint(part, 10, 64)
+		if err != nil {
+			fatal(fmt.Errorf("-platoon-leaves entry %q is not a member ID", part))
+		}
+		out = append(out, id)
+	}
+	return out
 }
 
 func schemeName(s string) string {

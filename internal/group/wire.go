@@ -1,0 +1,116 @@
+package group
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"hash/crc32"
+)
+
+// The group wire format frames platoon control traffic the same way the
+// protocol layer frames its envelopes: a CRC32 header over a gob
+// payload, a magic word to distinguish it from the pairwise protocol's
+// envelopes (both travel on the same conn), and hard decode caps so a
+// hostile or corrupted frame is rejected before anything oversized is
+// trusted. Frames that fail to decode are skipped by both ends' receive
+// loops — on a shared medium a late protocol retransmit routinely lands
+// between group frames, and the ARQ layer's copies/retransmits make
+// skipping safe.
+
+// frameMagic distinguishes group frames from protocol envelopes and
+// server hellos at decode.
+const frameMagic = 0x564b4750 // "VKGP"
+
+// Frame kinds.
+const (
+	// kindJoin announces a member to the hub before its pairwise
+	// establishment run: member ID and probing window count.
+	kindJoin = uint8(iota + 1)
+	// kindKey carries one sealed group-key envelope, hub → member.
+	kindKey
+	// kindAck confirms a received group key at an epoch, member → hub.
+	kindAck
+	// kindLeave announces a voluntary departure, member → hub.
+	kindLeave
+	// kindBye ends the platoon session, hub → member.
+	kindBye
+	// kindWelcome acknowledges a join, hub → member: the member keeps
+	// retransmitting its join each tick until welcomed, so a lost join
+	// frame cannot starve the establishment on a lossy medium.
+	kindWelcome
+)
+
+// Group wire caps, mirroring the protocol layer's decode hygiene.
+const (
+	// MaxFrameBytes bounds one encoded group frame.
+	MaxFrameBytes = 4096
+	// MaxSealedBytes bounds the sealed envelope payload (a 20-byte
+	// plaintext plus AES-GCM nonce and tag is ~48 bytes; the cap leaves
+	// room for schedule growth without accepting megabyte blobs).
+	MaxSealedBytes = 256
+	// MaxFrameWindows is the wire cap on a join's announced window count.
+	MaxFrameWindows = 1 << 12
+)
+
+// errNotGroupFrame flags a delivery that is not a well-formed group
+// frame (most likely a pairwise protocol envelope sharing the conn);
+// receive loops skip it.
+var errNotGroupFrame = errors.New("group: not a group frame")
+
+// frame is the single wire message all platoon control traffic uses;
+// unused fields stay zero for a given kind.
+//
+//vklint:wire -- decoded from unauthenticated peers; treat field reads as hostile
+type frame struct {
+	Magic   uint32
+	Kind    uint8
+	Member  uint64
+	Epoch   uint32
+	Windows int
+	Sealed  []byte
+}
+
+// encodeFrame frames fr with the CRC32-over-gob layout.
+func encodeFrame(fr frame) ([]byte, error) {
+	fr.Magic = frameMagic
+	var buf bytes.Buffer
+	buf.Write(make([]byte, 4))
+	if err := gob.NewEncoder(&buf).Encode(fr); err != nil {
+		return nil, fmt.Errorf("group: encode frame: %w", err)
+	}
+	data := buf.Bytes()
+	binary.BigEndian.PutUint32(data[:4], crc32.ChecksumIEEE(data[4:]))
+	return data, nil
+}
+
+// decodeFrame parses and validates one group frame. Anything that is
+// not well-formed within the caps reports errNotGroupFrame.
+func decodeFrame(data []byte) (frame, error) {
+	if len(data) < 4 || len(data) > MaxFrameBytes {
+		return frame{}, errNotGroupFrame
+	}
+	if want := binary.BigEndian.Uint32(data[:4]); want != crc32.ChecksumIEEE(data[4:]) {
+		return frame{}, errNotGroupFrame
+	}
+	var fr frame
+	if err := gob.NewDecoder(bytes.NewReader(data[4:])).Decode(&fr); err != nil {
+		return frame{}, errNotGroupFrame
+	}
+	switch {
+	case fr.Magic != frameMagic:
+		return frame{}, errNotGroupFrame
+	case fr.Kind < kindJoin || fr.Kind > kindWelcome:
+		return frame{}, errNotGroupFrame
+	case len(fr.Sealed) > MaxSealedBytes:
+		return frame{}, errNotGroupFrame
+	case fr.Windows < 0 || fr.Windows > MaxFrameWindows:
+		return frame{}, errNotGroupFrame
+	case fr.Kind == kindJoin && fr.Windows < 1:
+		return frame{}, errNotGroupFrame
+	case fr.Kind == kindKey && len(fr.Sealed) == 0:
+		return frame{}, errNotGroupFrame
+	}
+	return fr, nil
+}

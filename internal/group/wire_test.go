@@ -1,0 +1,77 @@
+package group
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	cases := []frame{
+		{Kind: kindJoin, Member: 7, Windows: 16},
+		{Kind: kindKey, Member: 7, Epoch: 3, Sealed: bytes.Repeat([]byte{0xAB}, 48)},
+		{Kind: kindAck, Member: 7, Epoch: 3},
+		{Kind: kindLeave, Member: 7},
+		{Kind: kindBye, Member: 7},
+		{Kind: kindWelcome, Member: 7},
+	}
+	for _, want := range cases {
+		data, err := encodeFrame(want)
+		if err != nil {
+			t.Fatalf("kind %d: %v", want.Kind, err)
+		}
+		got, err := decodeFrame(data)
+		if err != nil {
+			t.Fatalf("kind %d: %v", want.Kind, err)
+		}
+		if got.Kind != want.Kind || got.Member != want.Member ||
+			got.Epoch != want.Epoch || got.Windows != want.Windows ||
+			!bytes.Equal(got.Sealed, want.Sealed) {
+			t.Fatalf("kind %d: round trip mismatch: %+v vs %+v", want.Kind, got, want)
+		}
+	}
+}
+
+func TestFrameDecodeRejectsGarbage(t *testing.T) {
+	valid, err := encodeFrame(frame{Kind: kindAck, Member: 1, Epoch: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reject := func(name string, data []byte) {
+		t.Helper()
+		if _, err := decodeFrame(data); !errors.Is(err, errNotGroupFrame) {
+			t.Fatalf("%s: want errNotGroupFrame, got %v", name, err)
+		}
+	}
+	reject("empty", nil)
+	reject("short", valid[:3])
+	reject("oversized", make([]byte, MaxFrameBytes+1))
+	flipped := append([]byte(nil), valid...)
+	flipped[len(flipped)-1] ^= 0xFF
+	reject("crc flip", flipped)
+	reject("random", bytes.Repeat([]byte{0x42}, 64))
+
+	// A pairwise protocol envelope sharing the conn must be skipped, not
+	// misparsed: it fails the magic/CRC checks.
+	reject("foreign magic", append([]byte{0, 0, 0, 0}, valid[4:]...))
+}
+
+func TestFrameDecodeEnforcesCaps(t *testing.T) {
+	reject := func(name string, fr frame) {
+		t.Helper()
+		data, err := encodeFrame(fr)
+		if err != nil {
+			t.Fatalf("%s: encode: %v", name, err)
+		}
+		if _, err := decodeFrame(data); !errors.Is(err, errNotGroupFrame) {
+			t.Fatalf("%s: want errNotGroupFrame, got %v", name, err)
+		}
+	}
+	reject("kind zero", frame{Kind: 0})
+	reject("kind out of range", frame{Kind: kindWelcome + 1})
+	reject("sealed over cap", frame{Kind: kindKey, Sealed: make([]byte, MaxSealedBytes+1)})
+	reject("key without payload", frame{Kind: kindKey, Epoch: 1})
+	reject("join without windows", frame{Kind: kindJoin, Member: 1})
+	reject("negative windows", frame{Kind: kindJoin, Member: 1, Windows: -1})
+	reject("windows over cap", frame{Kind: kindJoin, Member: 1, Windows: MaxFrameWindows + 1})
+}

@@ -12,7 +12,7 @@ import (
 // constructed recorder hides its metrics from the binary's exporter,
 // and an accidental always-on registry would put registry map lookups
 // and atomics on paths that are supposed to cost nothing by default.
-var obsnopScope = []string{"protocol", "core", "transport", "exp", "server", "lora"}
+var obsnopScope = []string{"protocol", "core", "transport", "exp", "server", "lora", "group"}
 
 // obsnopTypes are the concrete recorder types the scope must not build.
 var obsnopTypes = map[string]bool{"Registry": true, "Tracer": true}

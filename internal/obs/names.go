@@ -86,7 +86,43 @@ const (
 	// LoraVirtualSeconds is the medium's virtual clock, exported as a
 	// gauge so dashboards can relate counters to simulated time.
 	LoraVirtualSeconds = "vk_lora_virtual_seconds"
+
+	// Platoon group-key schedule families (internal/group). The
+	// establishment counter is labeled result=<GroupResults>; the envelope
+	// counter is labeled result=<GroupResults> too (acked vs failed
+	// fan-out deliveries map onto ok vs failed).
+	GroupEstablishments = "vk_group_establishments_total"
+	GroupEnvelopes      = "vk_group_envelopes_total"
+	// GroupRekeys counts completed rekey derivations (one per epoch).
+	GroupRekeys = "vk_group_rekeys_total"
+	// GroupLeaves counts member departures the hub processed.
+	GroupLeaves = "vk_group_leaves_total"
+	// GroupStaleDrops counts stale or replayed epoch envelopes members
+	// rejected under the monotone-epoch rule.
+	GroupStaleDrops = "vk_group_stale_drops_total"
+	// GroupKeysAccepted counts group-key epochs members accepted.
+	GroupKeysAccepted = "vk_group_keys_accepted_total"
+	// GroupEpoch and GroupMembers gauge the hub's current key epoch and
+	// live membership.
+	GroupEpoch   = "vk_group_epoch"
+	GroupMembers = "vk_group_members"
+	// GroupEstablishSeconds is the per-member pairwise establishment wall
+	// time (join frame → hub membership); GroupFanoutSeconds the
+	// per-member envelope delivery latency (first send → ack);
+	// GroupRekeySeconds one whole rekey wave (derive → all acks resolved).
+	GroupEstablishSeconds = "vk_group_establish_seconds"
+	GroupFanoutSeconds    = "vk_group_fanout_seconds"
+	GroupRekeySeconds     = "vk_group_rekey_seconds"
 )
+
+// Group result labels (establishments and envelope deliveries).
+const (
+	GroupOK     = "ok"
+	GroupFailed = "failed"
+)
+
+// GroupResults lists the group result labels.
+var GroupResults = []string{GroupOK, GroupFailed}
 
 // LoRa medium transmission results.
 const (
@@ -240,4 +276,19 @@ func DeclareStandard(r *Registry) {
 	r.DeclareHistogram(LoraAirtimeSeconds, "per-message time-on-air in virtual seconds", DefBuckets)
 	r.DeclareHistogram(LoraBackoffSeconds, "CAD listen-before-talk backoff in virtual seconds", DefBuckets)
 	r.DeclareGauge(LoraVirtualSeconds, "the LoRa medium's virtual clock in seconds")
+	for _, result := range GroupResults {
+		r.DeclareCounter(Labeled(GroupEstablishments, "result", result),
+			"platoon pairwise establishments, by result")
+		r.DeclareCounter(Labeled(GroupEnvelopes, "result", result),
+			"group-key envelope deliveries, by result")
+	}
+	r.DeclareCounter(GroupRekeys, "group rekey derivations (one per epoch)")
+	r.DeclareCounter(GroupLeaves, "member departures processed by the hub")
+	r.DeclareCounter(GroupStaleDrops, "stale or replayed epoch envelopes rejected by members")
+	r.DeclareCounter(GroupKeysAccepted, "group-key epochs accepted by members")
+	r.DeclareGauge(GroupEpoch, "the hub's current group-key epoch")
+	r.DeclareGauge(GroupMembers, "members currently holding hub membership")
+	r.DeclareHistogram(GroupEstablishSeconds, "per-member pairwise establishment wall time in seconds", SessionBuckets)
+	r.DeclareHistogram(GroupFanoutSeconds, "per-member envelope delivery latency in seconds", DefBuckets)
+	r.DeclareHistogram(GroupRekeySeconds, "whole rekey-wave wall time in seconds", DefBuckets)
 }

@@ -2,8 +2,8 @@
 # Race-detector test pass, tier-1 alongside `go test ./...`.
 #
 # The concurrent packages (transport, protocol, server, secure, attack,
-# obs, memo, lora — whose contention soak must stay byte-identical at
-# any parallelism while the detector watches the scheduler) run with
+# obs, memo, lora, group — whose contention soak must stay byte-identical
+# at any parallelism while the detector watches the scheduler) run with
 # -count=1 so a cached result can never mask a rediscovered race. The
 # model-training packages dominate wall time under -race, so they run
 # -short where that keeps coverage meaningful; the protocol soak itself
@@ -25,11 +25,12 @@ go test -race -count=1 -timeout 20m \
 	./internal/attack/ \
 	./internal/obs/ \
 	./internal/memo/ \
-	./internal/lora/
+	./internal/lora/ \
+	./internal/group/
 
 echo "== race: remaining packages (short) =="
 go test -race -short -timeout 20m \
-	$(go list ./... | grep -v -e /internal/transport$ -e /internal/secure$ -e /internal/protocol$ -e /internal/server$ -e /internal/attack$ -e /internal/obs$ -e /internal/memo$ -e /internal/lora$)
+	$(go list ./... | grep -v -e /internal/transport$ -e /internal/secure$ -e /internal/protocol$ -e /internal/server$ -e /internal/attack$ -e /internal/obs$ -e /internal/memo$ -e /internal/lora$ -e /internal/group$)
 
 echo "== race: parallel experiment engine equivalence =="
 # -short skips these, so run them explicitly: the golden equivalence
